@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+(Section V), prints the reproduced rows/series and stores them under
+``benchmarks/results/`` so they can be compared against the paper (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where reproduced tables/figures are written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Return a function that prints a report and stores it on disk."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print("=" * 78)
+        print(text)
+        print("=" * 78)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+

@@ -1,0 +1,20 @@
+"""Rendering helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+
+def render_figure(result, attack_label: str) -> str:
+    """Render a Figure 4-7 style report: three-axis plots plus flight metrics."""
+    from repro.analysis import ascii_plot, extract_axes
+
+    lines = [f"scenario: {result.scenario.name}", f"attack: {attack_label}",
+             f"metrics: {result.metrics.summary()}"]
+    if result.violations:
+        first = result.violations[0]
+        lines.append(f"first violation: {first.rule} at t={first.time:.2f} s ({first.message})")
+    else:
+        lines.append("first violation: none")
+    for axis in extract_axes(result.recorder):
+        lines.append("")
+        lines.append(ascii_plot(axis))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Ablation A2 — MemGuard budget sweep.
+
+The paper sets the CCE budget "to a value that allows the complex controller
+to run without problem" but does not explore the trade-off.  This ablation
+sweeps the budget under the Figure 4/5 memory attack and shows the transition
+from fully protected flight, through bounded oscillation, to the unprotected
+crash — the quantitative version of the Figure 4 vs Figure 5 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.sim import FlightScenario, run_scenario
+
+ATTACK_START = 10.0
+DURATION = 30.0
+
+#: Budgets in DRAM accesses per 1 ms MemGuard period; None = MemGuard disabled.
+BUDGETS = [2000, 3000, 4000, None]
+
+
+def run_sweep():
+    results = {}
+    for budget in BUDGETS:
+        scenario = FlightScenario.figure5(attack_start=ATTACK_START, duration=DURATION)
+        if budget is None:
+            scenario = FlightScenario.figure4(attack_start=ATTACK_START, duration=DURATION)
+            label = "MemGuard off"
+        else:
+            config = scenario.config
+            config = replace(config, memory=replace(config.memory,
+                                                    cce_budget_accesses_per_period=budget))
+            scenario = scenario.with_config(config).with_name(f"fig5-budget-{budget}")
+            label = f"{budget} accesses/period"
+        results[label] = run_scenario(scenario)
+    return results
+
+
+def test_ablation_memguard_budget(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for label, result in results.items():
+        metrics = result.metrics
+        rows.append([
+            label,
+            "yes" if result.crashed else "no",
+            f"{metrics.rms_error_after:.3f} m",
+            f"{metrics.max_deviation_after:.2f} m",
+        ])
+    report("ablation_memguard_budget", format_table(
+        ["CCE budget", "Crashed", "RMS error after attack", "Max deviation after attack"],
+        rows,
+        title="Ablation A2 — MemGuard budget sweep under the Bandwidth attack",
+    ))
+
+    tight = results["2000 accesses/period"]
+    default = results["3000 accesses/period"]
+    loose = results["4000 accesses/period"]
+    disabled = results["MemGuard off"]
+
+    # Regulated flights survive; the unregulated one crashes (Figure 4).
+    assert not tight.crashed and not default.crashed and not loose.crashed
+    assert disabled.crashed
+    # Tight and default budgets keep the tracking error small; relaxing the
+    # budget can only make the degradation worse (within a small tolerance).
+    assert tight.metrics.max_deviation_after < 0.5
+    assert default.metrics.max_deviation_after < 0.5
+    assert loose.metrics.max_deviation_after >= default.metrics.max_deviation_after - 0.05

@@ -1,0 +1,52 @@
+"""Ablation A1 — what happens without the security monitor?
+
+The paper's defence against the controller-kill and UDP-flood attacks is the
+Simplex switch driven by the security monitor.  This ablation repeats the
+Figure 6 attack with the monitor disabled and shows that the drone is left
+uncontrolled: the flight either crashes or drifts far from its setpoint,
+whereas the protected flight recovers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.sim import FlightScenario, run_scenario
+
+KILL_TIME = 8.0
+DURATION = 22.0
+
+
+def run_both():
+    protected = run_scenario(
+        FlightScenario.figure6(kill_time=KILL_TIME, duration=DURATION)
+    )
+    unprotected = run_scenario(
+        FlightScenario.figure6(kill_time=KILL_TIME, duration=DURATION)
+        .with_config(FlightScenario.figure6().config.without_monitor())
+        .with_name("fig6-no-monitor")
+    )
+    return protected, unprotected
+
+
+def test_ablation_without_monitor(benchmark, report):
+    protected, unprotected = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for label, result in (("monitor ON", protected), ("monitor OFF", unprotected)):
+        metrics = result.metrics
+        rows.append([
+            label,
+            "yes" if result.crashed else "no",
+            f"{metrics.max_deviation_after:.2f} m",
+            f"{metrics.final_deviation:.2f} m" if not result.crashed else "-",
+            "yes" if metrics.recovered else "no",
+        ])
+    report("ablation_no_monitor", format_table(
+        ["Configuration", "Crashed", "Max deviation after kill", "Final deviation", "Recovered"],
+        rows,
+        title="Ablation A1 — controller-kill attack with and without the security monitor",
+    ))
+
+    assert not protected.crashed and protected.metrics.recovered
+    assert unprotected.crashed or unprotected.metrics.max_deviation_after > 1.0
+    assert not unprotected.metrics.recovered

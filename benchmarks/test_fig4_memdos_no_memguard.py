@@ -1,0 +1,37 @@
+"""Figure 4 — memory-bandwidth DoS with MemGuard disabled.
+
+Paper: "the drone starts to drift right after the Bandwidth task is launched
+by the attacker and results in a crash shortly after."
+
+The benchmark flies the 30 s hover mission, launches the IsolBench-style
+Bandwidth attacker inside the container at t = 10 s with MemGuard disabled,
+and regenerates the X/Y/Z position traces.  The reproduced claim is the
+*shape*: tracking degrades after the attack and the flight ends in a crash.
+"""
+
+from __future__ import annotations
+
+from repro.sim import FlightScenario, run_scenario
+
+from figure_report import render_figure
+
+ATTACK_START = 10.0
+
+
+def run_figure4():
+    return run_scenario(FlightScenario.figure4(attack_start=ATTACK_START))
+
+
+def test_fig4_memdos_without_memguard(benchmark, report):
+    result = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    report("fig4_memdos_no_memguard",
+           render_figure(result, "memory-bandwidth DoS at t=10 s, MemGuard OFF"))
+
+    metrics = result.metrics
+    # Tracking diverges after the attack starts...
+    assert metrics.max_deviation_after > 1.0
+    # ...and the flight ends in a crash (the paper's drone crashed before the
+    # end of its 30 s trace), with no recovery.
+    assert result.crashed
+    assert result.crash_time is not None and result.crash_time > ATTACK_START
+    assert not metrics.recovered

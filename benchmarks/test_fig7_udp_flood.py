@@ -1,0 +1,37 @@
+"""Figure 7 — UDP flood DoS against the HCE's motor-output port.
+
+Paper: "After the program starts at 8 seconds, the drone starts circling and
+the radius gradually increases. Then attitude error control kicks in, killing
+the receiving thread on HCE and switching the control to safety controller,
+and brings the drone back to a stable state."
+"""
+
+from __future__ import annotations
+
+from repro.sim import FlightScenario, run_scenario
+
+from figure_report import render_figure
+
+ATTACK_START = 8.0
+
+
+def run_figure7():
+    return run_scenario(FlightScenario.figure7(attack_start=ATTACK_START))
+
+
+def test_fig7_udp_flood(benchmark, report):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    report("fig7_udp_flood",
+           render_figure(result, f"UDP flood on port 14600 starting t={ATTACK_START:.0f} s"))
+
+    metrics = result.metrics
+    assert not result.crashed
+    # The flight degrades after the flood starts...
+    assert metrics.max_deviation_after > 0.3
+    # ...the attitude-error rule (not the receive timeout) detects it...
+    assert result.violations
+    assert result.violations[0].rule == "attitude-error"
+    assert result.switch_time is not None and result.switch_time > ATTACK_START
+    # ...and the safety controller recovers the drone to a stable state.
+    assert metrics.recovered
+    assert metrics.final_deviation < 0.3

@@ -1,0 +1,113 @@
+"""Table I — rate and size of the data transfer between the HCE and the CCE.
+
+Paper values:
+
+=============  ==========  ======  =========  ======
+Component      Direction   Rate    Size       Port
+=============  ==========  ======  =========  ======
+IMU            HCE -> CCE  250 Hz  52 bytes   14660
+Barometer      HCE -> CCE  50 Hz   32 bytes   14660
+GPS            HCE -> CCE  10 Hz   44 bytes   14660
+RC             HCE -> CCE  50 Hz   50 bytes   14660
+Motor Output   CCE -> HCE  400 Hz  29 bytes   14600
+=============  ==========  ======  =========  ======
+
+The benchmark runs a short undisturbed flight, counts every MAVLink message
+crossing the docker0 bridge per stream, and reproduces the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.mavlink import (
+    ActuatorOutputs,
+    GpsRawInt,
+    HighresImu,
+    MavlinkCodec,
+    RcChannelsOverride,
+    ScaledPressure,
+)
+from repro.sim import FlightScenario, FlightSimulation
+
+
+DURATION = 6.0
+
+PAPER_ROWS = {
+    "IMU": (250.0, 52, 14660),
+    "Barometer": (50.0, 32, 14660),
+    "GPS": (10.0, 44, 14660),
+    "RC": (50.0, 50, 14660),
+    "Motor Output": (400.0, 29, 14600),
+}
+
+MESSAGE_TYPES = {
+    "IMU": HighresImu,
+    "Barometer": ScaledPressure,
+    "GPS": GpsRawInt,
+    "RC": RcChannelsOverride,
+    "Motor Output": ActuatorOutputs,
+}
+
+
+def run_and_count() -> dict[str, tuple[float, int, int]]:
+    """Run the baseline flight and measure per-stream rates, sizes and ports."""
+    simulation = FlightSimulation(FlightScenario.baseline(duration=DURATION))
+
+    counters = {name: 0 for name in PAPER_ROWS}
+    original_send = simulation.network.send
+
+    def counting_send(now, payload, source_namespace, source_port,
+                      destination_namespace, destination_port):
+        try:
+            frame = MavlinkCodec().decode(payload)
+        except Exception:
+            frame = None
+        if frame is not None:
+            for name, message_type in MESSAGE_TYPES.items():
+                if isinstance(frame.message, message_type):
+                    counters[name] += 1
+        return original_send(now, payload, source_namespace, source_port,
+                             destination_namespace, destination_port)
+
+    simulation.network.send = counting_send
+    simulation.run()
+    duration = simulation.scheduler.time
+
+    codec = MavlinkCodec()
+    sizes = {name: codec.frame_size(message_type()) for name, message_type in MESSAGE_TYPES.items()}
+    communication = simulation.scenario.config.communication
+    ports = {
+        "IMU": communication.sensor_port,
+        "Barometer": communication.sensor_port,
+        "GPS": communication.sensor_port,
+        "RC": communication.sensor_port,
+        "Motor Output": communication.motor_port,
+    }
+    return {name: (counters[name] / duration, sizes[name], ports[name]) for name in PAPER_ROWS}
+
+
+def test_table1_data_rates(benchmark, report):
+    measured = benchmark.pedantic(run_and_count, rounds=1, iterations=1)
+
+    rows = []
+    for name, (paper_rate, paper_size, paper_port) in PAPER_ROWS.items():
+        rate, size, port = measured[name]
+        direction = "CCE->HCE" if name == "Motor Output" else "HCE->CCE"
+        rows.append([
+            name, direction,
+            f"{rate:.1f} Hz (paper {paper_rate:.0f} Hz)",
+            f"{size} B (paper {paper_size} B)",
+            f"{port} (paper {paper_port})",
+        ])
+    report("table1_data_rates", format_table(
+        ["Component", "Direction", "Rate", "Size", "Port"], rows,
+        title="Table I — HCE/CCE data streams (measured vs paper)",
+    ))
+
+    for name, (paper_rate, paper_size, paper_port) in PAPER_ROWS.items():
+        rate, size, port = measured[name]
+        assert rate == pytest.approx(paper_rate, rel=0.05), name
+        assert size == paper_size, name
+        assert port == paper_port, name

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Schedulability analysis of the HCE task set (the paper's future work).
+
+The paper lists "hard real-time proof and schedulability analysis for
+container drone" as future work.  This example applies classical
+response-time analysis to the HCE task set used by the co-simulation, with
+execution times inflated by the worst-case memory-contention stretch that
+MemGuard permits, and reports which tasks stay schedulable.
+
+Usage::
+
+    python examples/schedulability_analysis.py [--budget ACCESSES_PER_PERIOD]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import format_table
+from repro.core import ContainerDroneConfig
+from repro.memsys import DramModel
+from repro.rtos import TaskConfig, core_utilization, response_time_analysis
+from repro.sim.flight import FLIGHT_DRAM_PARAMETERS
+
+
+def hce_io_core_tasks(config: ContainerDroneConfig) -> list[TaskConfig]:
+    """The driver/feeder/actuator tasks sharing the HCE I/O core."""
+    cpu = config.cpu
+    rates = config.rates
+    return [
+        TaskConfig("imu-driver", 1.0 / rates.imu_hz, 0.00015, cpu.driver_priority, 0),
+        TaskConfig("baro-driver", 1.0 / rates.baro_hz, 0.00008, cpu.driver_priority, 0),
+        TaskConfig("gps-driver", 1.0 / rates.gps_hz, 0.0001, 60, 0),
+        TaskConfig("rc-driver", 1.0 / rates.rc_hz, 0.00005, 60, 0),
+        TaskConfig("mocap-bridge", 1.0 / rates.mocap_hz, 0.0001, 60, 0),
+        TaskConfig("feeder", 1.0 / rates.imu_hz, 0.00015, 50, 0),
+        TaskConfig("actuator-driver", 1.0 / rates.actuator_hz, 0.0001, cpu.driver_priority, 0),
+        TaskConfig("kworker", 0.01, 0.0005, cpu.interrupt_priority, 0),
+    ]
+
+
+def hce_control_core_tasks(config: ContainerDroneConfig) -> list[TaskConfig]:
+    """The safety controller, monitor and receiver sharing the control core."""
+    cpu = config.cpu
+    rates = config.rates
+    return [
+        TaskConfig("safety-controller", 1.0 / rates.controller_hz, 0.0004, cpu.safety_priority, 1),
+        TaskConfig("security-monitor", 1.0 / config.monitor.rate_hz, 0.00005,
+                   cpu.monitor_priority, 1),
+        TaskConfig("motor-receiver", 0.001,
+                   config.communication.receiver_batch_size * 15e-6, cpu.receiver_priority, 1),
+    ]
+
+
+def worst_case_inflation(config: ContainerDroneConfig, budget: int) -> float:
+    """Execution-time inflation when the CCE core uses its full MemGuard budget."""
+    dram = DramModel(FLIGHT_DRAM_PARAMETERS)
+    hce_demand = 1.5e6  # accesses/s demanded by the HCE pipeline itself
+    cce_demand = budget / config.memory.period
+    latency = dram.latency_factor(hce_demand + cce_demand)
+    # HCE tasks are moderately memory bound (stall fraction ~0.2).
+    return DramModel.stretch_execution(latency, 0.2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=int, default=None,
+                        help="CCE MemGuard budget in accesses per period "
+                             "(default: the framework's default budget)")
+    args = parser.parse_args()
+
+    config = ContainerDroneConfig()
+    budget = args.budget or config.memory.cce_budget_accesses_per_period
+    inflation = worst_case_inflation(config, budget)
+    print(f"CCE MemGuard budget: {budget} accesses/period")
+    print(f"Worst-case execution-time inflation under that budget: {inflation:.2f}x")
+    print()
+
+    for core_name, tasks in (
+        ("HCE I/O core (core 0)", hce_io_core_tasks(config)),
+        ("HCE control core (core 1)", hce_control_core_tasks(config)),
+    ):
+        results = response_time_analysis(tasks, execution_inflation=inflation)
+        rows = [
+            [result.task,
+             f"{1000.0 * next(t.period for t in tasks if t.name == result.task):.1f} ms",
+             f"{1000.0 * result.response_time:.3f} ms" if result.schedulable else "unbounded",
+             "yes" if result.schedulable else "NO"]
+            for result in results
+        ]
+        utilization = core_utilization(tasks) * inflation
+        print(format_table(
+            ["Task", "Period", "Worst-case response time", "Schedulable"],
+            rows,
+            title=f"{core_name} — utilisation {utilization:.2f} under contention",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

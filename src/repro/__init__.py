@@ -1,0 +1,55 @@
+"""ContainerDrone reproduction: container-based DoS-resilient UAV control.
+
+This package reproduces, in simulation, the system and evaluation of
+"A Container-based DoS Attack-Resilient Control Framework for Real-Time UAV
+Systems" (DATE 2019).  See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for the experiment-by-experiment comparison.
+
+Quick start::
+
+    from repro import FlightScenario, run_scenario
+
+    result = run_scenario(FlightScenario.figure6())
+    print(result.metrics.summary())
+"""
+
+from .core import (
+    ContainerDroneConfig,
+    ContainerDroneFramework,
+    ControlSource,
+    SecurityMonitor,
+)
+from .control import ComplexController, PositionSetpoint, SafetyController
+from .dynamics import Quadrotor, QuadrotorParameters, RigidBodyState
+from .sim import (
+    FlightMetrics,
+    FlightRecorder,
+    FlightResult,
+    FlightScenario,
+    FlightSimulation,
+    SystemSimulation,
+    run_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComplexController",
+    "ContainerDroneConfig",
+    "ContainerDroneFramework",
+    "ControlSource",
+    "FlightMetrics",
+    "FlightRecorder",
+    "FlightResult",
+    "FlightScenario",
+    "FlightSimulation",
+    "PositionSetpoint",
+    "Quadrotor",
+    "QuadrotorParameters",
+    "RigidBodyState",
+    "SafetyController",
+    "SecurityMonitor",
+    "SystemSimulation",
+    "run_scenario",
+    "__version__",
+]

@@ -1,0 +1,113 @@
+"""Export helpers: turn recordings and results into CSV / plain dictionaries.
+
+The paper's figures were produced from PX4 flight logs; these helpers play the
+same role for the simulated flights so the traces can be post-processed with
+external tools (pandas, gnuplot, ...) without depending on this package.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any
+
+from ..sim.flight import FlightResult
+from ..sim.recorder import FlightRecorder
+
+__all__ = ["recorder_to_rows", "write_csv", "result_to_dict", "compare_results"]
+
+_FIELDS = [
+    "time",
+    "x", "y", "z",
+    "x_setpoint", "y_setpoint", "z_setpoint",
+    "vx", "vy", "vz",
+    "roll", "pitch", "yaw",
+    "active_source",
+    "crashed",
+]
+
+
+def recorder_to_rows(recorder: FlightRecorder) -> list[dict[str, Any]]:
+    """Flatten a recording into one dictionary per telemetry sample."""
+    rows = []
+    for sample in recorder.samples:
+        rows.append({
+            "time": sample.time,
+            "x": float(sample.position[0]),
+            "y": float(sample.position[1]),
+            "z": float(sample.position[2]),
+            "x_setpoint": float(sample.setpoint[0]),
+            "y_setpoint": float(sample.setpoint[1]),
+            "z_setpoint": float(sample.setpoint[2]),
+            "vx": float(sample.velocity[0]),
+            "vy": float(sample.velocity[1]),
+            "vz": float(sample.velocity[2]),
+            "roll": sample.roll,
+            "pitch": sample.pitch,
+            "yaw": sample.yaw,
+            "active_source": sample.active_source,
+            "crashed": sample.crashed,
+        })
+    return rows
+
+
+def write_csv(recorder: FlightRecorder, destination: str | Path | io.TextIOBase) -> int:
+    """Write a recording as CSV; returns the number of data rows written.
+
+    ``destination`` may be a path or an open text file object.
+    """
+    rows = recorder_to_rows(recorder)
+
+    def _write(handle) -> None:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+    return len(rows)
+
+
+def result_to_dict(result: FlightResult) -> dict[str, Any]:
+    """Summarise a flight result as a JSON-serialisable dictionary."""
+    metrics = result.metrics
+    return {
+        "scenario": result.scenario.name,
+        "duration": metrics.duration,
+        "crashed": result.crashed,
+        "crash_time": result.crash_time,
+        "switched_to_safety": metrics.switched_to_safety,
+        "switch_time": result.switch_time,
+        "first_violation_rule": result.violations[0].rule if result.violations else None,
+        "first_violation_time": result.violations[0].time if result.violations else None,
+        "max_deviation": metrics.max_deviation,
+        "max_deviation_after": metrics.max_deviation_after,
+        "rms_error": metrics.rms_error,
+        "rms_error_after": metrics.rms_error_after,
+        "final_deviation": metrics.final_deviation,
+        "recovered": metrics.recovered,
+    }
+
+
+def compare_results(results: dict[str, FlightResult]) -> str:
+    """Render a comparison table over several named flight results."""
+    from .report import format_table
+
+    headers = ["Scenario", "Crashed", "Switch", "Rule", "Max dev after", "RMS after", "Recovered"]
+    rows = []
+    for label, result in results.items():
+        summary = result_to_dict(result)
+        rows.append([
+            label,
+            "yes" if summary["crashed"] else "no",
+            f"{summary['switch_time']:.1f} s" if summary["switch_time"] is not None else "-",
+            summary["first_violation_rule"] or "-",
+            f"{summary['max_deviation_after']:.2f} m",
+            f"{summary['rms_error_after']:.3f} m",
+            "yes" if summary["recovered"] else "no",
+        ])
+    return format_table(headers, rows, title="Scenario comparison")

@@ -1,0 +1,48 @@
+"""Text rendering of the reproduced tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers format them consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.metrics import FlightMetrics
+
+__all__ = ["format_table", "format_figure_summary", "format_overhead_table"]
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render a simple fixed-width text table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_overhead_table(results: dict[str, list[float]]) -> str:
+    """Render the Table II style idle-rate comparison."""
+    headers = ["Case"] + [f"CPU{core}" for core in range(len(next(iter(results.values()))))]
+    rows = [
+        [case] + [f"{rate:.2f}" for rate in rates]
+        for case, rates in results.items()
+    ]
+    return format_table(headers, rows, title="System overhead comparison (CPU idle rates)")
+
+
+def format_figure_summary(name: str, metrics: FlightMetrics, expectation: str) -> str:
+    """One-paragraph summary comparing a reproduced figure to the paper's claim."""
+    return (
+        f"{name}: {metrics.summary()}\n"
+        f"  paper expectation: {expectation}"
+    )

@@ -1,0 +1,89 @@
+"""Trajectory analysis helpers for the figure reproductions.
+
+The paper's figures plot local position X, Y and Z against their setpoints.
+These helpers extract per-axis series from a recording, quantify oscillation
+and render compact ASCII summaries/plots so the benchmarks can display the
+reproduced figures in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.recorder import FlightRecorder
+
+__all__ = ["AxisSeries", "extract_axes", "oscillation_amplitude", "ascii_plot"]
+
+
+@dataclass(frozen=True)
+class AxisSeries:
+    """One axis of the figure: time, estimated position and setpoint."""
+
+    name: str
+    times: np.ndarray
+    estimated: np.ndarray
+    setpoint: np.ndarray
+
+    @property
+    def error(self) -> np.ndarray:
+        """Tracking error of this axis."""
+        return self.estimated - self.setpoint
+
+
+def extract_axes(recorder: FlightRecorder) -> list[AxisSeries]:
+    """Extract the X, Y and Z series the paper plots (Z as altitude, up-positive)."""
+    series = []
+    for name in ("x", "y", "z"):
+        times, estimated, setpoint = recorder.axis(name)
+        series.append(AxisSeries(name=name.upper(), times=times, estimated=estimated,
+                                 setpoint=setpoint))
+    return series
+
+
+def oscillation_amplitude(
+    series: AxisSeries, start: float | None = None, end: float | None = None
+) -> float:
+    """Peak-to-peak amplitude of the tracking error within ``[start, end]``."""
+    mask = np.ones_like(series.times, dtype=bool)
+    if start is not None:
+        mask &= series.times >= start
+    if end is not None:
+        mask &= series.times <= end
+    if not np.any(mask):
+        return 0.0
+    error = series.error[mask]
+    return float(np.max(error) - np.min(error))
+
+
+def ascii_plot(series: AxisSeries, width: int = 72, height: int = 12) -> str:
+    """Render a small ASCII plot of one axis (estimated ``*`` vs setpoint ``-``)."""
+    if len(series.times) < 2:
+        return f"{series.name}: not enough samples"
+    times = series.times
+    values = series.estimated
+    setpoints = series.setpoint
+
+    lo = float(min(values.min(), setpoints.min()))
+    hi = float(max(values.max(), setpoints.max()))
+    if hi - lo < 1e-9:
+        hi = lo + 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+    t0, t1 = float(times[0]), float(times[-1])
+
+    def place(time: float, value: float, char: str) -> None:
+        column = int((time - t0) / (t1 - t0) * (width - 1))
+        row = int((hi - value) / (hi - lo) * (height - 1))
+        if grid[row][column] == " " or char == "*":
+            grid[row][column] = char
+
+    for time, value in zip(times, setpoints):
+        place(time, value, "-")
+    for time, value in zip(times, values):
+        place(time, value, "*")
+
+    lines = [f"{series.name} position [{lo:+.2f} m .. {hi:+.2f} m], t in [{t0:.1f}, {t1:.1f}] s"]
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)

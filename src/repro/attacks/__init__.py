@@ -1,0 +1,15 @@
+"""Attack library: the DoS attacks evaluated in the paper plus a CPU hog."""
+
+from .base import Attack
+from .controller_kill import ControllerKillAttack
+from .cpu_hog import CpuHogAttack
+from .memory_dos import MemoryBandwidthAttack
+from .udp_flood import UdpFloodAttack
+
+__all__ = [
+    "Attack",
+    "ControllerKillAttack",
+    "CpuHogAttack",
+    "MemoryBandwidthAttack",
+    "UdpFloodAttack",
+]

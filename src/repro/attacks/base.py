@@ -1,0 +1,44 @@
+"""Common attack abstractions.
+
+Each attack models something the adversary described in Section III-B can do
+from inside the container: run arbitrary programs (memory/CPU hogs, packet
+floods) or sabotage the complex controller itself.  Attacks are descriptors:
+they carry their activation time and parameters, and the flight simulation
+(:mod:`repro.sim.flight`) instantiates their effects when they become active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Attack"]
+
+
+@dataclass(frozen=True)
+class Attack:
+    """Base class for all attacks.
+
+    Attributes
+    ----------
+    start_time:
+        Simulation time at which the attack begins [s].
+    duration:
+        How long the attack lasts [s]; ``None`` means until the end of the
+        scenario.
+    """
+
+    start_time: float = 10.0
+    duration: float | None = None
+
+    @property
+    def name(self) -> str:
+        """Human-readable attack name."""
+        return type(self).__name__
+
+    def active(self, now: float) -> bool:
+        """True while the attack is in effect at simulation time ``now``."""
+        if now < self.start_time:
+            return False
+        if self.duration is None:
+            return True
+        return now < self.start_time + self.duration

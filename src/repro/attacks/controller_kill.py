@@ -1,0 +1,23 @@
+"""Complex-controller kill attack.
+
+Since the complex controller has potential vulnerabilities, the attacker can
+simply terminate it — both to endanger the drone and to free the container's
+resources for other attacks.  This is the attack of Figure 6: the controller
+is killed mid-flight and the HCE stops receiving actuator outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import Attack
+
+__all__ = ["ControllerKillAttack"]
+
+
+@dataclass(frozen=True)
+class ControllerKillAttack(Attack):
+    """Terminate the complex controller at ``start_time``."""
+
+    start_time: float = 12.0
+    duration: float | None = None

@@ -1,0 +1,63 @@
+"""CPU DoS attack: a spin loop requesting the highest real-time priority.
+
+The attacker tries to monopolise the CPU by running busy loops at SCHED_FIFO
+priority 99.  The framework's CPU protection (cpuset pinning plus Docker's
+refusal to let the container raise its priority) confines the damage to the
+container's own core; the ablation bench ``test_ablation_cpuset`` quantifies
+what happens without that protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtos.task import TaskConfig
+from .base import Attack
+
+__all__ = ["CpuHogAttack"]
+
+
+@dataclass(frozen=True)
+class CpuHogAttack(Attack):
+    """Busy-loop CPU hog.
+
+    Attributes
+    ----------
+    threads:
+        Number of hog threads the attacker spawns (one per core it hopes to
+        occupy).
+    priority:
+        Requested SCHED_FIFO priority (capped by the container cgroup unless
+        the protection is disabled).
+    """
+
+    threads: int = 4
+    priority: int = 99
+
+    #: Wall-clock length of each never-ending hog job [s].
+    _JOB_LENGTH = 1.0e6
+
+    def task_configs(self, first_core: int, num_cores: int, quantum: float = 0.001) -> list[TaskConfig]:
+        """Build one task per hog thread, spread over the requested cores.
+
+        Each hog is a SCHED_FIFO busy loop: a single job that never finishes,
+        so it monopolises whatever CPU share its (possibly cgroup-capped)
+        priority entitles it to.
+        """
+        configs = []
+        for thread in range(self.threads):
+            core = (first_core + thread) % num_cores
+            configs.append(
+                TaskConfig(
+                    name=f"cpu-hog-{thread}",
+                    period=2.0 * self._JOB_LENGTH,
+                    execution_time=self._JOB_LENGTH,
+                    priority=self.priority,
+                    core=core,
+                    memory_stall_fraction=0.02,
+                    accesses_per_job=int(50_000 * self._JOB_LENGTH),
+                    offset=self.start_time,
+                    skip_if_pending=True,
+                )
+            )
+        return configs

@@ -1,0 +1,63 @@
+"""Memory-bandwidth DoS attack (the IsolBench ``Bandwidth`` benchmark).
+
+The attacker runs a program inside the container that sequentially reads or
+writes a large array, saturating the shared DRAM controller.  Because the
+memory bus is shared by all four cores, the HCE's control pipeline slows down
+even though the attacker is pinned to the container's core — this is the
+attack of Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtos.task import TaskConfig
+from .base import Attack
+
+__all__ = ["MemoryBandwidthAttack"]
+
+
+@dataclass(frozen=True)
+class MemoryBandwidthAttack(Attack):
+    """Continuous sequential-access memory hog (IsolBench ``Bandwidth``).
+
+    Attributes
+    ----------
+    access_rate:
+        DRAM accesses per second the attacker tries to issue.  The default is
+        several times the controller's saturation rate, which is what a tight
+        sequential read loop achieves on the Pi 3.
+    write_mode:
+        Whether the attacker writes (slightly more disruptive) or reads.
+    priority:
+        SCHED_FIFO priority the attacker *requests*; the container's cgroup
+        caps what it actually gets.
+    """
+
+    access_rate: float = 2.5e7
+    write_mode: bool = True
+    priority: int = 99
+
+    #: Wall-clock length of the single never-ending attack job [s]; long enough
+    #: to outlast any scenario, so the loop never yields the CPU.
+    _JOB_LENGTH = 1.0e6
+
+    def task_config(self, core: int, quantum: float = 0.001) -> TaskConfig:
+        """Build the attacker's task: one spin-loop job that never terminates.
+
+        A SCHED_FIFO busy loop is not a periodic activity — it holds the CPU
+        for as long as the scheduler lets it — so the task is modelled as a
+        single job whose execution time exceeds any scenario duration.
+        """
+        return TaskConfig(
+            name="bandwidth-attack",
+            period=2.0 * self._JOB_LENGTH,
+            execution_time=self._JOB_LENGTH,
+            priority=self.priority,
+            core=core,
+            # The Bandwidth loop is almost pure memory traffic.
+            memory_stall_fraction=0.9,
+            accesses_per_job=int(self.access_rate * self._JOB_LENGTH),
+            offset=self.start_time,
+            skip_if_pending=True,
+        )

@@ -1,0 +1,64 @@
+"""UDP flood DoS attack against the HCE's actuator port.
+
+The attacker continuously sends packets from the container to the UDP port
+the HCE listens on for motor outputs (port 14600 in Table I).  The flood
+displaces legitimate actuator messages in the bounded socket queue and burns
+HCE CPU time in the receiving thread — the attack of Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mavlink.connection import MOTOR_PORT
+from ..rtos.task import TaskConfig
+from .base import Attack
+
+__all__ = ["UdpFloodAttack"]
+
+
+@dataclass(frozen=True)
+class UdpFloodAttack(Attack):
+    """Packet flood toward a host UDP port.
+
+    Attributes
+    ----------
+    packets_per_second:
+        Flood rate the attacker attempts (before iptables limiting).
+    target_port:
+        Destination port on the HCE (default: the motor-output port).
+    payload_size:
+        Bytes of garbage in each flood packet.
+    priority:
+        Requested SCHED_FIFO priority (capped by the container cgroup).
+    """
+
+    packets_per_second: float = 20000.0
+    target_port: int = MOTOR_PORT
+    payload_size: int = 64
+    priority: int = 99
+
+    def packets_per_quantum(self, quantum: float) -> int:
+        """Number of packets the attacker emits per scheduler quantum."""
+        return max(1, int(round(self.packets_per_second * quantum)))
+
+    def payload(self) -> bytes:
+        """The garbage payload of one flood packet (not a valid frame)."""
+        return b"\x00" * self.payload_size
+
+    def task_config(self, core: int, quantum: float = 0.001) -> TaskConfig:
+        """Build the flood sender's task (a tight sendto() loop)."""
+        # A sendto() syscall costs a few microseconds on the Pi 3.
+        send_cost = 4e-6
+        execution = min(quantum, self.packets_per_quantum(quantum) * send_cost)
+        return TaskConfig(
+            name="udp-flood-attack",
+            period=quantum,
+            execution_time=execution,
+            priority=self.priority,
+            core=core,
+            memory_stall_fraction=0.2,
+            accesses_per_job=self.packets_per_quantum(quantum) * 20,
+            offset=self.start_time,
+            skip_if_pending=True,
+        )

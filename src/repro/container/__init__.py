@@ -1,0 +1,22 @@
+"""Container and VM substrate: cgroups, Docker-like runtime, QEMU-like VM."""
+
+from .cgroups import CgroupSet, CgroupViolation, CpuCgroup, CpusetCgroup, MemoryCgroup
+from .container import Container, ContainerConfig, ContainerState, PortMapping
+from .runtime import ContainerRuntime, RuntimeConfig
+from .vm import VirtualMachine, VmConfig
+
+__all__ = [
+    "CgroupSet",
+    "CgroupViolation",
+    "Container",
+    "ContainerConfig",
+    "ContainerRuntime",
+    "ContainerState",
+    "CpuCgroup",
+    "CpusetCgroup",
+    "MemoryCgroup",
+    "PortMapping",
+    "RuntimeConfig",
+    "VirtualMachine",
+    "VmConfig",
+]

@@ -1,0 +1,123 @@
+"""Control-group (cgroup) models used for CPU DoS protection.
+
+The paper restricts the container's access to the CPU along two axes
+(Section III-C):
+
+* **cpuset** — the container and all its child processes are pinned to a set
+  of CPU cores (one core of the four on the prototype).
+* **priority restriction** — Docker denies the container the capability to
+  raise its scheduling priority, so under SCHED_FIFO a container process can
+  never preempt the HCE's drivers and controllers.
+
+A memory-size cgroup is also modelled; as the paper notes (and the Figure 4
+experiment shows), limiting memory *size* does not prevent a memory
+*bandwidth* DoS — that requires MemGuard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtos.task import TaskConfig
+
+__all__ = ["CpusetCgroup", "CpuCgroup", "MemoryCgroup", "CgroupSet", "CgroupViolation"]
+
+
+class CgroupViolation(Exception):
+    """Raised when a task or allocation request violates its cgroup limits."""
+
+
+@dataclass(frozen=True)
+class CpusetCgroup:
+    """cpuset controller: the set of cores the group may run on."""
+
+    allowed_cores: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.allowed_cores:
+            raise ValueError("cpuset must allow at least one core")
+        if any(core < 0 for core in self.allowed_cores):
+            raise ValueError("core indices must be non-negative")
+
+    def admit_core(self, requested_core: int) -> int:
+        """Return the core the task actually runs on.
+
+        A request for a core outside the cpuset is redirected to the lowest
+        allowed core (the kernel would simply never schedule the thread on a
+        disallowed core).
+        """
+        if requested_core in self.allowed_cores:
+            return requested_core
+        return min(self.allowed_cores)
+
+
+@dataclass(frozen=True)
+class CpuCgroup:
+    """CPU controller: caps the SCHED_FIFO priority the group may use."""
+
+    max_priority: int = 10
+
+    def __post_init__(self) -> None:
+        if self.max_priority < 0:
+            raise ValueError("max_priority must be non-negative")
+
+    def admit_priority(self, requested_priority: int) -> int:
+        """Clamp a requested priority to the group's maximum.
+
+        This models Docker's default refusal of ``CAP_SYS_NICE``: a container
+        process asking for a high real-time priority silently gets the capped
+        value and therefore cannot preempt HCE processes.
+        """
+        return min(requested_priority, self.max_priority)
+
+
+@dataclass
+class MemoryCgroup:
+    """Memory controller: caps the resident memory size of the group."""
+
+    limit_bytes: int = 256 * 1024 * 1024
+    used_bytes: int = 0
+
+    def allocate(self, nbytes: int) -> None:
+        """Account an allocation; raises :class:`CgroupViolation` over the limit."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.used_bytes + nbytes > self.limit_bytes:
+            raise CgroupViolation(
+                f"allocation of {nbytes} bytes exceeds cgroup limit "
+                f"({self.used_bytes}/{self.limit_bytes} bytes used)"
+            )
+        self.used_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        """Release previously accounted memory."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.used_bytes = max(0, self.used_bytes - nbytes)
+
+
+@dataclass
+class CgroupSet:
+    """The cgroup hierarchy applied to one container."""
+
+    cpuset: CpusetCgroup
+    cpu: CpuCgroup = field(default_factory=CpuCgroup)
+    memory: MemoryCgroup = field(default_factory=MemoryCgroup)
+
+    def admit_task(self, config: TaskConfig) -> TaskConfig:
+        """Return a copy of ``config`` adjusted to respect the cgroup limits."""
+        core = self.cpuset.admit_core(config.core)
+        priority = self.cpu.admit_priority(config.priority)
+        if core == config.core and priority == config.priority:
+            return config
+        return TaskConfig(
+            name=config.name,
+            period=config.period,
+            execution_time=config.execution_time,
+            priority=priority,
+            core=core,
+            memory_stall_fraction=config.memory_stall_fraction,
+            accesses_per_job=config.accesses_per_job,
+            offset=config.offset,
+            skip_if_pending=config.skip_if_pending,
+        )

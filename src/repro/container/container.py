@@ -1,0 +1,103 @@
+"""Docker-like container model.
+
+A container here is the unit of isolation the CCE runs in: a named set of
+processes (tasks) constrained by cgroups, living in a sandboxed network
+namespace, with UDP port mappings toward the host.  Creating a container does
+not give it any privileged capability (the prototype uses no ``--privileged``
+flags), which is what lets the cgroup limits hold against the attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..rtos.task import Task, TaskConfig
+from .cgroups import CgroupSet, CpuCgroup, CpusetCgroup, MemoryCgroup
+
+__all__ = ["ContainerState", "PortMapping", "ContainerConfig", "Container"]
+
+
+class ContainerState(Enum):
+    """Lifecycle states of a container."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    STOPPED = "stopped"
+    KILLED = "killed"
+
+
+@dataclass(frozen=True)
+class PortMapping:
+    """UDP port exposed from the container to the host (Docker ``-p`` flag)."""
+
+    container_port: int
+    host_port: int
+    protocol: str = "udp"
+
+
+@dataclass
+class ContainerConfig:
+    """Static configuration of a container (the ``docker run`` arguments)."""
+
+    name: str = "cce"
+    image: str = "resin/rpi-raspbian:jessie"
+    cpuset_cores: frozenset[int] = frozenset({3})
+    max_priority: int = 10
+    memory_limit_bytes: int = 256 * 1024 * 1024
+    network: str = "container"
+    port_mappings: tuple[PortMapping, ...] = (
+        PortMapping(container_port=14660, host_port=14660),
+        PortMapping(container_port=14600, host_port=14600),
+    )
+    privileged: bool = False
+
+
+class Container:
+    """A running (or stopped) container instance."""
+
+    def __init__(self, config: ContainerConfig) -> None:
+        self.config = config
+        self.cgroups = CgroupSet(
+            cpuset=CpusetCgroup(allowed_cores=frozenset(config.cpuset_cores)),
+            cpu=CpuCgroup(max_priority=config.max_priority),
+            memory=MemoryCgroup(limit_bytes=config.memory_limit_bytes),
+        )
+        self.state = ContainerState.CREATED
+        self.tasks: list[Task] = []
+
+    @property
+    def name(self) -> str:
+        """Container name (also its network namespace name)."""
+        return self.config.name
+
+    @property
+    def namespace(self) -> str:
+        """Network namespace the container's sockets live in."""
+        return self.config.network
+
+    def admit_task(self, config: TaskConfig) -> TaskConfig:
+        """Apply the container's cgroup limits to a task configuration."""
+        if self.config.privileged:
+            return config
+        return self.cgroups.admit_task(config)
+
+    def register_task(self, task: Task) -> None:
+        """Track a task as belonging to this container."""
+        self.tasks.append(task)
+
+    def mark_running(self) -> None:
+        """Transition to the RUNNING state."""
+        self.state = ContainerState.RUNNING
+
+    def stop(self) -> None:
+        """Stop the container: all its tasks stop releasing jobs."""
+        for task in self.tasks:
+            task.stop()
+        self.state = ContainerState.STOPPED
+
+    def kill(self) -> None:
+        """Kill the container (same effect as stop, different bookkeeping)."""
+        for task in self.tasks:
+            task.stop()
+        self.state = ContainerState.KILLED

@@ -1,0 +1,110 @@
+"""Container runtime: creates containers and wires them into the substrates.
+
+Plays the role of the Docker engine on the prototype: it creates containers,
+applies their cgroup limits to every process they spawn, gives them a
+sandboxed network namespace reachable only through the docker0 bridge, sets up
+port mappings via iptables-style rules (hairpin NAT, no userland proxy), and
+contributes the engine's own background load to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.stack import CONTAINER_NAMESPACE, HOST_NAMESPACE, NetworkStack
+from ..rtos.scheduler import MulticoreScheduler
+from ..rtos.task import Task, TaskConfig
+from .container import Container, ContainerConfig, ContainerState
+
+__all__ = ["RuntimeConfig", "ContainerRuntime"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Configuration of the container engine itself."""
+
+    #: CPU load of the dockerd/containerd daemons while containers run.
+    daemon_load: float = 0.01
+    #: Core the daemons run on.
+    daemon_core: int = 3
+    #: Period of the daemon housekeeping activity [s].
+    daemon_period: float = 0.02
+
+
+class ContainerRuntime:
+    """Docker-like engine managing container lifecycle on the simulated host."""
+
+    def __init__(
+        self,
+        scheduler: MulticoreScheduler,
+        network: NetworkStack,
+        config: RuntimeConfig | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.network = network
+        self.config = config or RuntimeConfig()
+        self.containers: dict[str, Container] = {}
+        self._daemon_task: Task | None = None
+
+    # -- engine -----------------------------------------------------------------
+
+    def _ensure_daemon(self) -> None:
+        """Start the engine daemons the first time a container runs."""
+        if self._daemon_task is not None or self.config.daemon_load <= 0.0:
+            return
+        core = min(self.config.daemon_core, self.scheduler.num_cores - 1)
+        config = TaskConfig(
+            name="dockerd",
+            period=self.config.daemon_period,
+            execution_time=self.config.daemon_load * self.config.daemon_period,
+            priority=1,
+            core=core,
+            memory_stall_fraction=0.1,
+            accesses_per_job=200,
+        )
+        self._daemon_task = Task(config)
+        self.scheduler.add_task(self._daemon_task)
+
+    # -- container lifecycle -----------------------------------------------------
+
+    def create(self, config: ContainerConfig | None = None) -> Container:
+        """Create a container (does not run anything yet)."""
+        container = Container(config or ContainerConfig())
+        if container.name in self.containers:
+            raise ValueError(f"container {container.name!r} already exists")
+        self.containers[container.name] = container
+        if container.namespace not in (HOST_NAMESPACE, CONTAINER_NAMESPACE):
+            # User-defined network: reachable only from/to the host.
+            self.network.add_namespace(container.namespace, reachable={HOST_NAMESPACE})
+        return container
+
+    def run(self, container: Container) -> None:
+        """Start a created container (engine daemons start with the first one)."""
+        if container.state is ContainerState.RUNNING:
+            raise RuntimeError(f"container {container.name!r} is already running")
+        self._ensure_daemon()
+        container.mark_running()
+
+    def spawn_process(
+        self,
+        container: Container,
+        config: TaskConfig,
+        callback=None,
+        dynamic_cost=None,
+    ) -> Task:
+        """Start a process inside the container, subject to its cgroups."""
+        if container.state is not ContainerState.RUNNING:
+            raise RuntimeError(f"container {container.name!r} is not running")
+        admitted = container.admit_task(config)
+        task = Task(admitted, callback=callback, dynamic_cost=dynamic_cost)
+        self.scheduler.add_task(task)
+        container.register_task(task)
+        return task
+
+    def stop(self, container: Container) -> None:
+        """Stop a running container."""
+        container.stop()
+
+    def kill(self, container: Container) -> None:
+        """Kill a running container."""
+        container.kill()

@@ -1,0 +1,34 @@
+"""Flight control substrate: PX4-like complex controller and the safety controller."""
+
+from .allocator import ControlAllocation, QuadXAllocator
+from .attitude_control import AttitudeControlGains, AttitudeController
+from .complex_controller import ComplexController, ComplexControllerConfig
+from .modes import FlightMode, mode_from_rc
+from .pid import PidController, PidGains
+from .position_control import PositionControlGains, PositionController
+from .rate_control import RateControlGains, RateController
+from .safety_controller import SafetyController, SafetyControllerConfig
+from .setpoints import ActuatorCommand, AttitudeSetpoint, PositionSetpoint, RateSetpoint
+
+__all__ = [
+    "ActuatorCommand",
+    "AttitudeControlGains",
+    "AttitudeController",
+    "AttitudeSetpoint",
+    "ComplexController",
+    "ComplexControllerConfig",
+    "ControlAllocation",
+    "FlightMode",
+    "PidController",
+    "PidGains",
+    "PositionControlGains",
+    "PositionController",
+    "PositionSetpoint",
+    "QuadXAllocator",
+    "RateControlGains",
+    "RateController",
+    "RateSetpoint",
+    "SafetyController",
+    "SafetyControllerConfig",
+    "mode_from_rc",
+]

@@ -1,0 +1,61 @@
+"""Control allocation: collective thrust + body torques to motor commands.
+
+This is the inverse of the physical mixer in :mod:`repro.dynamics.mixer` for
+the PX4 quad-X geometry, followed by normalisation and saturation handling
+(desaturation prioritises roll/pitch authority over yaw, as PX4 does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ControlAllocation", "QuadXAllocator"]
+
+
+@dataclass(frozen=True)
+class ControlAllocation:
+    """Normalised control demands handed to the allocator.
+
+    ``thrust`` is the collective command in [0, 1]; ``roll``/``pitch``/``yaw``
+    are normalised torque demands in [-1, 1].
+    """
+
+    thrust: float
+    roll: float
+    pitch: float
+    yaw: float
+
+
+class QuadXAllocator:
+    """Maps normalised thrust/torque demands onto four motors (quad-X)."""
+
+    #: Per-motor contribution signs for (roll, pitch, yaw) in PX4 quad-X order:
+    #: motor 0 front-right CCW, 1 rear-left CCW, 2 front-left CW, 3 rear-right CW.
+    _MIX = np.array(
+        [
+            # roll, pitch, yaw
+            [-1.0, 1.0, 1.0],   # front-right, CCW
+            [1.0, -1.0, 1.0],   # rear-left, CCW
+            [1.0, 1.0, -1.0],   # front-left, CW
+            [-1.0, -1.0, -1.0],  # rear-right, CW
+        ]
+    )
+
+    def __init__(self, roll_scale: float = 1.0, pitch_scale: float = 1.0, yaw_scale: float = 1.0) -> None:
+        self.scales = np.array([roll_scale, pitch_scale, yaw_scale])
+
+    def allocate(self, allocation: ControlAllocation) -> np.ndarray:
+        """Return four normalised motor commands in [0, 1]."""
+        demands = np.array([allocation.roll, allocation.pitch, allocation.yaw]) * self.scales
+        motors = allocation.thrust + self._MIX @ demands
+
+        # Desaturation: if commands exceed [0, 1], first drop the yaw demand,
+        # then shift the collective, mirroring PX4's multirotor mixer.
+        if motors.max() > 1.0 or motors.min() < 0.0:
+            motors = allocation.thrust + self._MIX[:, :2] @ demands[:2]
+            overshoot = max(motors.max() - 1.0, 0.0)
+            undershoot = max(-motors.min(), 0.0)
+            motors = motors - overshoot + undershoot
+        return np.clip(motors, 0.0, 1.0)

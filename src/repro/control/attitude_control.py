@@ -1,0 +1,52 @@
+"""Attitude control loop: attitude error to body-rate setpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dynamics.state import angle_wrap
+from .setpoints import AttitudeSetpoint, RateSetpoint
+
+__all__ = ["AttitudeControlGains", "AttitudeController"]
+
+
+@dataclass(frozen=True)
+class AttitudeControlGains:
+    """Proportional gains and rate limits of the attitude loop."""
+
+    roll_p: float = 6.0
+    pitch_p: float = 6.0
+    yaw_p: float = 3.0
+    max_rate: float = 3.5  # [rad/s]
+    max_yaw_rate: float = 1.5  # [rad/s]
+
+
+class AttitudeController:
+    """Proportional attitude controller (PX4-style P-loop on attitude error)."""
+
+    def __init__(self, gains: AttitudeControlGains | None = None) -> None:
+        self.gains = gains or AttitudeControlGains()
+
+    def update(
+        self,
+        setpoint: AttitudeSetpoint,
+        roll: float,
+        pitch: float,
+        yaw: float,
+    ) -> RateSetpoint:
+        """Compute rate setpoints from the attitude error."""
+        gains = self.gains
+        roll_rate = gains.roll_p * angle_wrap(setpoint.roll - roll)
+        pitch_rate = gains.pitch_p * angle_wrap(setpoint.pitch - pitch)
+        yaw_rate = gains.yaw_p * angle_wrap(setpoint.yaw - yaw)
+
+        rates = np.array(
+            [
+                np.clip(roll_rate, -gains.max_rate, gains.max_rate),
+                np.clip(pitch_rate, -gains.max_rate, gains.max_rate),
+                np.clip(yaw_rate, -gains.max_yaw_rate, gains.max_yaw_rate),
+            ]
+        )
+        return RateSetpoint(rates=rates, thrust=setpoint.thrust)

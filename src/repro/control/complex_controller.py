@@ -1,0 +1,191 @@
+"""The complex controller: a PX4-like cascaded autopilot.
+
+This is the controller running inside the Container Control Environment
+(CCE).  It operates in the paper's *simulation control mode*: it never touches
+device files, all sensor data arrives as messages forwarded by the HCE feeder
+threads, and its only output is a stream of actuator (motor) commands sent
+back to the HCE over UDP.
+
+The control structure is the standard PX4 multicopter cascade:
+
+    position P → velocity PID → attitude P → rate PID → allocator
+
+Estimation is performed locally (complementary attitude filter plus a
+constant-velocity position Kalman filter) from the forwarded IMU, barometer,
+GPS and motion-capture data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..estimation.attitude import ComplementaryFilter
+from ..estimation.position import PositionEstimator
+from ..sensors.barometer import BarometerReading
+from ..sensors.imu import ImuReading
+from ..sensors.mocap import MocapReading
+from ..sensors.rc import RcChannels
+from .allocator import QuadXAllocator
+from .attitude_control import AttitudeControlGains, AttitudeController
+from .modes import FlightMode, mode_from_rc
+from .position_control import PositionControlGains, PositionController
+from .rate_control import RateControlGains, RateController
+from .setpoints import ActuatorCommand, AttitudeSetpoint, PositionSetpoint
+
+__all__ = ["ComplexControllerConfig", "ComplexController"]
+
+
+@dataclass
+class ComplexControllerConfig:
+    """Configuration of the complex controller."""
+
+    position_gains: PositionControlGains = field(default_factory=PositionControlGains)
+    attitude_gains: AttitudeControlGains = field(default_factory=AttitudeControlGains)
+    rate_gains: RateControlGains = field(default_factory=RateControlGains)
+    #: Nominal execution time of one control iteration on the CCE core [s].
+    nominal_execution_time: float = 0.0012
+    #: Fraction of the execution time stalled on memory under no contention.
+    memory_stall_fraction: float = 0.35
+    #: DRAM accesses issued per control iteration (used by MemGuard accounting).
+    memory_accesses_per_iteration: int = 6000
+
+
+class ComplexController:
+    """Full-featured cascaded flight controller (runs in the CCE)."""
+
+    def __init__(self, config: ComplexControllerConfig | None = None) -> None:
+        self.config = config or ComplexControllerConfig()
+        self._attitude_filter = ComplementaryFilter()
+        self._position_estimator = PositionEstimator()
+        self._position_controller = PositionController(self.config.position_gains)
+        self._attitude_controller = AttitudeController(self.config.attitude_gains)
+        self._rate_controller = RateController(self.config.rate_gains)
+        self._allocator = QuadXAllocator()
+        self._setpoint = PositionSetpoint.hover_at(0.0, 0.0, 1.0)
+        self._mode = FlightMode.POSITION
+        self._last_imu_time: float | None = None
+        self._last_compute_time: float | None = None
+        self._sequence = 0
+        self._alive = True
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        """False after the controller process has been killed (Fig. 6 attack)."""
+        return self._alive
+
+    def kill(self) -> None:
+        """Terminate the controller; it produces no further output."""
+        self._alive = False
+
+    # -- configuration ----------------------------------------------------------
+
+    @property
+    def mode(self) -> FlightMode:
+        """Currently selected flight mode."""
+        return self._mode
+
+    @property
+    def setpoint(self) -> PositionSetpoint:
+        """Current position setpoint."""
+        return self._setpoint
+
+    @property
+    def attitude_estimate(self):
+        """Current attitude estimate."""
+        return self._attitude_filter.estimate
+
+    @property
+    def position_estimate(self):
+        """Current position/velocity estimate."""
+        return self._position_estimator.estimate
+
+    def set_position_setpoint(self, setpoint: PositionSetpoint) -> None:
+        """Set the 3D position setpoint used in position mode."""
+        self._setpoint = setpoint
+
+    # -- sensor inputs (arrive as forwarded messages) ----------------------------
+
+    def on_imu(self, reading: ImuReading, timestamp: float) -> None:
+        """Consume one forwarded IMU sample."""
+        if not self._alive:
+            return
+        if self._last_imu_time is None:
+            dt = 1.0 / 250.0
+        else:
+            dt = max(timestamp - self._last_imu_time, 1e-4)
+        self._last_imu_time = timestamp
+        self._attitude_filter.update(reading, dt)
+        self._position_estimator.predict(dt)
+
+    def on_baro(self, reading: BarometerReading, timestamp: float) -> None:
+        """Consume one forwarded barometer sample."""
+        if not self._alive:
+            return
+        self._position_estimator.update_baro_altitude(reading.altitude_m)
+
+    def on_gps(self, position_ned: np.ndarray, timestamp: float) -> None:
+        """Consume one forwarded GPS-derived local position fix."""
+        if not self._alive:
+            return
+        self._position_estimator.update_gps(position_ned)
+
+    def on_mocap(self, reading: MocapReading, timestamp: float) -> None:
+        """Consume one forwarded motion-capture fix."""
+        if not self._alive:
+            return
+        if reading.valid:
+            self._position_estimator.update_mocap(reading.position_ned)
+            self._attitude_filter.set_yaw(reading.yaw)
+
+    def on_rc(self, channels: RcChannels, timestamp: float) -> None:
+        """Consume one forwarded RC frame (selects the flight mode)."""
+        if not self._alive:
+            return
+        self._mode = mode_from_rc(channels)
+
+    # -- control ----------------------------------------------------------------
+
+    def compute(self, timestamp: float) -> ActuatorCommand | None:
+        """Run one control iteration and return the actuator command.
+
+        Returns ``None`` when the controller has been killed.
+        """
+        if not self._alive:
+            return None
+        if self._last_compute_time is None:
+            dt = 1.0 / 250.0
+        else:
+            dt = max(timestamp - self._last_compute_time, 1e-4)
+        self._last_compute_time = timestamp
+
+        attitude = self._attitude_filter.estimate
+        position = self._position_estimator.estimate
+
+        if self._mode is FlightMode.POSITION and position.valid:
+            attitude_setpoint = self._position_controller.update(
+                self._setpoint, position.position, position.velocity, attitude.yaw, dt
+            )
+        else:
+            # Manual / stabilised: hold level attitude at hover thrust, which
+            # matches the neutral-stick scripted pilot used in the scenarios.
+            attitude_setpoint = AttitudeSetpoint(
+                roll=0.0,
+                pitch=0.0,
+                yaw=attitude.yaw,
+                thrust=self.config.position_gains.hover_thrust,
+            )
+
+        rate_setpoint = self._attitude_controller.update(
+            attitude_setpoint, attitude.roll, attitude.pitch, attitude.yaw
+        )
+        allocation = self._rate_controller.update(rate_setpoint, attitude.rates, dt)
+        motors = self._allocator.allocate(allocation)
+
+        self._sequence += 1
+        return ActuatorCommand(
+            motors=motors, timestamp=timestamp, source="complex", sequence=self._sequence
+        )

@@ -1,0 +1,31 @@
+"""Flight modes supported by the controllers.
+
+The paper's flight procedure is: take off in manual mode, then switch to
+position-control mode where the drone stabilises itself at a 3D setpoint.
+The RC mode switch (channel 5) selects the mode.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..sensors.rc import PWM_MAX, PWM_MID, RcChannels
+
+__all__ = ["FlightMode", "mode_from_rc"]
+
+
+class FlightMode(Enum):
+    """Flight modes of the complex controller."""
+
+    MANUAL = "manual"
+    STABILIZED = "stabilized"
+    POSITION = "position"
+
+
+def mode_from_rc(channels: RcChannels) -> FlightMode:
+    """Decode the flight mode from the RC mode-switch channel."""
+    if channels.mode_switch >= (PWM_MID + PWM_MAX) // 2:
+        return FlightMode.POSITION
+    if channels.mode_switch >= PWM_MID:
+        return FlightMode.STABILIZED
+    return FlightMode.MANUAL

@@ -1,0 +1,97 @@
+"""PID controller primitive shared by every control loop.
+
+The implementation mirrors the structure used in small autopilots: parallel
+form with output clamping, back-calculation-free integral anti-windup (the
+integrator freezes while the output is saturated in the same direction) and an
+optional first-order filter on the derivative term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PidGains", "PidController"]
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """Gains and limits for one PID loop."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+    integral_limit: float = float("inf")
+    output_limit: float = float("inf")
+    derivative_filter_tau: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.integral_limit < 0.0 or self.output_limit < 0.0:
+            raise ValueError("limits must be non-negative")
+        if self.derivative_filter_tau < 0.0:
+            raise ValueError("derivative_filter_tau must be non-negative")
+
+
+class PidController:
+    """Single-axis PID controller with clamping anti-windup."""
+
+    def __init__(self, gains: PidGains) -> None:
+        self.gains = gains
+        self._integral = 0.0
+        self._previous_error: float | None = None
+        self._derivative = 0.0
+
+    def reset(self) -> None:
+        """Clear the integrator and derivative memory."""
+        self._integral = 0.0
+        self._previous_error = None
+        self._derivative = 0.0
+
+    @property
+    def integral(self) -> float:
+        """Current integrator state."""
+        return self._integral
+
+    def update(self, error: float, dt: float, derivative: float | None = None) -> float:
+        """Advance the controller by ``dt`` and return the control output.
+
+        Parameters
+        ----------
+        error:
+            Setpoint minus measurement.
+        dt:
+            Time since the previous update [s].
+        derivative:
+            Optional externally measured error derivative (e.g. a gyro rate);
+            when omitted the derivative is computed by finite differences.
+        """
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        gains = self.gains
+
+        if derivative is None:
+            if self._previous_error is None:
+                raw_derivative = 0.0
+            else:
+                raw_derivative = (error - self._previous_error) / dt
+        else:
+            raw_derivative = derivative
+        self._previous_error = error
+
+        if gains.derivative_filter_tau > 0.0:
+            alpha = dt / (gains.derivative_filter_tau + dt)
+            self._derivative += alpha * (raw_derivative - self._derivative)
+        else:
+            self._derivative = raw_derivative
+
+        candidate_integral = self._integral + error * dt
+        candidate_integral = max(-gains.integral_limit, min(gains.integral_limit, candidate_integral))
+
+        unsaturated = gains.kp * error + gains.ki * candidate_integral + gains.kd * self._derivative
+        output = max(-gains.output_limit, min(gains.output_limit, unsaturated))
+
+        # Anti-windup: only accept the new integral if the output is not
+        # saturated, or if the error is driving the output away from the rail.
+        if output == unsaturated or error * output < 0.0:
+            self._integral = candidate_integral
+
+        return output

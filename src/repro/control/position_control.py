@@ -1,0 +1,109 @@
+"""Position and velocity control loops (outer loops of the cascade).
+
+The structure follows PX4's multicopter position controller: a proportional
+position loop produces a velocity setpoint, a PID velocity loop produces an
+acceleration/thrust demand, which is converted into an attitude setpoint plus
+collective thrust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dynamics.state import GRAVITY
+from .pid import PidController, PidGains
+from .setpoints import AttitudeSetpoint, PositionSetpoint
+
+__all__ = ["PositionControlGains", "PositionController"]
+
+
+def _default_velocity_xy_gains() -> PidGains:
+    return PidGains(kp=1.8, ki=0.4, kd=0.2, integral_limit=1.0, output_limit=5.0)
+
+
+def _default_velocity_z_gains() -> PidGains:
+    return PidGains(kp=4.0, ki=1.0, kd=0.0, integral_limit=2.0, output_limit=8.0)
+
+
+@dataclass(frozen=True)
+class PositionControlGains:
+    """Gains of the position/velocity cascade."""
+
+    position_p_xy: float = 0.95
+    position_p_z: float = 1.0
+    velocity_xy: PidGains = field(default_factory=_default_velocity_xy_gains)
+    velocity_z: PidGains = field(default_factory=_default_velocity_z_gains)
+    max_velocity_xy: float = 3.0
+    max_velocity_z: float = 1.5
+    max_tilt: float = np.deg2rad(30.0)
+    hover_thrust: float = 0.57
+    max_thrust: float = 0.95
+    min_thrust: float = 0.08
+
+
+class PositionController:
+    """Cascaded position → velocity → attitude/thrust controller."""
+
+    def __init__(self, gains: PositionControlGains | None = None) -> None:
+        self.gains = gains or PositionControlGains()
+        self._velocity_pids = [
+            PidController(self.gains.velocity_xy),
+            PidController(self.gains.velocity_xy),
+            PidController(self.gains.velocity_z),
+        ]
+
+    def reset(self) -> None:
+        """Reset the velocity-loop integrators."""
+        for pid in self._velocity_pids:
+            pid.reset()
+
+    def update(
+        self,
+        setpoint: PositionSetpoint,
+        position: np.ndarray,
+        velocity: np.ndarray,
+        yaw: float,
+        dt: float,
+    ) -> AttitudeSetpoint:
+        """Compute an attitude/thrust setpoint driving the vehicle to ``setpoint``."""
+        gains = self.gains
+        position = np.asarray(position, dtype=float)
+        velocity = np.asarray(velocity, dtype=float)
+
+        position_error = np.asarray(setpoint.position, dtype=float) - position
+        velocity_setpoint = np.array(
+            [
+                gains.position_p_xy * position_error[0],
+                gains.position_p_xy * position_error[1],
+                gains.position_p_z * position_error[2],
+            ]
+        )
+        velocity_setpoint[0:2] = np.clip(
+            velocity_setpoint[0:2], -gains.max_velocity_xy, gains.max_velocity_xy
+        )
+        velocity_setpoint[2] = np.clip(
+            velocity_setpoint[2], -gains.max_velocity_z, gains.max_velocity_z
+        )
+
+        velocity_error = velocity_setpoint - velocity
+        acceleration = np.array(
+            [pid.update(float(err), dt) for pid, err in zip(self._velocity_pids, velocity_error)]
+        )
+
+        # Convert the NED acceleration demand into tilt angles and collective
+        # thrust.  In the yaw-aligned frame a forward acceleration requires a
+        # nose-down (negative) pitch and a rightward acceleration requires a
+        # positive roll; the small-angle mapping is standard for hover regimes.
+        cos_yaw, sin_yaw = np.cos(yaw), np.sin(yaw)
+        acc_body_x = cos_yaw * acceleration[0] + sin_yaw * acceleration[1]
+        acc_body_y = -sin_yaw * acceleration[0] + cos_yaw * acceleration[1]
+
+        pitch = np.clip(-acc_body_x / GRAVITY, -gains.max_tilt, gains.max_tilt)
+        roll = np.clip(acc_body_y / GRAVITY, -gains.max_tilt, gains.max_tilt)
+
+        thrust = gains.hover_thrust * (1.0 - acceleration[2] / GRAVITY)
+        thrust = float(np.clip(thrust, gains.min_thrust, gains.max_thrust))
+
+        return AttitudeSetpoint(roll=float(roll), pitch=float(pitch), yaw=setpoint.yaw, thrust=thrust)

@@ -1,0 +1,58 @@
+"""Body angular-rate control loop (innermost loop of the cascade)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .allocator import ControlAllocation
+from .pid import PidController, PidGains
+from .setpoints import RateSetpoint
+
+__all__ = ["RateControlGains", "RateController"]
+
+
+def _default_roll_pitch_gains() -> PidGains:
+    return PidGains(kp=0.15, ki=0.05, kd=0.003, integral_limit=0.3, output_limit=1.0,
+                    derivative_filter_tau=0.005)
+
+
+def _default_yaw_gains() -> PidGains:
+    return PidGains(kp=0.2, ki=0.1, kd=0.0, integral_limit=0.3, output_limit=1.0)
+
+
+@dataclass(frozen=True)
+class RateControlGains:
+    """Per-axis PID gains for the rate loop."""
+
+    roll: PidGains = field(default_factory=_default_roll_pitch_gains)
+    pitch: PidGains = field(default_factory=_default_roll_pitch_gains)
+    yaw: PidGains = field(default_factory=_default_yaw_gains)
+
+
+class RateController:
+    """PID rate controller producing normalised torque demands."""
+
+    def __init__(self, gains: RateControlGains | None = None) -> None:
+        gains = gains or RateControlGains()
+        self._roll = PidController(gains.roll)
+        self._pitch = PidController(gains.pitch)
+        self._yaw = PidController(gains.yaw)
+
+    def reset(self) -> None:
+        """Reset all axis integrators."""
+        self._roll.reset()
+        self._pitch.reset()
+        self._yaw.reset()
+
+    def update(self, setpoint: RateSetpoint, rates: np.ndarray, dt: float) -> ControlAllocation:
+        """Compute torque demands from the rate error."""
+        rates = np.asarray(rates, dtype=float)
+        error = np.asarray(setpoint.rates, dtype=float) - rates
+        return ControlAllocation(
+            thrust=float(np.clip(setpoint.thrust, 0.0, 1.0)),
+            roll=self._roll.update(float(error[0]), dt),
+            pitch=self._pitch.update(float(error[1]), dt),
+            yaw=self._yaw.update(float(error[2]), dt),
+        )

@@ -1,0 +1,171 @@
+"""The safety controller: minimal verified controller running on the HCE.
+
+Following the Simplex philosophy the safety controller implements only the
+minimum set of modules critical to keeping the drone in a safe, controllable
+state: attitude stabilisation, altitude hold and a gentle position hold toward
+the mission setpoint.  It uses conservative gains and contains no mission
+logic, no mode machinery and no estimator configuration options, which keeps
+it small enough to be exhaustively tested (see ``tests/control``).
+
+It consumes the same sensor data as the complex controller, but directly from
+the HCE drivers rather than through the network interface, so a communication
+DoS cannot starve it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dynamics.state import GRAVITY, angle_wrap
+from ..estimation.attitude import ComplementaryFilter
+from ..estimation.position import PositionEstimator
+from ..sensors.barometer import BarometerReading
+from ..sensors.imu import ImuReading
+from ..sensors.mocap import MocapReading
+from .allocator import ControlAllocation, QuadXAllocator
+from .setpoints import ActuatorCommand, PositionSetpoint
+
+__all__ = ["SafetyControllerConfig", "SafetyController"]
+
+
+@dataclass(frozen=True)
+class SafetyControllerConfig:
+    """Conservative, fixed gains of the safety controller."""
+
+    position_p: float = 0.5
+    velocity_p: float = 1.2
+    velocity_d: float = 0.15
+    max_velocity: float = 1.0
+    altitude_p: float = 1.0
+    climb_rate_p: float = 2.5
+    max_climb_rate: float = 0.8
+    attitude_p: float = 5.0
+    rate_p: float = 0.12
+    rate_d: float = 0.002
+    yaw_rate_p: float = 0.15
+    max_tilt: float = np.deg2rad(15.0)
+    hover_thrust: float = 0.58
+    #: Nominal execution time of one safety-controller iteration [s].
+    nominal_execution_time: float = 0.0004
+    #: Fraction of the execution time stalled on memory under no contention.
+    memory_stall_fraction: float = 0.15
+    #: DRAM accesses issued per iteration (small, simple loop).
+    memory_accesses_per_iteration: int = 1200
+
+
+class SafetyController:
+    """Minimal attitude + altitude + position-hold controller (runs on HCE)."""
+
+    def __init__(self, config: SafetyControllerConfig | None = None) -> None:
+        self.config = config or SafetyControllerConfig()
+        self._attitude_filter = ComplementaryFilter()
+        self._position_estimator = PositionEstimator()
+        self._allocator = QuadXAllocator()
+        self._setpoint = PositionSetpoint.hover_at(0.0, 0.0, 1.0)
+        self._last_imu_time: float | None = None
+        self._last_rates = np.zeros(3)
+        self._sequence = 0
+
+    @property
+    def setpoint(self) -> PositionSetpoint:
+        """Position the controller steers toward when engaged."""
+        return self._setpoint
+
+    @property
+    def attitude_estimate(self):
+        """Current attitude estimate (used by the security monitor)."""
+        return self._attitude_filter.estimate
+
+    @property
+    def position_estimate(self):
+        """Current position/velocity estimate."""
+        return self._position_estimator.estimate
+
+    def set_position_setpoint(self, setpoint: PositionSetpoint) -> None:
+        """Set the hold position (normally the mission setpoint)."""
+        self._setpoint = setpoint
+
+    # -- sensor inputs (direct from HCE drivers) ---------------------------------
+
+    def on_imu(self, reading: ImuReading, timestamp: float) -> None:
+        """Consume one IMU sample from the HCE driver."""
+        if self._last_imu_time is None:
+            dt = 1.0 / 250.0
+        else:
+            dt = max(timestamp - self._last_imu_time, 1e-4)
+        self._last_imu_time = timestamp
+        self._attitude_filter.update(reading, dt)
+        self._position_estimator.predict(dt)
+
+    def on_baro(self, reading: BarometerReading, timestamp: float) -> None:
+        """Consume one barometer sample from the HCE driver."""
+        self._position_estimator.update_baro_altitude(reading.altitude_m)
+
+    def on_mocap(self, reading: MocapReading, timestamp: float) -> None:
+        """Consume one motion-capture fix from the HCE driver."""
+        if reading.valid:
+            self._position_estimator.update_mocap(reading.position_ned)
+            self._attitude_filter.set_yaw(reading.yaw)
+
+    def on_gps(self, position_ned: np.ndarray, timestamp: float) -> None:
+        """Consume one GPS-derived local position fix from the HCE driver."""
+        self._position_estimator.update_gps(position_ned)
+
+    # -- control ----------------------------------------------------------------
+
+    def compute(self, timestamp: float) -> ActuatorCommand:
+        """Run one control iteration and return the actuator command."""
+        config = self.config
+        attitude = self._attitude_filter.estimate
+        position = self._position_estimator.estimate
+
+        # Horizontal position hold: P position loop -> PD velocity loop.
+        position_error = self._setpoint.position[0:2] - position.position[0:2]
+        velocity_setpoint = np.clip(
+            config.position_p * position_error, -config.max_velocity, config.max_velocity
+        )
+        velocity_error = velocity_setpoint - position.velocity[0:2]
+        acceleration = config.velocity_p * velocity_error - config.velocity_d * position.velocity[0:2]
+
+        cos_yaw, sin_yaw = np.cos(attitude.yaw), np.sin(attitude.yaw)
+        acc_body_x = cos_yaw * acceleration[0] + sin_yaw * acceleration[1]
+        acc_body_y = -sin_yaw * acceleration[0] + cos_yaw * acceleration[1]
+        pitch_setpoint = float(np.clip(-acc_body_x / GRAVITY, -config.max_tilt, config.max_tilt))
+        roll_setpoint = float(np.clip(acc_body_y / GRAVITY, -config.max_tilt, config.max_tilt))
+
+        # Altitude hold: P altitude loop -> P climb-rate loop -> thrust.
+        altitude_error = float(self._setpoint.position[2] - position.position[2])
+        climb_rate_setpoint = float(
+            np.clip(config.altitude_p * altitude_error, -config.max_climb_rate, config.max_climb_rate)
+        )
+        climb_rate_error = climb_rate_setpoint - float(position.velocity[2])
+        thrust = config.hover_thrust * (1.0 - config.climb_rate_p * climb_rate_error / GRAVITY)
+        thrust = float(np.clip(thrust, 0.1, 0.9))
+
+        # Attitude stabilisation: P attitude loop -> PD rate loop.
+        rates = attitude.rates
+        rate_setpoint = np.array(
+            [
+                config.attitude_p * angle_wrap(roll_setpoint - attitude.roll),
+                config.attitude_p * angle_wrap(pitch_setpoint - attitude.pitch),
+                config.attitude_p * 0.5 * angle_wrap(self._setpoint.yaw - attitude.yaw),
+            ]
+        )
+        rate_error = rate_setpoint - rates
+        rate_derivative = rates - self._last_rates
+        self._last_rates = rates.copy()
+
+        allocation = ControlAllocation(
+            thrust=thrust,
+            roll=float(config.rate_p * rate_error[0] - config.rate_d * rate_derivative[0]),
+            pitch=float(config.rate_p * rate_error[1] - config.rate_d * rate_derivative[1]),
+            yaw=float(config.yaw_rate_p * rate_error[2]),
+        )
+        motors = self._allocator.allocate(allocation)
+
+        self._sequence += 1
+        return ActuatorCommand(
+            motors=motors, timestamp=timestamp, source="safety", sequence=self._sequence
+        )

@@ -1,0 +1,77 @@
+"""Setpoint and command dataclasses exchanged between control loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PositionSetpoint",
+    "AttitudeSetpoint",
+    "RateSetpoint",
+    "ActuatorCommand",
+]
+
+
+@dataclass(frozen=True)
+class PositionSetpoint:
+    """Desired NED position and yaw."""
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    yaw: float = 0.0
+
+    @classmethod
+    def hover_at(cls, north: float, east: float, altitude: float, yaw: float = 0.0) -> "PositionSetpoint":
+        """Convenience constructor from an up-positive altitude."""
+        return cls(position=np.array([north, east, -altitude]), yaw=yaw)
+
+
+@dataclass(frozen=True)
+class AttitudeSetpoint:
+    """Desired attitude (roll, pitch, yaw) with a collective thrust command."""
+
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+    thrust: float = 0.0
+
+
+@dataclass(frozen=True)
+class RateSetpoint:
+    """Desired body angular rates with a collective thrust command."""
+
+    rates: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    thrust: float = 0.0
+
+
+@dataclass(frozen=True)
+class ActuatorCommand:
+    """Normalised per-motor commands produced by a controller.
+
+    Attributes
+    ----------
+    motors:
+        Four normalised throttle values in [0, 1].
+    timestamp:
+        Controller time at which the command was computed [s].
+    source:
+        Identifier of the producing controller ("complex" or "safety").
+    sequence:
+        Monotonically increasing counter, used by the security monitor to
+        detect stale or missing outputs.
+    """
+
+    motors: np.ndarray = field(default_factory=lambda: np.zeros(4))
+    timestamp: float = 0.0
+    source: str = "complex"
+    sequence: int = 0
+
+    def clipped(self) -> "ActuatorCommand":
+        """Return a copy with motor commands clipped to [0, 1]."""
+        return ActuatorCommand(
+            motors=np.clip(self.motors, 0.0, 1.0),
+            timestamp=self.timestamp,
+            source=self.source,
+            sequence=self.sequence,
+        )

@@ -1,0 +1,49 @@
+"""ContainerDrone core: configuration, Simplex decision logic, security monitor."""
+
+from .config import (
+    CommunicationProtectionConfig,
+    ContainerDroneConfig,
+    CpuProtectionConfig,
+    MemoryProtectionConfig,
+    MonitorConfig,
+    StreamRates,
+)
+from .framework import ContainerDroneFramework
+from .protections import (
+    ProtectionStatus,
+    build_container_config,
+    build_memguard,
+    build_network,
+)
+from .security_monitor import (
+    AttitudeErrorRule,
+    MonitorContext,
+    ReceivingIntervalRule,
+    SecurityMonitor,
+    SecurityRule,
+    Violation,
+)
+from .simplex import ControlSource, DecisionModule, SwitchEvent
+
+__all__ = [
+    "AttitudeErrorRule",
+    "CommunicationProtectionConfig",
+    "ContainerDroneConfig",
+    "ContainerDroneFramework",
+    "ControlSource",
+    "CpuProtectionConfig",
+    "DecisionModule",
+    "MemoryProtectionConfig",
+    "MonitorConfig",
+    "MonitorContext",
+    "ProtectionStatus",
+    "ReceivingIntervalRule",
+    "SecurityMonitor",
+    "SecurityRule",
+    "StreamRates",
+    "SwitchEvent",
+    "Violation",
+    "build_container_config",
+    "build_memguard",
+    "build_network",
+]

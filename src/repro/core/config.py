@@ -1,0 +1,155 @@
+"""Configuration of the ContainerDrone framework.
+
+The defaults reproduce the prototype described in Section IV of the paper:
+a four-core board with one core dedicated to the container, SCHED_FIFO
+priorities 90 (kernel drivers) / ~40 (interrupt threads) / 20 (safety
+controller), the UDP ports and stream rates of Table I, MemGuard protecting
+the shared memory bus and iptables limiting the docker0 packet rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "CpuProtectionConfig",
+    "MemoryProtectionConfig",
+    "CommunicationProtectionConfig",
+    "MonitorConfig",
+    "StreamRates",
+    "ContainerDroneConfig",
+]
+
+
+@dataclass(frozen=True)
+class CpuProtectionConfig:
+    """CPU DoS protection: cpuset pinning and priority restriction."""
+
+    enabled: bool = True
+    num_cores: int = 4
+    #: Cores reserved for the container control environment.
+    cce_cores: frozenset[int] = frozenset({3})
+    #: Maximum SCHED_FIFO priority a container process can obtain.
+    cce_max_priority: int = 10
+    #: Priority of the HCE kernel sensor/actuator drivers.
+    driver_priority: int = 90
+    #: Approximate priority of system interrupt threads.
+    interrupt_priority: int = 40
+    #: Priority of the safety controller process.
+    safety_priority: int = 20
+    #: Priority of the HCE receiving and monitoring threads.
+    monitor_priority: int = 25
+    receiver_priority: int = 30
+
+    @property
+    def hce_cores(self) -> frozenset[int]:
+        """Cores available to the host control environment."""
+        return frozenset(range(self.num_cores)) - self.cce_cores
+
+
+@dataclass(frozen=True)
+class MemoryProtectionConfig:
+    """Memory-bandwidth DoS protection via MemGuard."""
+
+    enabled: bool = True
+    #: MemGuard regulation period [s].
+    period: float = 0.001
+    #: Budget of the CCE core in DRAM accesses per period.  The value leaves
+    #: the complex controller enough bandwidth to run (the paper chooses the
+    #: budget the same way) while keeping the shared bus far from saturation.
+    cce_budget_accesses_per_period: int = 3000
+    #: Optional budgets for HCE cores (``None`` = unregulated).
+    hce_budget_accesses_per_period: int | None = None
+    #: Enable MemGuard's best-effort budget reclaiming.
+    reclaim: bool = False
+
+
+@dataclass(frozen=True)
+class CommunicationProtectionConfig:
+    """Communication DoS protection: sandboxed network + iptables + monitoring."""
+
+    #: UDP port on which the CCE receives forwarded sensor data (Table I).
+    sensor_port: int = 14660
+    #: UDP port on which the HCE receives actuator outputs (Table I).
+    motor_port: int = 14600
+    #: Enable the iptables packet-rate limit on the docker0 bridge.
+    iptables_enabled: bool = True
+    #: Sustained packet rate allowed toward each protected port [pkt/s].
+    iptables_rate_per_second: float = 5000.0
+    #: Burst allowance of the iptables limit [packets].
+    iptables_burst: int = 200
+    #: Receive-queue capacity of the HCE motor socket [datagrams].
+    motor_queue_capacity: int = 256
+    #: Receive-queue capacity of the CCE sensor socket [datagrams].
+    sensor_queue_capacity: int = 512
+    #: Datagrams the HCE receiving thread processes per 1 kHz wakeup.  The
+    #: bound keeps the thread's per-cycle work constant (a real-time design
+    #: rule), which is why a flood translates into queueing delay rather than
+    #: unbounded CPU use.
+    receiver_batch_size: int = 4
+    #: One-way latency of the docker0 bridge [s].
+    bridge_latency: float = 0.0002
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Security-monitor rule thresholds (Section III-E)."""
+
+    enabled: bool = True
+    #: Monitor execution rate [Hz].
+    rate_hz: float = 100.0
+    #: Maximum allowed interval between consecutive CCE outputs [s].  The CCE
+    #: publishes at 400 Hz, so 0.1 s corresponds to 40 consecutive missed
+    #: outputs.
+    max_receive_interval: float = 0.1
+    #: Bounds on the attitude errors [rad].
+    max_roll_error: float = np.deg2rad(20.0)
+    max_pitch_error: float = np.deg2rad(20.0)
+    max_yaw_error: float = np.deg2rad(45.0)
+    #: Grace period after engagement before the rules are enforced [s].
+    arming_grace_period: float = 2.0
+
+
+@dataclass(frozen=True)
+class StreamRates:
+    """Data-stream rates between the control environments (Table I)."""
+
+    imu_hz: float = 250.0
+    baro_hz: float = 50.0
+    gps_hz: float = 10.0
+    rc_hz: float = 50.0
+    mocap_hz: float = 50.0
+    motor_output_hz: float = 400.0
+    #: Rate of the HCE actuator (PWM) output task.
+    actuator_hz: float = 400.0
+    #: Rate of both controllers' main loops.
+    controller_hz: float = 250.0
+
+
+@dataclass(frozen=True)
+class ContainerDroneConfig:
+    """Top-level configuration of the ContainerDrone framework."""
+
+    cpu: CpuProtectionConfig = field(default_factory=CpuProtectionConfig)
+    memory: MemoryProtectionConfig = field(default_factory=MemoryProtectionConfig)
+    communication: CommunicationProtectionConfig = field(
+        default_factory=CommunicationProtectionConfig
+    )
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    rates: StreamRates = field(default_factory=StreamRates)
+
+    def without_memguard(self) -> "ContainerDroneConfig":
+        """Copy of the configuration with MemGuard disabled (Figure 4 setup)."""
+        return replace(self, memory=replace(self.memory, enabled=False))
+
+    def without_monitor(self) -> "ContainerDroneConfig":
+        """Copy of the configuration with the security monitor disabled."""
+        return replace(self, monitor=replace(self.monitor, enabled=False))
+
+    def without_iptables(self) -> "ContainerDroneConfig":
+        """Copy of the configuration without the iptables rate limit."""
+        return replace(
+            self, communication=replace(self.communication, iptables_enabled=False)
+        )

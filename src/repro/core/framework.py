@@ -1,0 +1,173 @@
+"""The ContainerDrone framework: the HCE-side software of the architecture.
+
+This class bundles the components that run on the host control environment:
+
+* the **safety controller** (verified, minimal, always running),
+* the **decision module** implementing the Simplex switching logic,
+* the **security monitor** enforcing the receiving-interval and
+  attitude-error rules.
+
+The co-simulation (:mod:`repro.sim.flight`) schedules the framework's entry
+points as HCE tasks and connects them to the sensors, the network stack and
+the actuators.  The framework itself is deliberately free of scheduling and
+networking concerns so it can be unit-tested exhaustively — mirroring the
+argument that the HCE must stay simple enough to verify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..control.safety_controller import SafetyController, SafetyControllerConfig
+from ..control.setpoints import ActuatorCommand, PositionSetpoint
+from ..dynamics.state import angle_wrap
+from ..mavlink.codec import Frame
+from ..mavlink.messages import ActuatorOutputs
+from ..sensors.barometer import BarometerReading
+from ..sensors.imu import ImuReading
+from ..sensors.mocap import MocapReading
+from .config import ContainerDroneConfig
+from .security_monitor import MonitorContext, SecurityMonitor, Violation
+from .simplex import ControlSource, DecisionModule
+
+__all__ = ["ContainerDroneFramework"]
+
+
+class ContainerDroneFramework:
+    """HCE software stack: safety controller + decision module + monitor."""
+
+    def __init__(
+        self,
+        config: ContainerDroneConfig | None = None,
+        setpoint: PositionSetpoint | None = None,
+        safety_config: SafetyControllerConfig | None = None,
+        engaged_at: float = 0.0,
+    ) -> None:
+        self.config = config or ContainerDroneConfig()
+        self.setpoint = setpoint or PositionSetpoint.hover_at(0.0, 0.0, 1.0)
+        self.safety_controller = SafetyController(safety_config)
+        self.safety_controller.set_position_setpoint(self.setpoint)
+        self.decision = DecisionModule(engaged_at=engaged_at)
+        self.monitor = SecurityMonitor(self.config.monitor)
+        #: Invoked when the monitor kills the HCE receiving thread.
+        self.on_kill_receiver: Callable[[float, Violation], None] | None = None
+        self._receiver_killed = False
+
+    # -- status -------------------------------------------------------------------
+
+    @property
+    def receiver_killed(self) -> bool:
+        """True once the monitor has killed the receiving thread."""
+        return self._receiver_killed
+
+    @property
+    def active_source(self) -> ControlSource:
+        """Which controller currently drives the actuators."""
+        return self.decision.source
+
+    # -- sensor inputs (from the HCE drivers) ---------------------------------------
+
+    def on_imu(self, reading: ImuReading, timestamp: float) -> None:
+        """Forward an IMU sample to the safety controller."""
+        self.safety_controller.on_imu(reading, timestamp)
+
+    def on_baro(self, reading: BarometerReading, timestamp: float) -> None:
+        """Forward a barometer sample to the safety controller."""
+        self.safety_controller.on_baro(reading, timestamp)
+
+    def on_mocap(self, reading: MocapReading, timestamp: float) -> None:
+        """Forward a motion-capture fix to the safety controller."""
+        self.safety_controller.on_mocap(reading, timestamp)
+
+    def on_gps(self, position_ned: np.ndarray, timestamp: float) -> None:
+        """Forward a GPS-derived position fix to the safety controller."""
+        self.safety_controller.on_gps(position_ned, timestamp)
+
+    # -- periodic activities ---------------------------------------------------------
+
+    def run_safety_controller(self, now: float) -> ActuatorCommand:
+        """Execute one safety-controller iteration and register its output."""
+        command = self.safety_controller.compute(now)
+        self.decision.submit_safety(command)
+        return command
+
+    def handle_actuator_frames(self, frames: list[Frame], now: float) -> int:
+        """Consume actuator-output frames received from the CCE.
+
+        Returns the number of valid actuator commands accepted.  Frames of any
+        other type (or arriving after the receiver was killed) are ignored.
+        """
+        if self._receiver_killed:
+            return 0
+        accepted = 0
+        for frame in frames:
+            message = frame.message
+            if not isinstance(message, ActuatorOutputs):
+                continue
+            command = ActuatorCommand(
+                motors=np.asarray(message.motors, dtype=float),
+                timestamp=now,
+                source="complex",
+                sequence=message.sequence,
+            )
+            self.decision.submit_complex(command, received_at=now)
+            accepted += 1
+        return accepted
+
+    def submit_host_complex_command(self, command: ActuatorCommand, now: float) -> None:
+        """Register a complex-controller command computed on the host.
+
+        Used by the Figure 4/5 scenarios, where the full controller runs on
+        the HCE and the container holds only the attacker.
+        """
+        if self._receiver_killed:
+            return
+        self.decision.submit_complex(command, received_at=now)
+
+    def attitude_errors(self) -> tuple[float, float, float]:
+        """Roll/pitch/yaw errors of the drone as estimated on the HCE [rad].
+
+        In the hover scenarios the commanded attitude is level with the
+        mission yaw, so the roll and pitch errors are simply the estimated
+        roll and pitch.
+        """
+        estimate = self.safety_controller.attitude_estimate
+        return (
+            angle_wrap(estimate.roll),
+            angle_wrap(estimate.pitch),
+            angle_wrap(estimate.yaw - self.setpoint.yaw),
+        )
+
+    def run_monitor(self, now: float) -> Violation | None:
+        """Execute one monitor iteration; switches to safety on a violation."""
+        if not self.config.monitor.enabled:
+            return None
+        roll_error, pitch_error, yaw_error = self.attitude_errors()
+        context = MonitorContext(
+            now=now,
+            engaged_at=self.decision.engaged_at,
+            last_receive_time=self.decision.last_complex_received,
+            roll_error=roll_error,
+            pitch_error=pitch_error,
+            yaw_error=yaw_error,
+        )
+        violation = self.monitor.check(context)
+        if violation is not None and not self.decision.switched_to_safety:
+            self._kill_receiver(now, violation)
+            self.decision.switch_to_safety(now, reason=violation.message)
+        return violation
+
+    def _kill_receiver(self, now: float, violation: Violation) -> None:
+        if self._receiver_killed:
+            return
+        self._receiver_killed = True
+        if self.on_kill_receiver is not None:
+            self.on_kill_receiver(now, violation)
+
+    # -- actuation --------------------------------------------------------------------
+
+    def select_command(self) -> ActuatorCommand | None:
+        """The actuator command the PWM driver should apply right now."""
+        return self.decision.select()

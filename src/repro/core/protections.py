@@ -1,0 +1,115 @@
+"""Builders translating the framework configuration into substrate objects.
+
+Each of the three protected resources maps onto one builder:
+
+* CPU — a :class:`~repro.container.container.ContainerConfig` carrying the
+  cpuset and the priority cap.
+* Memory — a :class:`~repro.memsys.memguard.MemGuard` instance with the CCE
+  core budget.
+* Communication — an :class:`~repro.network.iptables.IptablesFirewall` with
+  rate limits on the two HCE/CCE ports, plus the network stack they attach to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..container.container import ContainerConfig, PortMapping
+from ..memsys.memguard import MemGuard, MemGuardConfig
+from ..network.iptables import IptablesFirewall, RateLimitRule
+from ..network.stack import NetworkStack
+from .config import ContainerDroneConfig
+
+__all__ = ["ProtectionStatus", "build_container_config", "build_memguard", "build_network"]
+
+
+@dataclass(frozen=True)
+class ProtectionStatus:
+    """Summary of which protections a scenario has active."""
+
+    cpu_pinning: bool
+    priority_restriction: bool
+    memguard: bool
+    iptables: bool
+    security_monitor: bool
+
+    @classmethod
+    def from_config(cls, config: ContainerDroneConfig) -> "ProtectionStatus":
+        """Derive the status flags from a framework configuration."""
+        return cls(
+            cpu_pinning=config.cpu.enabled,
+            priority_restriction=config.cpu.enabled,
+            memguard=config.memory.enabled,
+            iptables=config.communication.iptables_enabled,
+            security_monitor=config.monitor.enabled,
+        )
+
+
+def build_container_config(config: ContainerDroneConfig, name: str = "cce") -> ContainerConfig:
+    """Container configuration implementing the CPU protection."""
+    cpu = config.cpu
+    if cpu.enabled:
+        cpuset = frozenset(cpu.cce_cores)
+        max_priority = cpu.cce_max_priority
+    else:
+        # Unprotected baseline: the container may use every core and any priority.
+        cpuset = frozenset(range(cpu.num_cores))
+        max_priority = 99
+    communication = config.communication
+    return ContainerConfig(
+        name=name,
+        cpuset_cores=cpuset,
+        max_priority=max_priority,
+        port_mappings=(
+            PortMapping(container_port=communication.sensor_port,
+                        host_port=communication.sensor_port),
+            PortMapping(container_port=communication.motor_port,
+                        host_port=communication.motor_port),
+        ),
+    )
+
+
+def build_memguard(config: ContainerDroneConfig) -> MemGuard:
+    """MemGuard instance implementing the memory protection.
+
+    The returned regulator is disabled (pass-through) when the configuration
+    turns the protection off, which keeps the scheduler wiring identical
+    between the Figure 4 and Figure 5 scenarios.
+    """
+    cpu = config.cpu
+    memory = config.memory
+    budgets: dict[int, int | None] = {core: None for core in range(cpu.num_cores)}
+    for core in cpu.cce_cores:
+        budgets[core] = memory.cce_budget_accesses_per_period
+    if memory.hce_budget_accesses_per_period is not None:
+        for core in cpu.hce_cores:
+            budgets[core] = memory.hce_budget_accesses_per_period
+    memguard = MemGuard(
+        cpu.num_cores,
+        MemGuardConfig(period=memory.period, budgets=budgets, reclaim=memory.reclaim),
+    )
+    if not memory.enabled:
+        memguard.disable()
+    return memguard
+
+
+def build_network(config: ContainerDroneConfig) -> NetworkStack:
+    """Network stack with the iptables rate limits of the communication protection."""
+    communication = config.communication
+    firewall = IptablesFirewall()
+    if communication.iptables_enabled:
+        firewall.add_rule(
+            RateLimitRule(
+                destination_port=communication.motor_port,
+                rate_per_second=communication.iptables_rate_per_second,
+                burst=communication.iptables_burst,
+            )
+        )
+        firewall.add_rule(
+            RateLimitRule(
+                destination_port=communication.sensor_port,
+                rate_per_second=communication.iptables_rate_per_second,
+                burst=communication.iptables_burst,
+            )
+        )
+    return NetworkStack(latency=communication.bridge_latency, firewall=firewall)

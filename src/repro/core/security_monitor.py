@@ -1,0 +1,175 @@
+"""Security monitor and its rules (Section III-E of the paper).
+
+The monitor runs on the HCE and continuously checks two rules over the output
+received from the container and over the physical state of the drone:
+
+* **Receiving interval** — the time between two consecutive actuator outputs
+  received from the CCE must not exceed a threshold; a long gap means the
+  complex controller has failed or is being starved.
+* **Attitude errors** — the roll, pitch and yaw errors must stay bounded;
+  large errors mean the drone is in a dangerous state regardless of what the
+  CCE claims to be doing.
+
+Upon a violation the framework kills the HCE receiving thread and switches the
+output source to the safety controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import MonitorConfig
+
+__all__ = [
+    "MonitorContext",
+    "Violation",
+    "SecurityRule",
+    "ReceivingIntervalRule",
+    "AttitudeErrorRule",
+    "SecurityMonitor",
+]
+
+
+@dataclass(frozen=True)
+class MonitorContext:
+    """Snapshot of everything the monitor inspects on one activation.
+
+    Attributes
+    ----------
+    now:
+        Current time [s].
+    engaged_at:
+        Time at which the complex controller became the active output source.
+    last_receive_time:
+        Time the HCE last received an actuator output from the CCE, or
+        ``None`` if nothing has been received yet.
+    roll_error, pitch_error, yaw_error:
+        Attitude errors of the drone [rad], as estimated on the HCE.
+    """
+
+    now: float
+    engaged_at: float
+    last_receive_time: float | None
+    roll_error: float
+    pitch_error: float
+    yaw_error: float
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A detected security-rule violation."""
+
+    rule: str
+    time: float
+    message: str
+
+
+class SecurityRule:
+    """Base class for monitor rules."""
+
+    name = "rule"
+
+    def check(self, context: MonitorContext) -> Violation | None:
+        """Return a violation if the rule is broken in ``context``."""
+        raise NotImplementedError
+
+
+class ReceivingIntervalRule(SecurityRule):
+    """The CCE must deliver actuator outputs at least every ``max_interval``."""
+
+    name = "receiving-interval"
+
+    def __init__(self, max_interval: float) -> None:
+        if max_interval <= 0.0:
+            raise ValueError("max_interval must be positive")
+        self.max_interval = float(max_interval)
+
+    def check(self, context: MonitorContext) -> Violation | None:
+        reference = context.last_receive_time
+        if reference is None:
+            reference = context.engaged_at
+        gap = context.now - reference
+        if gap > self.max_interval:
+            return Violation(
+                rule=self.name,
+                time=context.now,
+                message=(
+                    f"no output from the complex controller for {gap:.3f} s "
+                    f"(threshold {self.max_interval:.3f} s)"
+                ),
+            )
+        return None
+
+
+class AttitudeErrorRule(SecurityRule):
+    """Roll, pitch and yaw errors must stay within their bounds."""
+
+    name = "attitude-error"
+
+    def __init__(self, max_roll: float, max_pitch: float, max_yaw: float) -> None:
+        if min(max_roll, max_pitch, max_yaw) <= 0.0:
+            raise ValueError("attitude error bounds must be positive")
+        self.max_roll = float(max_roll)
+        self.max_pitch = float(max_pitch)
+        self.max_yaw = float(max_yaw)
+
+    def check(self, context: MonitorContext) -> Violation | None:
+        breaches = []
+        if abs(context.roll_error) > self.max_roll:
+            breaches.append(f"roll error {context.roll_error:+.3f} rad")
+        if abs(context.pitch_error) > self.max_pitch:
+            breaches.append(f"pitch error {context.pitch_error:+.3f} rad")
+        if abs(context.yaw_error) > self.max_yaw:
+            breaches.append(f"yaw error {context.yaw_error:+.3f} rad")
+        if breaches:
+            return Violation(
+                rule=self.name,
+                time=context.now,
+                message="attitude bound exceeded: " + ", ".join(breaches),
+            )
+        return None
+
+
+class SecurityMonitor:
+    """Evaluates the security rules and records violations."""
+
+    def __init__(self, config: MonitorConfig | None = None) -> None:
+        self.config = config or MonitorConfig()
+        self.rules: list[SecurityRule] = [
+            ReceivingIntervalRule(self.config.max_receive_interval),
+            AttitudeErrorRule(
+                self.config.max_roll_error,
+                self.config.max_pitch_error,
+                self.config.max_yaw_error,
+            ),
+        ]
+        self.violations: list[Violation] = []
+        self.checks_performed = 0
+
+    @property
+    def violated(self) -> bool:
+        """True once any rule has been violated."""
+        return bool(self.violations)
+
+    @property
+    def first_violation(self) -> Violation | None:
+        """The first recorded violation, if any."""
+        return self.violations[0] if self.violations else None
+
+    def add_rule(self, rule: SecurityRule) -> None:
+        """Install an additional rule (used by extension examples)."""
+        self.rules.append(rule)
+
+    def check(self, context: MonitorContext) -> Violation | None:
+        """Evaluate every rule; record and return the first violation found."""
+        if not self.config.enabled:
+            return None
+        self.checks_performed += 1
+        if context.now - context.engaged_at < self.config.arming_grace_period:
+            return None
+        for rule in self.rules:
+            violation = rule.check(context)
+            if violation is not None:
+                self.violations.append(violation)
+                return violation
+        return None

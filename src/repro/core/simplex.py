@@ -1,0 +1,107 @@
+"""Simplex decision module: selects between the complex and safety controllers.
+
+Implements the switching half of the Simplex architecture (Figure 1 of the
+paper): under normal execution the complex controller's outputs drive the
+actuators; after the security monitor reports a violation the module latches
+onto the safety controller and ignores further CCE output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..control.setpoints import ActuatorCommand
+
+__all__ = ["ControlSource", "SwitchEvent", "DecisionModule"]
+
+
+class ControlSource(Enum):
+    """Which controller currently drives the actuators."""
+
+    COMPLEX = "complex"
+    SAFETY = "safety"
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """Record of a source switch."""
+
+    time: float
+    source: ControlSource
+    reason: str
+
+
+class DecisionModule:
+    """Holds the latest command from each controller and picks the active one."""
+
+    def __init__(self, engaged_at: float = 0.0) -> None:
+        self._source = ControlSource.COMPLEX
+        self._complex_command: ActuatorCommand | None = None
+        self._safety_command: ActuatorCommand | None = None
+        self._last_complex_received: float | None = None
+        self.engaged_at = float(engaged_at)
+        self.switch_events: list[SwitchEvent] = []
+        self.complex_commands_received = 0
+        self.safety_commands_received = 0
+
+    @property
+    def source(self) -> ControlSource:
+        """Currently active control source."""
+        return self._source
+
+    @property
+    def last_complex_received(self) -> float | None:
+        """Time the last complex-controller command arrived, if any."""
+        return self._last_complex_received
+
+    @property
+    def switched_to_safety(self) -> bool:
+        """True once the module has latched onto the safety controller."""
+        return self._source is ControlSource.SAFETY
+
+    # -- command submission -------------------------------------------------------
+
+    def submit_complex(self, command: ActuatorCommand, received_at: float) -> None:
+        """Record an actuator command received from the complex controller."""
+        self.complex_commands_received += 1
+        self._last_complex_received = received_at
+        if self._source is ControlSource.COMPLEX:
+            self._complex_command = command.clipped()
+
+    def submit_safety(self, command: ActuatorCommand) -> None:
+        """Record the latest safety-controller command."""
+        self.safety_commands_received += 1
+        self._safety_command = command.clipped()
+
+    # -- switching -----------------------------------------------------------------
+
+    def switch_to_safety(self, time: float, reason: str) -> None:
+        """Latch onto the safety controller (idempotent)."""
+        if self._source is ControlSource.SAFETY:
+            return
+        self._source = ControlSource.SAFETY
+        self.switch_events.append(
+            SwitchEvent(time=time, source=ControlSource.SAFETY, reason=reason)
+        )
+
+    def switch_to_complex(self, time: float, reason: str = "manual reset") -> None:
+        """Return control to the complex controller (operator decision only)."""
+        if self._source is ControlSource.COMPLEX:
+            return
+        self._source = ControlSource.COMPLEX
+        self.switch_events.append(
+            SwitchEvent(time=time, source=ControlSource.COMPLEX, reason=reason)
+        )
+
+    # -- selection -----------------------------------------------------------------
+
+    def select(self) -> ActuatorCommand | None:
+        """Return the command the actuators should apply right now.
+
+        Falls back to the safety command when the complex controller has not
+        produced anything yet.
+        """
+        if self._source is ControlSource.COMPLEX and self._complex_command is not None:
+            return self._complex_command
+        return self._safety_command

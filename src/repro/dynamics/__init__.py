@@ -1,0 +1,55 @@
+"""Quadrotor physical dynamics substrate.
+
+Replaces the paper's physical prototype drone with a 6-DOF rigid-body
+simulation (see DESIGN.md, substitution table).
+"""
+
+from .environment import ConstantWind, Environment, GustWind
+from .integrators import INTEGRATORS, euler_step, rk4_step
+from .mixer import QuadGeometry, forces_and_torques
+from .motor import Motor, MotorBank, MotorParameters
+from .quadrotor import Quadrotor, QuadrotorParameters
+from .state import (
+    GRAVITY,
+    RigidBodyState,
+    angle_wrap,
+    euler_error,
+    quat_conjugate,
+    quat_from_axis_angle,
+    quat_from_euler,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_rotate_inverse,
+    quat_to_euler,
+    quat_to_rotation_matrix,
+)
+
+__all__ = [
+    "GRAVITY",
+    "ConstantWind",
+    "Environment",
+    "GustWind",
+    "INTEGRATORS",
+    "Motor",
+    "MotorBank",
+    "MotorParameters",
+    "QuadGeometry",
+    "Quadrotor",
+    "QuadrotorParameters",
+    "RigidBodyState",
+    "angle_wrap",
+    "euler_error",
+    "euler_step",
+    "forces_and_torques",
+    "quat_conjugate",
+    "quat_from_axis_angle",
+    "quat_from_euler",
+    "quat_multiply",
+    "quat_normalize",
+    "quat_rotate",
+    "quat_rotate_inverse",
+    "quat_to_euler",
+    "quat_to_rotation_matrix",
+    "rk4_step",
+]

@@ -1,0 +1,84 @@
+"""Environmental model: gravity, air density, wind and the ground plane.
+
+The paper's flights take place indoors (Vicon-tracked lab), so wind defaults
+to zero but gusts can be injected for robustness experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .state import GRAVITY
+
+__all__ = ["Environment", "ConstantWind", "GustWind"]
+
+
+class ConstantWind:
+    """Constant wind field returning the same NED wind velocity everywhere."""
+
+    def __init__(self, velocity_ned: np.ndarray | None = None) -> None:
+        self.velocity_ned = (
+            np.zeros(3) if velocity_ned is None else np.asarray(velocity_ned, dtype=float)
+        )
+
+    def at(self, time: float, position_ned: np.ndarray) -> np.ndarray:
+        """Wind velocity at ``time`` and ``position_ned`` [m/s, NED]."""
+        return self.velocity_ned.copy()
+
+
+class GustWind:
+    """Deterministic sinusoidal gust superimposed on a mean wind."""
+
+    def __init__(
+        self,
+        mean_ned: np.ndarray | None = None,
+        gust_amplitude: float = 0.5,
+        gust_period: float = 3.0,
+    ) -> None:
+        if gust_period <= 0.0:
+            raise ValueError("gust_period must be positive")
+        self.mean_ned = np.zeros(3) if mean_ned is None else np.asarray(mean_ned, dtype=float)
+        self.gust_amplitude = float(gust_amplitude)
+        self.gust_period = float(gust_period)
+
+    def at(self, time: float, position_ned: np.ndarray) -> np.ndarray:
+        """Wind velocity at ``time`` [m/s, NED]; gust acts along North."""
+        gust = self.gust_amplitude * np.sin(2.0 * np.pi * time / self.gust_period)
+        return self.mean_ned + np.array([gust, 0.0, 0.0])
+
+
+@dataclass
+class Environment:
+    """Environment the vehicle flies in.
+
+    Attributes
+    ----------
+    gravity:
+        Gravitational acceleration [m/s^2], acting along +Z in NED (down).
+    air_density:
+        Air density [kg/m^3] used for drag.
+    ground_altitude:
+        NED Z coordinate of the ground plane (0 means the origin is on the
+        ground); the vehicle cannot descend below it.
+    wind:
+        Wind model with an ``at(time, position)`` method.
+    """
+
+    gravity: float = GRAVITY
+    air_density: float = 1.225
+    ground_altitude: float = 0.0
+    wind: ConstantWind | GustWind = field(default_factory=ConstantWind)
+
+    def gravity_vector(self) -> np.ndarray:
+        """Gravity acceleration vector in the NED frame."""
+        return np.array([0.0, 0.0, self.gravity])
+
+    def wind_at(self, time: float, position_ned: np.ndarray) -> np.ndarray:
+        """Wind velocity at the given time and position."""
+        return self.wind.at(time, position_ned)
+
+    def below_ground(self, position_ned: np.ndarray) -> bool:
+        """True when the position is below the ground plane."""
+        return float(position_ned[2]) > self.ground_altitude

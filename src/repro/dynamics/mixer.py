@@ -1,0 +1,102 @@
+"""Geometry and force/torque mapping for a quadrotor in X configuration.
+
+The mixer here is the *physical* mapping from individual rotor thrusts to the
+net body force and torque.  The inverse mapping (controller outputs to motor
+commands) lives in :mod:`repro.control.allocator`, mirroring the PX4 split
+between the mixer module and the airframe geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QuadGeometry", "forces_and_torques"]
+
+
+def _default_spin_directions() -> tuple[int, int, int, int]:
+    return (1, 1, -1, -1)
+
+
+@dataclass(frozen=True)
+class QuadGeometry:
+    """Rotor placement of an X-configuration quadrotor.
+
+    Rotor numbering follows the PX4 quad-X convention:
+
+    * rotor 0: front-right, spins counter-clockwise
+    * rotor 1: rear-left, spins counter-clockwise
+    * rotor 2: front-left, spins clockwise
+    * rotor 3: rear-right, spins clockwise
+
+    Attributes
+    ----------
+    arm_length:
+        Distance from the centre of mass to each rotor axis [m].
+    spin_directions:
+        +1 for counter-clockwise rotors (their reaction torque on the
+        airframe is positive yaw), -1 for clockwise rotors.
+    """
+
+    arm_length: float = 0.225
+    spin_directions: tuple[int, int, int, int] = field(default_factory=_default_spin_directions)
+
+    def __post_init__(self) -> None:
+        if self.arm_length <= 0.0:
+            raise ValueError("arm_length must be positive")
+        if len(self.spin_directions) != 4:
+            raise ValueError("spin_directions must have four entries")
+        if any(direction not in (-1, 1) for direction in self.spin_directions):
+            raise ValueError("spin directions must be +1 or -1")
+
+    @property
+    def rotor_positions(self) -> np.ndarray:
+        """Rotor positions in the body (FRD) frame, one row per rotor [m]."""
+        offset = self.arm_length / np.sqrt(2.0)
+        return np.array(
+            [
+                [offset, offset, 0.0],    # front-right
+                [-offset, -offset, 0.0],  # rear-left
+                [offset, -offset, 0.0],   # front-left
+                [-offset, offset, 0.0],   # rear-right
+            ]
+        )
+
+
+def forces_and_torques(
+    thrusts: np.ndarray,
+    reaction_torques: np.ndarray,
+    geometry: QuadGeometry,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Combine per-rotor thrusts into the net body-frame force and torque.
+
+    Parameters
+    ----------
+    thrusts:
+        Per-rotor thrust magnitudes [N]; thrust acts along body -Z (upward).
+    reaction_torques:
+        Per-rotor aerodynamic reaction torque magnitudes [N m].
+    geometry:
+        Rotor placement and spin directions.
+
+    Returns
+    -------
+    tuple of (force, torque) in the body frame.
+    """
+    thrusts = np.asarray(thrusts, dtype=float)
+    reaction_torques = np.asarray(reaction_torques, dtype=float)
+    if thrusts.shape != (4,) or reaction_torques.shape != (4,):
+        raise ValueError("quad mixer expects exactly four rotors")
+
+    force = np.array([0.0, 0.0, -float(np.sum(thrusts))])
+
+    torque = np.zeros(3)
+    positions = geometry.rotor_positions
+    for index in range(4):
+        rotor_force = np.array([0.0, 0.0, -thrusts[index]])
+        torque += np.cross(positions[index], rotor_force)
+        # A CCW rotor (+1, viewed from above) is driven against its drag, so
+        # the reaction torque on the airframe is positive yaw (nose right).
+        torque[2] += geometry.spin_directions[index] * reaction_torques[index]
+    return force, torque

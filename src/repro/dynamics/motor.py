@@ -1,0 +1,164 @@
+"""Brushless motor and propeller model.
+
+Each rotor is modelled as a first-order lag from the commanded normalised
+throttle (0..1, what the PX4-style mixer outputs) to the achieved rotor
+angular speed, followed by quadratic thrust and drag-torque maps:
+
+``thrust = k_thrust * omega^2`` and ``torque = k_torque * omega^2``.
+
+The parameters default to a 450-size quadcopter comparable to the paper's
+Raspberry Pi 3 + Navio2 prototype (all-up weight around 1.2 kg).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MotorParameters", "Motor", "MotorBank"]
+
+
+@dataclass(frozen=True)
+class MotorParameters:
+    """Physical parameters of a single rotor.
+
+    Attributes
+    ----------
+    max_speed:
+        Maximum rotor speed in rad/s at full throttle.
+    min_speed:
+        Idle rotor speed in rad/s when armed at zero throttle.
+    time_constant:
+        First-order lag time constant of the motor/ESC/prop combination [s].
+    thrust_coefficient:
+        Thrust produced per (rad/s)^2 [N s^2].
+    torque_coefficient:
+        Reaction torque produced per (rad/s)^2 [N m s^2].
+    """
+
+    max_speed: float = 1200.0
+    min_speed: float = 80.0
+    time_constant: float = 0.02
+    thrust_coefficient: float = 5.6e-6
+    torque_coefficient: float = 1.1e-7
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= self.min_speed:
+            raise ValueError("max_speed must exceed min_speed")
+        if self.time_constant <= 0.0:
+            raise ValueError("time_constant must be positive")
+        if self.thrust_coefficient <= 0.0 or self.torque_coefficient <= 0.0:
+            raise ValueError("thrust and torque coefficients must be positive")
+
+    @property
+    def max_thrust(self) -> float:
+        """Maximum static thrust of one rotor [N]."""
+        return self.thrust_coefficient * self.max_speed**2
+
+
+class Motor:
+    """A single rotor with first-order speed dynamics."""
+
+    def __init__(self, params: MotorParameters | None = None) -> None:
+        self.params = params or MotorParameters()
+        self._speed = 0.0
+        self._armed = False
+
+    @property
+    def speed(self) -> float:
+        """Current rotor speed [rad/s]."""
+        return self._speed
+
+    @property
+    def armed(self) -> bool:
+        """Whether the motor responds to throttle commands."""
+        return self._armed
+
+    def arm(self) -> None:
+        """Arm the motor: it spins at idle and accepts throttle."""
+        self._armed = True
+        self._speed = max(self._speed, self.params.min_speed)
+
+    def disarm(self) -> None:
+        """Disarm the motor: the rotor spins down and ignores throttle."""
+        self._armed = False
+
+    def command_to_speed(self, throttle: float) -> float:
+        """Map a normalised throttle command to the target rotor speed."""
+        throttle = float(np.clip(throttle, 0.0, 1.0))
+        if not self._armed:
+            return 0.0
+        return self.params.min_speed + throttle * (self.params.max_speed - self.params.min_speed)
+
+    def step(self, throttle: float, dt: float) -> float:
+        """Advance the rotor by ``dt`` seconds toward the commanded throttle."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        target = self.command_to_speed(throttle)
+        alpha = dt / (self.params.time_constant + dt)
+        self._speed += alpha * (target - self._speed)
+        return self._speed
+
+    @property
+    def thrust(self) -> float:
+        """Instantaneous thrust [N]."""
+        return self.params.thrust_coefficient * self._speed**2
+
+    @property
+    def torque(self) -> float:
+        """Instantaneous reaction torque magnitude [N m]."""
+        return self.params.torque_coefficient * self._speed**2
+
+
+class MotorBank:
+    """A set of identical rotors driven by a vector of throttle commands."""
+
+    def __init__(self, count: int = 4, params: MotorParameters | None = None) -> None:
+        if count < 1:
+            raise ValueError("a motor bank needs at least one motor")
+        self.motors = [Motor(params) for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self.motors)
+
+    def arm(self) -> None:
+        """Arm every motor in the bank."""
+        for motor in self.motors:
+            motor.arm()
+
+    def disarm(self) -> None:
+        """Disarm every motor in the bank."""
+        for motor in self.motors:
+            motor.disarm()
+
+    @property
+    def armed(self) -> bool:
+        """True when every motor is armed."""
+        return all(motor.armed for motor in self.motors)
+
+    def step(self, throttles: np.ndarray, dt: float) -> np.ndarray:
+        """Advance every rotor; returns the resulting rotor speeds."""
+        throttles = np.asarray(throttles, dtype=float)
+        if throttles.shape != (len(self.motors),):
+            raise ValueError(
+                f"expected {len(self.motors)} throttle commands, got shape {throttles.shape}"
+            )
+        return np.array(
+            [motor.step(throttle, dt) for motor, throttle in zip(self.motors, throttles)]
+        )
+
+    @property
+    def thrusts(self) -> np.ndarray:
+        """Per-rotor thrust [N]."""
+        return np.array([motor.thrust for motor in self.motors])
+
+    @property
+    def torques(self) -> np.ndarray:
+        """Per-rotor reaction torque magnitude [N m]."""
+        return np.array([motor.torque for motor in self.motors])
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Per-rotor speed [rad/s]."""
+        return np.array([motor.speed for motor in self.motors])

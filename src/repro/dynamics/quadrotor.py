@@ -1,0 +1,271 @@
+"""6-DOF rigid-body quadrotor model.
+
+This is the physical plant that replaces the paper's prototype drone
+(Raspberry Pi 3 + Navio2 on a 450-class frame).  The model includes:
+
+* rigid-body translational and rotational dynamics in NED,
+* four rotors with first-order lag, quadratic thrust and reaction torque,
+* linear aerodynamic drag,
+* a ground plane with a simple contact model,
+* crash detection (excessive attitude near the ground or ground impact at
+  speed), which is what the Figure 4 experiment needs to register the
+  "drone crashes shortly after" outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .environment import Environment
+from .integrators import INTEGRATORS
+from .mixer import QuadGeometry, forces_and_torques
+from .motor import MotorBank, MotorParameters
+from .state import (
+    RigidBodyState,
+    quat_normalize,
+    quat_rotate,
+    quat_rotate_inverse,
+    quat_derivative,
+    quat_to_euler,
+)
+
+__all__ = ["QuadrotorParameters", "Quadrotor"]
+
+
+def _default_inertia() -> np.ndarray:
+    return np.diag([0.011, 0.011, 0.021])
+
+
+def _default_drag() -> np.ndarray:
+    return np.array([0.10, 0.10, 0.15])
+
+
+@dataclass
+class QuadrotorParameters:
+    """Mass properties and aerodynamic coefficients of the vehicle."""
+
+    mass: float = 1.2
+    inertia: np.ndarray = field(default_factory=_default_inertia)
+    linear_drag: np.ndarray = field(default_factory=_default_drag)
+    angular_drag: float = 0.002
+    geometry: QuadGeometry = field(default_factory=QuadGeometry)
+    motor: MotorParameters = field(default_factory=MotorParameters)
+    #: Attitude beyond which a low-altitude vehicle is considered crashed [rad].
+    crash_tilt_limit: float = np.deg2rad(75.0)
+    #: Vertical speed above which touching the ground counts as a crash [m/s].
+    crash_impact_speed: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0.0:
+            raise ValueError("mass must be positive")
+        self.inertia = np.asarray(self.inertia, dtype=float)
+        if self.inertia.shape != (3, 3):
+            raise ValueError("inertia must be a 3x3 matrix")
+        if np.any(np.diag(self.inertia) <= 0.0):
+            raise ValueError("inertia diagonal must be positive")
+        self.linear_drag = np.asarray(self.linear_drag, dtype=float)
+
+    @property
+    def hover_thrust_fraction(self) -> float:
+        """Fraction of total maximum thrust needed to hover."""
+        weight = self.mass * 9.80665
+        return weight / (4.0 * self.motor.max_thrust)
+
+
+class Quadrotor:
+    """Simulated quadrotor plant.
+
+    The plant is advanced with :meth:`step`, which takes the four normalised
+    motor commands (0..1) produced by the flight controller's output mixer.
+    """
+
+    def __init__(
+        self,
+        params: QuadrotorParameters | None = None,
+        environment: Environment | None = None,
+        initial_state: RigidBodyState | None = None,
+        integrator: str = "rk4",
+    ) -> None:
+        self.params = params or QuadrotorParameters()
+        self.environment = environment or Environment()
+        self.state = initial_state.copy() if initial_state else RigidBodyState()
+        self.motors = MotorBank(4, self.params.motor)
+        if integrator not in INTEGRATORS:
+            raise ValueError(f"unknown integrator {integrator!r}")
+        self._integrate = INTEGRATORS[integrator]
+        self._inertia_inv = np.linalg.inv(self.params.inertia)
+        self.time = 0.0
+        self._crashed = False
+        self._crash_time: float | None = None
+        self._on_ground = not self.environment.below_ground(self.state.position) and (
+            abs(self.state.position[2] - self.environment.ground_altitude) < 1e-6
+        )
+
+    @property
+    def crashed(self) -> bool:
+        """True once the vehicle has crashed; the flag is latching."""
+        return self._crashed
+
+    @property
+    def crash_time(self) -> float | None:
+        """Simulation time at which the crash occurred, if any."""
+        return self._crash_time
+
+    @property
+    def on_ground(self) -> bool:
+        """True while the vehicle is resting on the ground plane."""
+        return self._on_ground
+
+    def arm(self) -> None:
+        """Arm all motors."""
+        self.motors.arm()
+
+    def disarm(self) -> None:
+        """Disarm all motors."""
+        self.motors.disarm()
+
+    def set_state(self, state: RigidBodyState) -> None:
+        """Replace the vehicle state (used to initialise hover scenarios)."""
+        self.state = state.copy()
+
+    def _derivative(self, force_body: np.ndarray, torque_body: np.ndarray):
+        """Return the rigid-body state derivative for the given wrench."""
+        params = self.params
+        env = self.environment
+
+        def f(_t: float, y: np.ndarray) -> np.ndarray:
+            state = RigidBodyState.from_vector(y)
+            quat = quat_normalize(state.quaternion)
+
+            wind = env.wind_at(self.time, state.position)
+            air_velocity = state.velocity - wind
+            drag_force_ned = -params.linear_drag * air_velocity
+
+            force_ned = quat_rotate(quat, force_body) + drag_force_ned
+            acceleration = force_ned / params.mass + env.gravity_vector()
+
+            omega = state.angular_velocity
+            drag_torque = -params.angular_drag * omega
+            angular_acceleration = self._inertia_inv @ (
+                torque_body + drag_torque - np.cross(omega, params.inertia @ omega)
+            )
+
+            return np.concatenate(
+                [
+                    state.velocity,
+                    acceleration,
+                    quat_derivative(quat, omega),
+                    angular_acceleration,
+                ]
+            )
+
+        return f
+
+    def step(self, motor_commands: np.ndarray, dt: float) -> RigidBodyState:
+        """Advance the plant by ``dt`` seconds under the given motor commands.
+
+        Parameters
+        ----------
+        motor_commands:
+            Normalised per-rotor throttle commands in [0, 1].
+        dt:
+            Integration step [s].
+        """
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        if self._crashed:
+            # A crashed vehicle stays where it fell; motors are cut.
+            self.motors.disarm()
+            self.time += dt
+            return self.state
+
+        motor_commands = np.asarray(motor_commands, dtype=float)
+        self.motors.step(motor_commands, dt)
+        force_body, torque_body = forces_and_torques(
+            self.motors.thrusts, self.motors.torques, self.params.geometry
+        )
+
+        y = self.state.as_vector()
+        y_next = self._integrate(self._derivative(force_body, torque_body), self.time, y, dt)
+        next_state = RigidBodyState.from_vector(y_next)
+        next_state.quaternion = quat_normalize(next_state.quaternion)
+
+        self._apply_ground_contact(next_state)
+        self.state = next_state
+        self.time += dt
+        self._check_crash()
+        return self.state
+
+    def _apply_ground_contact(self, state: RigidBodyState) -> None:
+        """Clamp the state to the ground plane and detect hard impacts."""
+        ground_z = self.environment.ground_altitude
+        if state.position[2] >= ground_z:
+            descent_speed = float(state.velocity[2])
+            roll, pitch, _ = quat_to_euler(state.quaternion)
+            tilted = max(abs(roll), abs(pitch)) > self.params.crash_tilt_limit
+            if descent_speed > self.params.crash_impact_speed or tilted:
+                self._register_crash()
+            state.position[2] = ground_z
+            state.velocity[:] = 0.0
+            state.angular_velocity[:] = 0.0
+            self._on_ground = True
+        else:
+            self._on_ground = False
+
+    def _check_crash(self) -> None:
+        """Flag a crash when the vehicle flips over close to the ground."""
+        if self._crashed:
+            return
+        roll, pitch, _ = quat_to_euler(self.state.quaternion)
+        tilt = max(abs(roll), abs(pitch))
+        if tilt > self.params.crash_tilt_limit and self.state.altitude < 0.3:
+            self._register_crash()
+
+    def _register_crash(self) -> None:
+        self._crashed = True
+        self._crash_time = self.time
+        self.motors.disarm()
+
+    # -- convenience accessors -------------------------------------------------
+
+    @property
+    def position(self) -> np.ndarray:
+        """NED position [m]."""
+        return self.state.position
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """NED velocity [m/s]."""
+        return self.state.velocity
+
+    @property
+    def attitude(self) -> tuple[float, float, float]:
+        """Roll, pitch, yaw in radians."""
+        return self.state.euler
+
+    @property
+    def altitude(self) -> float:
+        """Altitude above the NED origin [m]."""
+        return self.state.altitude
+
+    def specific_force_body(self) -> np.ndarray:
+        """Specific force (accelerometer measurement) in the body frame [m/s^2].
+
+        On the ground the accelerometer reads the reaction to gravity; in free
+        fall it reads zero.  Used by the IMU sensor model.
+        """
+        force_body, _ = forces_and_torques(
+            self.motors.thrusts, self.motors.torques, self.params.geometry
+        )
+        wind = self.environment.wind_at(self.time, self.state.position)
+        air_velocity = self.state.velocity - wind
+        drag_ned = -self.params.linear_drag * air_velocity
+        drag_body = quat_rotate_inverse(self.state.quaternion, drag_ned)
+        if self._on_ground and not self._crashed:
+            gravity_body = quat_rotate_inverse(
+                self.state.quaternion, -self.environment.gravity_vector()
+            )
+            return gravity_body
+        return (force_body + drag_body) / self.params.mass

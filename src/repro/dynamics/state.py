@@ -1,0 +1,217 @@
+"""Rigid-body state representation and quaternion utilities.
+
+The dynamics subpackage uses a North-East-Down (NED) world frame and a
+Forward-Right-Down (FRD) body frame, matching the conventions of the PX4
+autopilot that the paper's complex controller is based on.  Attitude is stored
+as a unit quaternion ``[w, x, y, z]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "GRAVITY",
+    "RigidBodyState",
+    "quat_normalize",
+    "quat_multiply",
+    "quat_conjugate",
+    "quat_rotate",
+    "quat_rotate_inverse",
+    "quat_from_euler",
+    "quat_to_euler",
+    "quat_to_rotation_matrix",
+    "quat_derivative",
+    "quat_from_axis_angle",
+    "angle_wrap",
+    "euler_error",
+]
+
+#: Standard gravity used throughout the simulator [m/s^2].
+GRAVITY = 9.80665
+
+
+def quat_normalize(q: np.ndarray) -> np.ndarray:
+    """Return ``q`` scaled to unit norm.
+
+    A zero quaternion is mapped to the identity rotation rather than raising,
+    because numerical integration can transiently produce very small norms.
+    """
+    q = np.asarray(q, dtype=float)
+    norm = np.linalg.norm(q)
+    if norm < 1e-12:
+        return np.array([1.0, 0.0, 0.0, 0.0])
+    return q / norm
+
+
+def quat_multiply(q1: np.ndarray, q2: np.ndarray) -> np.ndarray:
+    """Hamilton product ``q1 ⊗ q2`` with ``[w, x, y, z]`` ordering."""
+    w1, x1, y1, z1 = q1
+    w2, x2, y2, z2 = q2
+    return np.array(
+        [
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        ]
+    )
+
+
+def quat_conjugate(q: np.ndarray) -> np.ndarray:
+    """Return the conjugate (inverse for unit quaternions) of ``q``."""
+    return np.array([q[0], -q[1], -q[2], -q[3]])
+
+
+def quat_rotate(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rotate vector ``v`` from the body frame to the world frame by ``q``."""
+    qv = np.array([0.0, v[0], v[1], v[2]])
+    rotated = quat_multiply(quat_multiply(q, qv), quat_conjugate(q))
+    return rotated[1:]
+
+
+def quat_rotate_inverse(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Rotate vector ``v`` from the world frame to the body frame by ``q``."""
+    return quat_rotate(quat_conjugate(q), v)
+
+
+def quat_from_euler(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Build a quaternion from intrinsic Z-Y-X (yaw-pitch-roll) Euler angles."""
+    cr, sr = math.cos(roll / 2.0), math.sin(roll / 2.0)
+    cp, sp = math.cos(pitch / 2.0), math.sin(pitch / 2.0)
+    cy, sy = math.cos(yaw / 2.0), math.sin(yaw / 2.0)
+    return np.array(
+        [
+            cr * cp * cy + sr * sp * sy,
+            sr * cp * cy - cr * sp * sy,
+            cr * sp * cy + sr * cp * sy,
+            cr * cp * sy - sr * sp * cy,
+        ]
+    )
+
+
+def quat_to_euler(q: np.ndarray) -> tuple[float, float, float]:
+    """Return ``(roll, pitch, yaw)`` in radians for quaternion ``q``."""
+    w, x, y, z = quat_normalize(q)
+    sinr_cosp = 2.0 * (w * x + y * z)
+    cosr_cosp = 1.0 - 2.0 * (x * x + y * y)
+    roll = math.atan2(sinr_cosp, cosr_cosp)
+
+    sinp = 2.0 * (w * y - z * x)
+    sinp = max(-1.0, min(1.0, sinp))
+    pitch = math.asin(sinp)
+
+    siny_cosp = 2.0 * (w * z + x * y)
+    cosy_cosp = 1.0 - 2.0 * (y * y + z * z)
+    yaw = math.atan2(siny_cosp, cosy_cosp)
+    return roll, pitch, yaw
+
+
+def quat_to_rotation_matrix(q: np.ndarray) -> np.ndarray:
+    """Return the 3x3 body-to-world rotation matrix for quaternion ``q``."""
+    w, x, y, z = quat_normalize(q)
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def quat_derivative(q: np.ndarray, omega_body: np.ndarray) -> np.ndarray:
+    """Time derivative of quaternion ``q`` given body angular rate ``omega_body``."""
+    omega_quat = np.array([0.0, omega_body[0], omega_body[1], omega_body[2]])
+    return 0.5 * quat_multiply(q, omega_quat)
+
+
+def quat_from_axis_angle(axis: np.ndarray, angle: float) -> np.ndarray:
+    """Quaternion rotating by ``angle`` radians about unit vector ``axis``."""
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm < 1e-12:
+        return np.array([1.0, 0.0, 0.0, 0.0])
+    axis = axis / norm
+    half = angle / 2.0
+    return np.concatenate(([math.cos(half)], axis * math.sin(half)))
+
+
+def angle_wrap(angle: float) -> float:
+    """Wrap an angle to the interval ``(-pi, pi]``."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def euler_error(actual: tuple[float, float, float],
+                desired: tuple[float, float, float]) -> tuple[float, float, float]:
+    """Wrapped per-axis attitude error ``desired - actual`` in radians."""
+    return (
+        angle_wrap(desired[0] - actual[0]),
+        angle_wrap(desired[1] - actual[1]),
+        angle_wrap(desired[2] - actual[2]),
+    )
+
+
+@dataclass
+class RigidBodyState:
+    """Full rigid-body state of the vehicle.
+
+    Attributes
+    ----------
+    position:
+        NED position of the centre of mass in metres.
+    velocity:
+        NED velocity in metres per second.
+    quaternion:
+        Body-to-world attitude quaternion ``[w, x, y, z]``.
+    angular_velocity:
+        Body-frame angular rates ``[p, q, r]`` in radians per second.
+    """
+
+    position: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    quaternion: np.ndarray = field(default_factory=lambda: np.array([1.0, 0.0, 0.0, 0.0]))
+    angular_velocity: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def copy(self) -> "RigidBodyState":
+        """Return a deep copy of the state."""
+        return RigidBodyState(
+            position=self.position.copy(),
+            velocity=self.velocity.copy(),
+            quaternion=self.quaternion.copy(),
+            angular_velocity=self.angular_velocity.copy(),
+        )
+
+    @property
+    def euler(self) -> tuple[float, float, float]:
+        """Attitude as ``(roll, pitch, yaw)`` in radians."""
+        return quat_to_euler(self.quaternion)
+
+    @property
+    def altitude(self) -> float:
+        """Altitude above the NED origin in metres (positive up)."""
+        return -float(self.position[2])
+
+    def as_vector(self) -> np.ndarray:
+        """Flatten the state into a 13-element vector (pos, vel, quat, rates)."""
+        return np.concatenate(
+            [self.position, self.velocity, self.quaternion, self.angular_velocity]
+        )
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "RigidBodyState":
+        """Rebuild a state from a 13-element vector produced by :meth:`as_vector`."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (13,):
+            raise ValueError(f"state vector must have 13 elements, got {vector.shape}")
+        return cls(
+            position=vector[0:3].copy(),
+            velocity=vector[3:6].copy(),
+            quaternion=quat_normalize(vector[6:10]),
+            angular_velocity=vector[10:13].copy(),
+        )

@@ -1,0 +1,11 @@
+"""State estimation used by both control environments."""
+
+from .attitude import AttitudeEstimate, ComplementaryFilter
+from .position import PositionEstimate, PositionEstimator
+
+__all__ = [
+    "AttitudeEstimate",
+    "ComplementaryFilter",
+    "PositionEstimate",
+    "PositionEstimator",
+]

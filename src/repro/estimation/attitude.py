@@ -1,0 +1,95 @@
+"""Complementary attitude filter.
+
+Both controllers (the complex controller in the container and the safety
+controller on the host) estimate attitude from the same forwarded IMU stream.
+A complementary filter fuses integrated gyro rates with the gravity direction
+observed by the accelerometer, which is the standard light-weight approach for
+small autopilots and is sufficient for the paper's hover experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dynamics.state import (
+    angle_wrap,
+    quat_from_euler,
+    quat_multiply,
+    quat_normalize,
+    quat_to_euler,
+)
+from ..sensors.imu import ImuReading
+
+__all__ = ["AttitudeEstimate", "ComplementaryFilter"]
+
+
+@dataclass(frozen=True)
+class AttitudeEstimate:
+    """Attitude estimate with body rates."""
+
+    quaternion: np.ndarray
+    roll: float
+    pitch: float
+    yaw: float
+    rates: np.ndarray
+
+
+class ComplementaryFilter:
+    """Gyro-integration attitude filter with accelerometer tilt correction."""
+
+    def __init__(self, accel_gain: float = 0.002, initial_yaw: float = 0.0) -> None:
+        if not 0.0 <= accel_gain <= 1.0:
+            raise ValueError("accel_gain must be within [0, 1]")
+        self.accel_gain = float(accel_gain)
+        self._quaternion = quat_from_euler(0.0, 0.0, initial_yaw)
+        self._rates = np.zeros(3)
+        self._initialized = False
+
+    @property
+    def estimate(self) -> AttitudeEstimate:
+        """Current attitude estimate."""
+        roll, pitch, yaw = quat_to_euler(self._quaternion)
+        return AttitudeEstimate(
+            quaternion=self._quaternion.copy(),
+            roll=roll,
+            pitch=pitch,
+            yaw=yaw,
+            rates=self._rates.copy(),
+        )
+
+    def set_yaw(self, yaw: float) -> None:
+        """Reset the yaw component (e.g. when motion-capture yaw arrives)."""
+        roll, pitch, _ = quat_to_euler(self._quaternion)
+        self._quaternion = quat_from_euler(roll, pitch, angle_wrap(yaw))
+
+    def update(self, imu: ImuReading, dt: float) -> AttitudeEstimate:
+        """Fuse one IMU reading taken ``dt`` seconds after the previous one."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        gyro = np.asarray(imu.gyro, dtype=float)
+        accel = np.asarray(imu.accel, dtype=float)
+        self._rates = gyro
+
+        # Propagate attitude with the gyro rates.
+        delta = np.concatenate(([1.0], 0.5 * gyro * dt))
+        self._quaternion = quat_normalize(quat_multiply(self._quaternion, delta))
+
+        # Tilt correction from the accelerometer when it is observing roughly
+        # one gravity of specific force (i.e. not in aggressive manoeuvres).
+        accel_norm = np.linalg.norm(accel)
+        if 0.5 * 9.80665 < accel_norm < 1.5 * 9.80665:
+            accel_unit = accel / accel_norm
+            accel_roll = np.arctan2(-accel_unit[1], -accel_unit[2])
+            accel_pitch = np.arctan2(accel_unit[0], np.sqrt(accel_unit[1] ** 2 + accel_unit[2] ** 2))
+            roll, pitch, yaw = quat_to_euler(self._quaternion)
+            if not self._initialized:
+                roll, pitch = accel_roll, accel_pitch
+                self._initialized = True
+            else:
+                roll += self.accel_gain * angle_wrap(accel_roll - roll)
+                pitch += self.accel_gain * angle_wrap(accel_pitch - pitch)
+            self._quaternion = quat_from_euler(roll, pitch, yaw)
+
+        return self.estimate

@@ -1,0 +1,118 @@
+"""Position and velocity estimator.
+
+A constant-velocity Kalman filter per axis fuses the motion-capture (or GPS)
+position fix with a predicted trajectory, and the barometer refines the
+vertical channel.  It plays the role of PX4's local position estimator for the
+purposes of the hover experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PositionEstimate", "PositionEstimator"]
+
+
+@dataclass(frozen=True)
+class PositionEstimate:
+    """NED position and velocity estimate."""
+
+    position: np.ndarray
+    velocity: np.ndarray
+    valid: bool
+
+
+class _AxisKalman:
+    """Constant-velocity Kalman filter for a single axis."""
+
+    def __init__(self, process_noise: float, measurement_noise: float) -> None:
+        self.x = np.zeros(2)  # [position, velocity]
+        self.P = np.diag([1.0, 1.0])
+        self.q = float(process_noise)
+        self.r = float(measurement_noise)
+
+    def predict(self, dt: float) -> None:
+        F = np.array([[1.0, dt], [0.0, 1.0]])
+        G = np.array([0.5 * dt * dt, dt])
+        self.x = F @ self.x
+        self.P = F @ self.P @ F.T + self.q * np.outer(G, G)
+
+    def update(self, measurement: float, measurement_noise: float | None = None) -> None:
+        r = self.r if measurement_noise is None else float(measurement_noise)
+        H = np.array([1.0, 0.0])
+        innovation = measurement - H @ self.x
+        S = H @ self.P @ H + r
+        K = self.P @ H / S
+        self.x = self.x + K * innovation
+        self.P = (np.eye(2) - np.outer(K, H)) @ self.P
+
+
+class PositionEstimator:
+    """Three-axis constant-velocity estimator for local NED position."""
+
+    def __init__(
+        self,
+        process_noise: float = 30.0,
+        mocap_noise: float = 1e-4,
+        gps_noise: float = 2.25,
+        baro_noise: float = 2.5e-3,
+    ) -> None:
+        # The noise arguments are variances; defaults correspond to the sensor
+        # models in :mod:`repro.sensors` (mocap sigma ~ 1 cm, GPS sigma ~ 1.5 m,
+        # barometer sigma ~ 5 cm).  The process noise is the assumed vehicle
+        # acceleration variance of the constant-velocity model.
+        self._axes = [_AxisKalman(process_noise, mocap_noise) for _ in range(3)]
+        self.mocap_noise = float(mocap_noise)
+        self.gps_noise = float(gps_noise)
+        self.baro_noise = float(baro_noise)
+        self._has_fix = False
+        self._baro_reference: float | None = None
+
+    @property
+    def estimate(self) -> PositionEstimate:
+        """Current position/velocity estimate."""
+        position = np.array([axis.x[0] for axis in self._axes])
+        velocity = np.array([axis.x[1] for axis in self._axes])
+        return PositionEstimate(position=position, velocity=velocity, valid=self._has_fix)
+
+    def predict(self, dt: float) -> None:
+        """Propagate the estimate by ``dt`` seconds."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        for axis in self._axes:
+            axis.predict(dt)
+
+    def update_mocap(self, position_ned: np.ndarray) -> None:
+        """Fuse a motion-capture position fix (low noise)."""
+        position_ned = np.asarray(position_ned, dtype=float)
+        for axis, measurement in zip(self._axes, position_ned):
+            axis.update(float(measurement), self.mocap_noise)
+        self._has_fix = True
+
+    def update_gps(self, position_ned: np.ndarray) -> None:
+        """Fuse a GPS-derived local position fix (higher noise)."""
+        position_ned = np.asarray(position_ned, dtype=float)
+        for axis, measurement in zip(self._axes, position_ned):
+            axis.update(float(measurement), self.gps_noise)
+        self._has_fix = True
+
+    def update_baro_altitude(self, altitude_asl_m: float) -> None:
+        """Fuse a barometric altitude as a relative vertical measurement.
+
+        The first sample establishes the barometric reference so that it is
+        consistent with the current vertical estimate (the local NED origin is
+        unknown to the barometer); subsequent samples constrain vertical
+        motion relative to that reference.
+        """
+        if self._baro_reference is None:
+            if not self._has_fix:
+                # Wait for an absolute position fix before anchoring the
+                # barometric reference, otherwise the reference would pin the
+                # vertical estimate to the (unknown) take-off altitude.
+                return
+            self._baro_reference = float(altitude_asl_m) + float(self._axes[2].x[0])
+            return
+        down = -(float(altitude_asl_m) - self._baro_reference)
+        self._axes[2].update(down, self.baro_noise)

@@ -1,0 +1,40 @@
+"""MAVLink-like messaging substrate used between the HCE and the CCE."""
+
+from .codec import DecodeError, Frame, MavlinkCodec, crc16
+from .connection import MOTOR_PORT, SENSOR_PORT, MavlinkConnection
+from .messages import (
+    MESSAGE_REGISTRY,
+    ActuatorOutputs,
+    AttitudeTarget,
+    GpsRawInt,
+    Heartbeat,
+    HighresImu,
+    LocalPositionNed,
+    MavlinkMessage,
+    RcChannelsOverride,
+    ScaledPressure,
+    message_class_for_id,
+)
+from .router import MessageRouter
+
+__all__ = [
+    "ActuatorOutputs",
+    "AttitudeTarget",
+    "DecodeError",
+    "Frame",
+    "GpsRawInt",
+    "Heartbeat",
+    "HighresImu",
+    "LocalPositionNed",
+    "MESSAGE_REGISTRY",
+    "MOTOR_PORT",
+    "MavlinkCodec",
+    "MavlinkConnection",
+    "MavlinkMessage",
+    "MessageRouter",
+    "RcChannelsOverride",
+    "SENSOR_PORT",
+    "ScaledPressure",
+    "crc16",
+    "message_class_for_id",
+]

@@ -1,0 +1,87 @@
+"""MAVLink connection over the simulated UDP stack.
+
+A :class:`MavlinkConnection` pairs a bound UDP endpoint with a codec and a
+destination address, mirroring how the HCE feeder threads and the complex
+controller exchange messages on ports 14660 and 14600 (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.stack import NetworkStack
+from ..network.udp import UdpEndpoint
+from .codec import DecodeError, Frame, MavlinkCodec
+from .messages import MavlinkMessage
+
+__all__ = ["MavlinkConnection", "SENSOR_PORT", "MOTOR_PORT"]
+
+#: Table I: all sensor/RC streams from the HCE are received by the CCE on this port.
+SENSOR_PORT = 14660
+#: Table I: motor output from the CCE is received by the HCE on this port.
+MOTOR_PORT = 14600
+
+
+class MavlinkConnection:
+    """One end of a MAVLink-over-UDP link."""
+
+    def __init__(
+        self,
+        stack: NetworkStack,
+        local_namespace: str,
+        local_port: int,
+        remote_namespace: str,
+        remote_port: int,
+        system_id: int = 1,
+        queue_capacity: int = 256,
+    ) -> None:
+        self.stack = stack
+        self.local_namespace = local_namespace
+        self.local_port = int(local_port)
+        self.remote_namespace = remote_namespace
+        self.remote_port = int(remote_port)
+        self.codec = MavlinkCodec(system_id=system_id)
+        self._endpoint: UdpEndpoint | None = stack.bind(
+            local_namespace, local_port, queue_capacity=queue_capacity
+        )
+        self.malformed_received = 0
+
+    @property
+    def endpoint(self) -> UdpEndpoint | None:
+        """The underlying UDP endpoint, or ``None`` after :meth:`close`."""
+        return self._endpoint
+
+    @property
+    def closed(self) -> bool:
+        """True once the connection's receive side has been torn down."""
+        return self._endpoint is None
+
+    def close(self) -> None:
+        """Unbind the local endpoint (the monitor does this to the HCE receiver)."""
+        if self._endpoint is not None:
+            self.stack.unbind(self._endpoint)
+            self._endpoint = None
+
+    def send(self, now: float, message: MavlinkMessage) -> bool:
+        """Encode and send one message to the remote end."""
+        datagram = self.codec.encode(message)
+        return self.stack.send(
+            now,
+            datagram,
+            source_namespace=self.local_namespace,
+            source_port=self.local_port,
+            destination_namespace=self.remote_namespace,
+            destination_port=self.remote_port,
+        )
+
+    def receive(self, now: float, max_datagrams: int | None = None) -> list[Frame]:
+        """Decode every datagram available by ``now``; malformed data is counted."""
+        if self._endpoint is None:
+            return []
+        frames: list[Frame] = []
+        for datagram in self._endpoint.receive(now, max_datagrams=max_datagrams):
+            try:
+                frames.append(self.codec.decode(datagram.payload))
+            except DecodeError:
+                self.malformed_received += 1
+        return frames

@@ -1,0 +1,326 @@
+"""MAVLink-like message definitions.
+
+The paper's HCE and CCE exchange sensor data and actuator outputs over UDP
+using the MAVLink protocol.  This module defines a compact message set that
+mirrors the messages the prototype actually uses, with payload sizes chosen so
+the framed packets match the byte counts reported in Table I:
+
+=============  ==================  =====  =========  =====
+Component      Direction           Rate   Size       Port
+=============  ==================  =====  =========  =====
+IMU            HCE → CCE           250Hz  52 bytes   14660
+Barometer      HCE → CCE           50Hz   32 bytes   14660
+GPS            HCE → CCE           10Hz   44 bytes   14660
+RC             HCE → CCE           50Hz   50 bytes   14660
+Motor Output   CCE → HCE           400Hz  29 bytes   14600
+=============  ==================  =====  =========  =====
+
+Each frame carries an 8-byte header (magic, length, sequence, system id,
+component id, message id) and a 2-byte CRC, so the payload sizes below are
+``table_size - 10``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "MESSAGE_REGISTRY",
+    "MavlinkMessage",
+    "HighresImu",
+    "ScaledPressure",
+    "GpsRawInt",
+    "RcChannelsOverride",
+    "ActuatorOutputs",
+    "AttitudeTarget",
+    "Heartbeat",
+    "LocalPositionNed",
+    "message_class_for_id",
+]
+
+#: Number of framing bytes added by the codec (header + CRC).
+FRAME_OVERHEAD = 10
+
+
+@dataclass(frozen=True)
+class MavlinkMessage:
+    """Base class for all messages.  Subclasses define ``MSG_ID`` and packing."""
+
+    MSG_ID: int = field(default=-1, init=False, repr=False)
+
+    def pack(self) -> bytes:
+        """Serialise the payload to bytes."""
+        raise NotImplementedError
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "MavlinkMessage":
+        """Deserialise the payload from bytes."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Heartbeat(MavlinkMessage):
+    """Liveness beacon exchanged between the control environments."""
+
+    MSG_ID = 0
+    _FORMAT = "<IBBB"
+
+    time_ms: int = 0
+    system_status: int = 0
+    autopilot: int = 12
+    vehicle_type: int = 2
+
+    def pack(self) -> bytes:
+        return struct.pack(self._FORMAT, self.time_ms, self.system_status,
+                           self.autopilot, self.vehicle_type)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "Heartbeat":
+        time_ms, status, autopilot, vehicle_type = struct.unpack(cls._FORMAT, payload)
+        return cls(time_ms=time_ms, system_status=status, autopilot=autopilot,
+                   vehicle_type=vehicle_type)
+
+
+@dataclass(frozen=True)
+class HighresImu(MavlinkMessage):
+    """IMU sample forwarded from the HCE driver (Table I: 52 bytes framed)."""
+
+    MSG_ID = 105
+    # uint32 time + 9 floats (gyro, accel, abs pressure, pressure altitude,
+    # temperature) + uint16 fields_updated = 42 bytes payload -> 52 framed.
+    _FORMAT = "<I9fH"
+
+    time_ms: int = 0
+    gyro: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    accel: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    abs_pressure: float = 101325.0
+    pressure_alt: float = 0.0
+    temperature: float = 25.0
+    fields_updated: int = 0x3F
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            self._FORMAT,
+            self.time_ms,
+            *self.gyro,
+            *self.accel,
+            self.abs_pressure,
+            self.pressure_alt,
+            self.temperature,
+            self.fields_updated,
+        )
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "HighresImu":
+        values = struct.unpack(cls._FORMAT, payload)
+        return cls(
+            time_ms=values[0],
+            gyro=tuple(values[1:4]),
+            accel=tuple(values[4:7]),
+            abs_pressure=values[7],
+            pressure_alt=values[8],
+            temperature=values[9],
+            fields_updated=values[10],
+        )
+
+    @classmethod
+    def from_arrays(cls, time_ms: int, gyro: np.ndarray, accel: np.ndarray) -> "HighresImu":
+        """Build a message from numpy gyro/accel vectors."""
+        return cls(time_ms=time_ms, gyro=tuple(float(v) for v in gyro),
+                   accel=tuple(float(v) for v in accel))
+
+
+@dataclass(frozen=True)
+class ScaledPressure(MavlinkMessage):
+    """Barometer sample forwarded from the HCE driver (Table I: 32 bytes framed)."""
+
+    MSG_ID = 29
+    # uint32 time + 4 floats + int16 = 22 bytes payload.
+    _FORMAT = "<I4fh"
+
+    time_ms: int = 0
+    pressure_abs: float = 101325.0
+    pressure_diff: float = 0.0
+    altitude_m: float = 0.0
+    temperature_c: float = 25.0
+    padding: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(self._FORMAT, self.time_ms, self.pressure_abs,
+                           self.pressure_diff, self.altitude_m, self.temperature_c,
+                           self.padding)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "ScaledPressure":
+        values = struct.unpack(cls._FORMAT, payload)
+        return cls(time_ms=values[0], pressure_abs=values[1], pressure_diff=values[2],
+                   altitude_m=values[3], temperature_c=values[4], padding=values[5])
+
+
+@dataclass(frozen=True)
+class GpsRawInt(MavlinkMessage):
+    """GNSS fix forwarded from the HCE driver (Table I: 44 bytes framed)."""
+
+    MSG_ID = 24
+    # uint32 time + 3 int32 (lat/lon/alt) + 4 floats + 2 uint8 = 34 bytes payload.
+    _FORMAT = "<I3i4f2B"
+
+    time_ms: int = 0
+    lat_e7: int = 0
+    lon_e7: int = 0
+    alt_mm: int = 0
+    vel_north: float = 0.0
+    vel_east: float = 0.0
+    vel_down: float = 0.0
+    hdop: float = 1.0
+    fix_type: int = 3
+    satellites: int = 9
+
+    def pack(self) -> bytes:
+        return struct.pack(self._FORMAT, self.time_ms, self.lat_e7, self.lon_e7,
+                           self.alt_mm, self.vel_north, self.vel_east, self.vel_down,
+                           self.hdop, self.fix_type, self.satellites)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "GpsRawInt":
+        values = struct.unpack(cls._FORMAT, payload)
+        return cls(time_ms=values[0], lat_e7=values[1], lon_e7=values[2], alt_mm=values[3],
+                   vel_north=values[4], vel_east=values[5], vel_down=values[6],
+                   hdop=values[7], fix_type=values[8], satellites=values[9])
+
+
+@dataclass(frozen=True)
+class RcChannelsOverride(MavlinkMessage):
+    """RC frame forwarded from the HCE driver (Table I: 50 bytes framed)."""
+
+    MSG_ID = 70
+    # uint32 time + 16 uint16 channels + 2 uint8 + uint16 = 40 bytes payload.
+    _FORMAT = "<I16H2BH"
+
+    time_ms: int = 0
+    channels: tuple[int, ...] = tuple([1500] * 16)
+    target_system: int = 1
+    target_component: int = 1
+    rssi: int = 255
+
+    def pack(self) -> bytes:
+        channels = tuple(self.channels) + (1500,) * (16 - len(self.channels))
+        return struct.pack(self._FORMAT, self.time_ms, *channels[:16],
+                           self.target_system, self.target_component, self.rssi)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "RcChannelsOverride":
+        values = struct.unpack(cls._FORMAT, payload)
+        return cls(time_ms=values[0], channels=tuple(values[1:17]),
+                   target_system=values[17], target_component=values[18], rssi=values[19])
+
+
+@dataclass(frozen=True)
+class LocalPositionNed(MavlinkMessage):
+    """Local NED position (motion-capture fix bridged like ViconMAVLink)."""
+
+    MSG_ID = 32
+    _FORMAT = "<I7f"
+
+    time_ms: int = 0
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+    vx: float = 0.0
+    vy: float = 0.0
+    vz: float = 0.0
+    yaw: float = 0.0
+
+    def pack(self) -> bytes:
+        return struct.pack(self._FORMAT, self.time_ms, self.x, self.y, self.z,
+                           self.vx, self.vy, self.vz, self.yaw)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "LocalPositionNed":
+        values = struct.unpack(cls._FORMAT, payload)
+        return cls(time_ms=values[0], x=values[1], y=values[2], z=values[3],
+                   vx=values[4], vy=values[5], vz=values[6], yaw=values[7])
+
+
+@dataclass(frozen=True)
+class ActuatorOutputs(MavlinkMessage):
+    """Motor output from the complex controller (Table I: 29 bytes framed)."""
+
+    MSG_ID = 140
+    # uint32 time + 4 floats (motors) - header/CRC gives a 29-byte frame
+    # only with a trimmed header, so we use uint16 time + 4 float + seq byte
+    # = 19 bytes payload -> 29 bytes framed.
+    _FORMAT = "<H4fB"
+
+    time_ms: int = 0
+    motors: tuple[float, float, float, float] = (0.0, 0.0, 0.0, 0.0)
+    sequence: int = 0
+
+    def pack(self) -> bytes:
+        return struct.pack(self._FORMAT, self.time_ms & 0xFFFF, *self.motors,
+                           self.sequence & 0xFF)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "ActuatorOutputs":
+        values = struct.unpack(cls._FORMAT, payload)
+        return cls(time_ms=values[0], motors=tuple(values[1:5]), sequence=values[5])
+
+    @classmethod
+    def from_command(cls, time_ms: int, motors: np.ndarray, sequence: int) -> "ActuatorOutputs":
+        """Build a message from an actuator command's motor vector."""
+        return cls(time_ms=time_ms, motors=tuple(float(v) for v in motors), sequence=sequence)
+
+
+@dataclass(frozen=True)
+class AttitudeTarget(MavlinkMessage):
+    """Attitude setpoint message (used by extension examples, not Table I)."""
+
+    MSG_ID = 82
+    _FORMAT = "<I5f"
+
+    time_ms: int = 0
+    roll: float = 0.0
+    pitch: float = 0.0
+    yaw: float = 0.0
+    thrust: float = 0.0
+    body_yaw_rate: float = 0.0
+
+    def pack(self) -> bytes:
+        return struct.pack(self._FORMAT, self.time_ms, self.roll, self.pitch,
+                           self.yaw, self.thrust, self.body_yaw_rate)
+
+    @classmethod
+    def unpack(cls, payload: bytes) -> "AttitudeTarget":
+        values = struct.unpack(cls._FORMAT, payload)
+        return cls(time_ms=values[0], roll=values[1], pitch=values[2], yaw=values[3],
+                   thrust=values[4], body_yaw_rate=values[5])
+
+
+#: Message classes indexed by their MAVLink-style message id.
+MESSAGE_REGISTRY: dict[int, type[MavlinkMessage]] = {
+    cls.MSG_ID: cls
+    for cls in (
+        Heartbeat,
+        HighresImu,
+        ScaledPressure,
+        GpsRawInt,
+        RcChannelsOverride,
+        LocalPositionNed,
+        ActuatorOutputs,
+        AttitudeTarget,
+    )
+}
+
+
+def message_class_for_id(msg_id: int) -> type[MavlinkMessage]:
+    """Return the message class registered for ``msg_id``.
+
+    Raises
+    ------
+    KeyError
+        If the id is unknown (e.g. a malformed or hostile packet).
+    """
+    return MESSAGE_REGISTRY[msg_id]

@@ -1,0 +1,46 @@
+"""Message router: dispatches decoded frames to per-type handlers.
+
+Both control environments use a router to fan incoming messages out to the
+right consumer (IMU samples to the attitude filter, RC frames to the mode
+logic, actuator outputs to the output selector, and so on).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+from .codec import Frame
+from .messages import MavlinkMessage
+
+__all__ = ["MessageRouter"]
+
+Handler = Callable[[MavlinkMessage, float], None]
+
+
+class MessageRouter:
+    """Registers handlers per message class and dispatches frames to them."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[type[MavlinkMessage], list[Handler]] = defaultdict(list)
+        self.dispatched = 0
+        self.unhandled = 0
+
+    def subscribe(self, message_type: type[MavlinkMessage], handler: Handler) -> None:
+        """Register ``handler`` for messages of ``message_type``."""
+        self._handlers[message_type].append(handler)
+
+    def dispatch(self, frame: Frame, now: float) -> bool:
+        """Dispatch one frame; returns True if at least one handler consumed it."""
+        handlers = self._handlers.get(type(frame.message), [])
+        if not handlers:
+            self.unhandled += 1
+            return False
+        for handler in handlers:
+            handler(frame.message, now)
+        self.dispatched += 1
+        return True
+
+    def dispatch_all(self, frames: list[Frame], now: float) -> int:
+        """Dispatch a batch of frames; returns the number consumed."""
+        return sum(1 for frame in frames if self.dispatch(frame, now))

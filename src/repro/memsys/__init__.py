@@ -1,0 +1,14 @@
+"""Memory subsystem substrate: shared DRAM model, counters and MemGuard."""
+
+from .dram import DramModel, DramParameters
+from .memguard import MemGuard, MemGuardConfig
+from .perf_counter import CounterBank, PerformanceCounter
+
+__all__ = [
+    "CounterBank",
+    "DramModel",
+    "DramParameters",
+    "MemGuard",
+    "MemGuardConfig",
+    "PerformanceCounter",
+]

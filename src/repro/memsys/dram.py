@@ -1,0 +1,103 @@
+"""Shared DRAM bandwidth contention model.
+
+The Raspberry Pi 3 has a single LPDDR2 memory controller shared by the four
+CPU cores.  A memory-intensive task on one core therefore inflates the memory
+access latency seen by every other core — this is the cross-core channel the
+Figure 4/5 attack exploits, and the channel MemGuard closes.
+
+The model is intentionally phenomenological (see DESIGN.md, "Key modelling
+decisions"): per scheduler quantum the demanded access rate of every core is
+summed, the resulting DRAM utilisation maps to a latency inflation factor, and
+each task's execution time is stretched according to its memory-stall
+fraction.  The shape of the inflation curve follows the queueing-style
+``1 / (1 - rho)`` growth reported in the MemGuard evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramParameters", "DramModel"]
+
+
+@dataclass(frozen=True)
+class DramParameters:
+    """Parameters of the shared-memory contention model.
+
+    Attributes
+    ----------
+    peak_accesses_per_second:
+        Saturation access rate of the memory controller.  The default is
+        calibrated so that one IsolBench ``Bandwidth`` instance can saturate
+        the controller, as measured on the Raspberry Pi 3 in the MemGuard and
+        DeepPicar studies.
+    contention_gain:
+        Scales how quickly latency grows with utilisation.
+    max_utilization:
+        Cap on the utilisation used in the latency formula (keeps the factor
+        finite when demand exceeds the peak rate).
+    """
+
+    peak_accesses_per_second: float = 6.0e6
+    contention_gain: float = 0.18
+    max_utilization: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.peak_accesses_per_second <= 0.0:
+            raise ValueError("peak_accesses_per_second must be positive")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError("max_utilization must be in (0, 1)")
+        if self.contention_gain < 0.0:
+            raise ValueError("contention_gain must be non-negative")
+
+
+class DramModel:
+    """Computes the memory-latency inflation factor for a scheduling quantum."""
+
+    def __init__(self, params: DramParameters | None = None) -> None:
+        self.params = params or DramParameters()
+        self._last_utilization = 0.0
+        self._last_factor = 1.0
+
+    @property
+    def last_utilization(self) -> float:
+        """DRAM utilisation computed for the most recent quantum."""
+        return self._last_utilization
+
+    @property
+    def last_latency_factor(self) -> float:
+        """Latency factor computed for the most recent quantum."""
+        return self._last_factor
+
+    def utilization(self, total_demand_accesses_per_second: float) -> float:
+        """Map a total demanded access rate to a (capped) utilisation."""
+        if total_demand_accesses_per_second < 0.0:
+            raise ValueError("demand must be non-negative")
+        rho = total_demand_accesses_per_second / self.params.peak_accesses_per_second
+        return min(rho, self.params.max_utilization)
+
+    def latency_factor(self, total_demand_accesses_per_second: float) -> float:
+        """Latency inflation factor for the given total demanded access rate.
+
+        Returns 1.0 when the bus is idle and grows like
+        ``1 + gain * rho / (1 - rho)`` as the controller saturates.
+        """
+        rho = self.utilization(total_demand_accesses_per_second)
+        factor = 1.0 + self.params.contention_gain * rho / (1.0 - rho)
+        self._last_utilization = rho
+        self._last_factor = factor
+        return factor
+
+    @staticmethod
+    def stretch_execution(latency_factor: float, memory_stall_fraction: float) -> float:
+        """Execution-time multiplier for a task with the given stall fraction.
+
+        A task that spends fraction ``m`` of its contention-free execution time
+        stalled on memory sees its execution stretched to
+        ``(1 - m) + m * latency_factor``.
+        """
+        if not 0.0 <= memory_stall_fraction <= 1.0:
+            raise ValueError("memory_stall_fraction must be within [0, 1]")
+        if latency_factor < 1.0:
+            raise ValueError("latency_factor must be at least 1.0")
+        return (1.0 - memory_stall_fraction) + memory_stall_fraction * latency_factor

@@ -1,0 +1,149 @@
+"""MemGuard: per-core memory-bandwidth reservation.
+
+Reimplementation of the regulation algorithm of Yun et al. (RTAS 2013), the
+kernel module the paper loads to defend against the memory-bandwidth DoS
+attack:
+
+* time is divided into fixed regulation periods (1 ms by default),
+* each core is assigned a budget of DRAM accesses per period,
+* a performance counter per core counts accesses and raises an overflow
+  interrupt when the budget is exhausted,
+* the overflow handler throttles the core (its tasks stop executing) until the
+  next period boundary, when every budget is replenished.
+
+The optional *reclaim* mode lets a core that exhausted its budget continue if
+other cores have donated unused budget to a global pool, matching the
+best-effort sharing mode of the original system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .perf_counter import CounterBank
+
+__all__ = ["MemGuardConfig", "MemGuard"]
+
+
+@dataclass
+class MemGuardConfig:
+    """Configuration of the MemGuard regulator.
+
+    Attributes
+    ----------
+    period:
+        Regulation period in seconds (1 ms in the original implementation).
+    budgets:
+        Per-core budgets in DRAM accesses per period.  ``None`` means the core
+        is unregulated (the paper only regulates the CCE core).
+    reclaim:
+        Enable best-effort budget reclaiming from the global donation pool.
+    """
+
+    period: float = 0.001
+    budgets: dict[int, int | None] = field(default_factory=dict)
+    reclaim: bool = False
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValueError("period must be positive")
+        for core, budget in self.budgets.items():
+            if budget is not None and budget < 0:
+                raise ValueError(f"budget for core {core} must be non-negative")
+
+
+class MemGuard:
+    """Per-core bandwidth regulator driven by the scheduler."""
+
+    def __init__(self, num_cores: int, config: MemGuardConfig | None = None) -> None:
+        self.num_cores = int(num_cores)
+        self.config = config or MemGuardConfig()
+        self.counters = CounterBank(self.num_cores)
+        self.enabled = True
+        self._period_start = 0.0
+        self._throttled: set[int] = set()
+        self._donation_pool = 0
+        self.throttle_events = 0
+        for core in range(self.num_cores):
+            self.counters[core].program_overflow(self.config.budgets.get(core))
+
+    # -- configuration -----------------------------------------------------------
+
+    def set_budget(self, core: int, budget: int | None) -> None:
+        """Assign (or remove, with ``None``) the budget of one core."""
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.config.budgets[core] = budget
+        self.counters[core].program_overflow(budget)
+
+    def budget(self, core: int) -> int | None:
+        """Budget of ``core`` in accesses per period (``None`` = unregulated)."""
+        return self.config.budgets.get(core)
+
+    def disable(self) -> None:
+        """Turn regulation off (the Figure 4 configuration)."""
+        self.enabled = False
+        self._throttled.clear()
+
+    def enable(self) -> None:
+        """Turn regulation on (the Figure 5 configuration)."""
+        self.enabled = True
+
+    # -- runtime interface used by the scheduler ----------------------------------
+
+    def is_throttled(self, core: int) -> bool:
+        """True while ``core`` must not execute (budget exhausted this period)."""
+        return self.enabled and core in self._throttled
+
+    def allowed_accesses(self, core: int) -> int | None:
+        """Accesses the core may still issue this period (``None`` = unlimited)."""
+        if not self.enabled:
+            return None
+        budget = self.config.budgets.get(core)
+        if budget is None:
+            return None
+        remaining = budget - self.counters[core].since_reset
+        if remaining > 0:
+            return remaining
+        if self.config.reclaim and self._donation_pool > 0:
+            return self._donation_pool
+        return 0
+
+    def record_accesses(self, core: int, accesses: int) -> None:
+        """Account accesses issued by ``core`` and throttle it if over budget."""
+        counter = self.counters[core]
+        overflowed = counter.add(accesses)
+        if not self.enabled:
+            return
+        budget = self.config.budgets.get(core)
+        if budget is None:
+            return
+        if self.config.reclaim and counter.since_reset > budget:
+            # Draw the excess from the donation pool if available.
+            excess = counter.since_reset - budget
+            drawn = min(excess, self._donation_pool)
+            self._donation_pool -= drawn
+            if excess > drawn:
+                self._throttle(core)
+        elif overflowed:
+            self._throttle(core)
+
+    def _throttle(self, core: int) -> None:
+        if core not in self._throttled:
+            self._throttled.add(core)
+            self.throttle_events += 1
+
+    def advance_to(self, now: float) -> None:
+        """Advance regulator time; replenish budgets at period boundaries."""
+        while now - self._period_start >= self.config.period - 1e-12:
+            self._period_start += self.config.period
+            if self.config.reclaim:
+                self._donation_pool = 0
+                for core in range(self.num_cores):
+                    budget = self.config.budgets.get(core)
+                    if budget is not None:
+                        unused = max(0, budget - self.counters[core].since_reset)
+                        self._donation_pool += unused
+            for core in range(self.num_cores):
+                self.counters[core].reset()
+            self._throttled.clear()

@@ -1,0 +1,85 @@
+"""Per-core performance counters.
+
+MemGuard programs the hardware performance counter of each core to count
+last-level-cache misses (DRAM accesses) and to raise an interrupt when the
+per-period budget is exhausted.  The simulator keeps an equivalent per-core
+counter that the scheduler increments as tasks execute.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PerformanceCounter", "CounterBank"]
+
+
+class PerformanceCounter:
+    """Counts DRAM accesses issued by one core, with an optional overflow target."""
+
+    def __init__(self, core: int) -> None:
+        self.core = int(core)
+        self._total = 0
+        self._since_reset = 0
+        self._overflow_threshold: int | None = None
+        self._overflowed = False
+
+    @property
+    def total(self) -> int:
+        """Accesses counted since the counter was created."""
+        return self._total
+
+    @property
+    def since_reset(self) -> int:
+        """Accesses counted since the last :meth:`reset`."""
+        return self._since_reset
+
+    @property
+    def overflowed(self) -> bool:
+        """True once the count since reset reached the programmed threshold."""
+        return self._overflowed
+
+    def program_overflow(self, threshold: int | None) -> None:
+        """Program the overflow threshold (MemGuard sets this to the budget)."""
+        if threshold is not None and threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self._overflow_threshold = threshold
+        self._overflowed = (
+            threshold is not None and self._since_reset >= threshold
+        )
+
+    def add(self, accesses: int) -> bool:
+        """Record ``accesses`` more accesses; returns True if overflow fired."""
+        if accesses < 0:
+            raise ValueError("accesses must be non-negative")
+        self._total += accesses
+        self._since_reset += accesses
+        if (
+            self._overflow_threshold is not None
+            and self._since_reset >= self._overflow_threshold
+        ):
+            self._overflowed = True
+        return self._overflowed
+
+    def reset(self) -> None:
+        """Reset the per-period count (called at each MemGuard period boundary)."""
+        self._since_reset = 0
+        self._overflowed = (
+            self._overflow_threshold is not None and self._overflow_threshold == 0
+        )
+
+
+class CounterBank:
+    """One performance counter per CPU core."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be at least 1")
+        self.counters = [PerformanceCounter(core) for core in range(num_cores)]
+
+    def __getitem__(self, core: int) -> PerformanceCounter:
+        return self.counters[core]
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def totals(self) -> list[int]:
+        """Total accesses per core."""
+        return [counter.total for counter in self.counters]

@@ -1,0 +1,19 @@
+"""Simulated network substrate: UDP, namespaces, docker0 bridge, iptables."""
+
+from .iptables import IptablesFirewall, RateLimitRule, TokenBucket
+from .stack import CONTAINER_NAMESPACE, HOST_NAMESPACE, NetworkStack, NetworkStats
+from .udp import Datagram, SocketAddress, SocketStats, UdpEndpoint
+
+__all__ = [
+    "CONTAINER_NAMESPACE",
+    "Datagram",
+    "HOST_NAMESPACE",
+    "IptablesFirewall",
+    "NetworkStack",
+    "NetworkStats",
+    "RateLimitRule",
+    "SocketAddress",
+    "SocketStats",
+    "TokenBucket",
+    "UdpEndpoint",
+]

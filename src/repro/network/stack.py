@@ -1,0 +1,133 @@
+"""Virtual network stack connecting the container and host namespaces.
+
+The CCE lives in a sandboxed, user-defined Docker network: it has no Internet
+access and can reach the host only through the docker0 bridge on defined UDP
+ports (Section IV-B/IV-D).  This module models:
+
+* network namespaces (one per control environment),
+* port bindings within a namespace,
+* the bridge between the two namespaces with a configurable one-way latency,
+* an :class:`~repro.network.iptables.IptablesFirewall` applied to traffic
+  crossing the bridge,
+* per-namespace reachability (the container can only reach the host, not the
+  outside world).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .iptables import IptablesFirewall
+from .udp import Datagram, SocketAddress, UdpEndpoint
+
+__all__ = ["NetworkStack", "NetworkStats", "HOST_NAMESPACE", "CONTAINER_NAMESPACE"]
+
+#: Namespace name of the host control environment.
+HOST_NAMESPACE = "host"
+#: Namespace name of the container control environment.
+CONTAINER_NAMESPACE = "container"
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters for traffic crossing the stack."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_firewall: int = 0
+    dropped_no_listener: int = 0
+    dropped_unreachable: int = 0
+    bytes_sent: int = 0
+
+
+class NetworkStack:
+    """Routes datagrams between namespaces through the docker0 bridge."""
+
+    def __init__(
+        self,
+        latency: float = 0.0002,
+        firewall: IptablesFirewall | None = None,
+        jitter: float = 0.0,
+    ) -> None:
+        if latency < 0.0 or jitter < 0.0:
+            raise ValueError("latency and jitter must be non-negative")
+        self.latency = float(latency)
+        self.jitter = float(jitter)
+        self.firewall = firewall or IptablesFirewall()
+        self.stats = NetworkStats()
+        self._endpoints: dict[SocketAddress, UdpEndpoint] = {}
+        #: Which namespaces each namespace may reach.  The container may only
+        #: reach the host; the host may reach the container.
+        self._reachability: dict[str, set[str]] = {
+            HOST_NAMESPACE: {HOST_NAMESPACE, CONTAINER_NAMESPACE},
+            CONTAINER_NAMESPACE: {CONTAINER_NAMESPACE, HOST_NAMESPACE},
+        }
+
+    # -- namespace / binding management -----------------------------------------
+
+    def add_namespace(self, name: str, reachable: set[str] | None = None) -> None:
+        """Register an additional namespace with an explicit reachability set."""
+        self._reachability[name] = {name} | (reachable or set())
+
+    def bind(self, namespace: str, port: int, queue_capacity: int = 256) -> UdpEndpoint:
+        """Bind a UDP endpoint in ``namespace`` on ``port``."""
+        if namespace not in self._reachability:
+            raise ValueError(f"unknown namespace {namespace!r}")
+        address = SocketAddress(namespace=namespace, port=int(port))
+        if address in self._endpoints:
+            raise ValueError(f"port {port} already bound in namespace {namespace!r}")
+        endpoint = UdpEndpoint(address, queue_capacity=queue_capacity)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def unbind(self, endpoint: UdpEndpoint) -> None:
+        """Remove a binding (e.g. when the receiving thread is killed)."""
+        self._endpoints.pop(endpoint.address, None)
+
+    def endpoint(self, namespace: str, port: int) -> UdpEndpoint | None:
+        """Return the endpoint bound at (namespace, port), if any."""
+        return self._endpoints.get(SocketAddress(namespace=namespace, port=int(port)))
+
+    # -- datagram transfer -------------------------------------------------------
+
+    def send(
+        self,
+        now: float,
+        payload: bytes,
+        source_namespace: str,
+        source_port: int,
+        destination_namespace: str,
+        destination_port: int,
+    ) -> bool:
+        """Send one datagram; returns True if it was queued at the receiver."""
+        self.stats.sent += 1
+        self.stats.bytes_sent += len(payload)
+
+        reachable = self._reachability.get(source_namespace, set())
+        if destination_namespace not in reachable:
+            self.stats.dropped_unreachable += 1
+            return False
+
+        crosses_bridge = source_namespace != destination_namespace
+        if crosses_bridge and not self.firewall.accepts(now, source_namespace, destination_port):
+            self.stats.dropped_firewall += 1
+            return False
+
+        destination = SocketAddress(namespace=destination_namespace, port=int(destination_port))
+        endpoint = self._endpoints.get(destination)
+        if endpoint is None:
+            self.stats.dropped_no_listener += 1
+            return False
+
+        latency = self.latency if crosses_bridge else 0.0
+        datagram = Datagram(
+            payload=payload,
+            source=SocketAddress(namespace=source_namespace, port=int(source_port)),
+            destination=destination,
+            sent_at=now,
+            deliver_at=now + latency,
+        )
+        accepted = endpoint.enqueue(datagram)
+        if accepted:
+            self.stats.delivered += 1
+        return accepted

@@ -1,0 +1,109 @@
+"""Simulated UDP datagram transport.
+
+The HCE and CCE communicate exclusively through UDP sockets on the docker0
+interface (Section IV-D of the paper).  This module models datagrams,
+endpoints with bounded receive queues, and the address tuple used by the
+virtual network stack.  Time is simulation time supplied by the caller; there
+is no real networking involved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Datagram", "UdpEndpoint", "SocketAddress", "SocketStats"]
+
+
+@dataclass(frozen=True)
+class SocketAddress:
+    """(namespace, port) pair identifying a UDP endpoint."""
+
+    namespace: str
+    port: int
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One UDP datagram in flight or queued at a receiver."""
+
+    payload: bytes
+    source: SocketAddress
+    destination: SocketAddress
+    sent_at: float
+    deliver_at: float
+
+    @property
+    def size(self) -> int:
+        """Datagram payload size in bytes."""
+        return len(self.payload)
+
+
+@dataclass
+class SocketStats:
+    """Counters kept by every endpoint, used by tests and the Table I bench."""
+
+    received: int = 0
+    delivered: int = 0
+    dropped_queue_full: int = 0
+    bytes_received: int = 0
+    bytes_delivered: int = 0
+
+
+class UdpEndpoint:
+    """A bound UDP socket with a bounded, drop-tail receive queue.
+
+    ``queue_capacity`` models the kernel socket buffer: when the receiving
+    thread cannot keep up (e.g. because a flood displaces its CPU time or the
+    queue is saturated with garbage), new datagrams are dropped, which is the
+    mechanism that starves the HCE of legitimate actuator messages during the
+    Figure 7 attack.
+    """
+
+    def __init__(self, address: SocketAddress, queue_capacity: int = 256) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        self.address = address
+        self.queue_capacity = int(queue_capacity)
+        self._queue: deque[Datagram] = deque()
+        self.stats = SocketStats()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of datagrams currently waiting to be read."""
+        return len(self._queue)
+
+    def enqueue(self, datagram: Datagram) -> bool:
+        """Add an arriving datagram; returns False if it was dropped."""
+        self.stats.received += 1
+        self.stats.bytes_received += datagram.size
+        if len(self._queue) >= self.queue_capacity:
+            self.stats.dropped_queue_full += 1
+            return False
+        self._queue.append(datagram)
+        return True
+
+    def receive(self, now: float, max_datagrams: int | None = None) -> list[Datagram]:
+        """Dequeue datagrams that have arrived by simulation time ``now``."""
+        delivered: list[Datagram] = []
+        limit = len(self._queue) if max_datagrams is None else int(max_datagrams)
+        while self._queue and len(delivered) < limit:
+            if self._queue[0].deliver_at > now:
+                break
+            datagram = self._queue.popleft()
+            delivered.append(datagram)
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += datagram.size
+        return delivered
+
+    def flush(self) -> int:
+        """Discard everything in the queue; returns the number discarded.
+
+        Used when the security monitor kills the receiving thread.
+        """
+        discarded = len(self._queue)
+        self._queue.clear()
+        return discarded

@@ -1,0 +1,18 @@
+"""Real-time scheduling substrate: FIFO-priority multicore scheduler."""
+
+from .analysis import ResponseTimeResult, core_utilization, response_time_analysis
+from .cpu import CpuCore
+from .scheduler import MulticoreScheduler
+from .task import Job, Task, TaskConfig, TaskStats
+
+__all__ = [
+    "CpuCore",
+    "Job",
+    "MulticoreScheduler",
+    "ResponseTimeResult",
+    "Task",
+    "TaskConfig",
+    "TaskStats",
+    "core_utilization",
+    "response_time_analysis",
+]

@@ -1,0 +1,62 @@
+"""CPU core model: a FIFO-priority ready queue plus utilisation accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .task import Job
+
+__all__ = ["CpuCore"]
+
+
+@dataclass
+class CpuCore:
+    """One CPU core with a fixed-priority FIFO ready queue.
+
+    Higher ``priority`` values run first (matching SCHED_FIFO numeric
+    priorities); ties are broken by release time, then by insertion order.
+    """
+
+    index: int
+    ready: list[Job] = field(default_factory=list)
+    busy_time: float = 0.0
+    throttled_time: float = 0.0
+    elapsed_time: float = 0.0
+    _insertion_counter: int = 0
+
+    def enqueue(self, job: Job) -> None:
+        """Add a released job to the ready queue."""
+        self._insertion_counter += 1
+        # Store a sort key with the job so ordering is stable and cheap.
+        job._sort_key = (-job.task.config.priority, job.release_time, self._insertion_counter)  # type: ignore[attr-defined]
+        self.ready.append(job)
+        self.ready.sort(key=lambda item: item._sort_key)  # type: ignore[attr-defined]
+
+    def current_job(self) -> Job | None:
+        """The job that would execute next, or ``None`` when idle."""
+        return self.ready[0] if self.ready else None
+
+    def pop_current(self) -> Job:
+        """Remove and return the highest-priority ready job."""
+        return self.ready.pop(0)
+
+    def remove_jobs_of(self, task_name: str) -> int:
+        """Drop every ready job belonging to ``task_name``; returns the count."""
+        before = len(self.ready)
+        self.ready = [job for job in self.ready if job.task.name != task_name]
+        return before - len(self.ready)
+
+    @property
+    def idle_rate(self) -> float:
+        """Fraction of elapsed time the core spent idle (1.0 when unused)."""
+        if self.elapsed_time <= 0.0:
+            return 1.0
+        busy = self.busy_time + self.throttled_time
+        return max(0.0, 1.0 - busy / self.elapsed_time)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed time the core spent executing."""
+        if self.elapsed_time <= 0.0:
+            return 0.0
+        return self.busy_time / self.elapsed_time

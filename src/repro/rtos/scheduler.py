@@ -1,0 +1,186 @@
+"""Multicore fixed-priority (SCHED_FIFO) scheduler with memory contention.
+
+The scheduler advances in fixed quanta (1 ms by default, matching both the
+physics step of the co-simulation and the MemGuard regulation period).  Within
+a quantum each core executes its ready jobs in priority order; execution times
+are stretched by the DRAM contention model and cores can be throttled by
+MemGuard when their access budget is exhausted.
+
+This is the substrate on which both the CPU DoS protection (cpuset pinning,
+priority restrictions) and the memory DoS protection (MemGuard) act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memsys.dram import DramModel
+from ..memsys.memguard import MemGuard
+from .cpu import CpuCore
+from .task import Job, Task, TaskConfig
+
+__all__ = ["MulticoreScheduler"]
+
+_EPSILON = 1e-9
+
+
+class MulticoreScheduler:
+    """Fixed-priority multicore scheduler coupled to the memory subsystem."""
+
+    def __init__(
+        self,
+        num_cores: int = 4,
+        quantum: float = 0.001,
+        dram: DramModel | None = None,
+        memguard: MemGuard | None = None,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be at least 1")
+        if quantum <= 0.0:
+            raise ValueError("quantum must be positive")
+        self.quantum = float(quantum)
+        self.cores = [CpuCore(index) for index in range(num_cores)]
+        self.dram = dram or DramModel()
+        self.memguard = memguard
+        self.tasks: list[Task] = []
+        self.time = 0.0
+
+    @property
+    def num_cores(self) -> int:
+        """Number of CPU cores."""
+        return len(self.cores)
+
+    # -- task management ---------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        """Register a task; its first release is at ``config.offset``."""
+        if task.config.core >= self.num_cores:
+            raise ValueError(
+                f"task {task.name!r} requests core {task.config.core}, "
+                f"but only {self.num_cores} cores exist"
+            )
+        self.tasks.append(task)
+        return task
+
+    def task(self, name: str) -> Task:
+        """Look up a task by name."""
+        for task in self.tasks:
+            if task.name == name:
+                return task
+        raise KeyError(name)
+
+    def remove_task(self, name: str) -> None:
+        """Stop a task and drop its queued jobs (models killing a process)."""
+        task = self.task(name)
+        task.stop()
+        for core in self.cores:
+            core.remove_jobs_of(name)
+        self.tasks.remove(task)
+
+    # -- simulation --------------------------------------------------------------
+
+    def advance(self, duration: float) -> None:
+        """Advance the scheduler by ``duration`` seconds (multiple of quantum)."""
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        steps = int(round(duration / self.quantum))
+        if abs(steps * self.quantum - duration) > 1e-9:
+            raise ValueError("duration must be an integer multiple of the quantum")
+        for _ in range(max(1, steps)):
+            self._advance_quantum()
+
+    def _advance_quantum(self) -> None:
+        start = self.time
+        end = start + self.quantum
+
+        if self.memguard is not None:
+            self.memguard.advance_to(start)
+
+        # Release due jobs onto their cores.
+        for task in list(self.tasks):
+            for job in task.release_due_jobs(start):
+                self.cores[task.config.core].enqueue(job)
+
+        # Estimate DRAM demand from the job each core would run this quantum.
+        latency_factor = self.dram.latency_factor(self._total_demand())
+
+        for core in self.cores:
+            self._run_core(core, start, end, latency_factor)
+            core.elapsed_time += self.quantum
+
+        self.time = end
+
+    def _total_demand(self) -> float:
+        """Sum of access rates demanded by the cores for the coming quantum."""
+        total = 0.0
+        for core in self.cores:
+            job = core.current_job()
+            if job is None:
+                continue
+            rate = job.access_rate
+            if self.memguard is not None:
+                allowed = self.memguard.allowed_accesses(core.index)
+                if allowed is not None:
+                    rate = min(rate, allowed / self.quantum)
+                if self.memguard.is_throttled(core.index):
+                    rate = 0.0
+            total += rate
+        return total
+
+    def _run_core(self, core: CpuCore, start: float, end: float, latency_factor: float) -> None:
+        now = start
+        while now < end - _EPSILON and core.ready:
+            if self.memguard is not None and self.memguard.is_throttled(core.index):
+                core.throttled_time += end - now
+                return
+
+            job = core.current_job()
+            assert job is not None
+            stretch = self.dram.stretch_execution(
+                latency_factor, job.task.config.memory_stall_fraction
+            )
+            wall_needed = job.remaining * stretch
+            run_time = min(end - now, wall_needed)
+
+            # MemGuard: cap the run so the core does not exceed its remaining
+            # budget; hitting the cap throttles the core for the rest of the
+            # regulation period.
+            throttle_after = False
+            if self.memguard is not None:
+                allowed = self.memguard.allowed_accesses(core.index)
+                if allowed is not None and job.access_rate > 0.0:
+                    progress_possible = run_time / stretch
+                    accesses_needed = job.access_rate * progress_possible
+                    if accesses_needed > allowed:
+                        progress_possible = allowed / job.access_rate
+                        run_time = progress_possible * stretch
+                        throttle_after = True
+
+            progress = run_time / stretch
+            accesses = int(round(job.access_rate * progress))
+            if self.memguard is not None and accesses > 0:
+                self.memguard.record_accesses(core.index, accesses)
+
+            job.remaining -= progress
+            core.busy_time += run_time
+            now += run_time
+
+            if job.remaining <= _EPSILON:
+                core.pop_current()
+                job.task.complete_job(job, now)
+
+            if throttle_after or (
+                self.memguard is not None and self.memguard.is_throttled(core.index)
+            ):
+                core.throttled_time += end - now
+                return
+
+    # -- reporting ---------------------------------------------------------------
+
+    def idle_rates(self) -> list[float]:
+        """Per-core idle rates since the start of the simulation."""
+        return [core.idle_rate for core in self.cores]
+
+    def utilizations(self) -> list[float]:
+        """Per-core busy fractions since the start of the simulation."""
+        return [core.utilization for core in self.cores]

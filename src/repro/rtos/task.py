@@ -1,0 +1,197 @@
+"""Periodic real-time task model.
+
+The paper's HCE schedules its processes with the Linux SCHED_FIFO policy:
+kernel sensor drivers at priority 90, system interrupt threads around 40, the
+safety controller at 20, everything else below.  This module models those
+processes as periodic tasks with a nominal execution time, a fixed priority,
+a core affinity, and a memory-access profile used by the DRAM contention model
+and by MemGuard accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TaskConfig", "Job", "Task", "TaskStats"]
+
+#: Callback invoked when a job completes: ``callback(completion_time)``.
+CompletionCallback = Callable[[float], None]
+#: Callable returning ``(execution_time, accesses)`` for a job released at ``now``.
+DynamicCost = Callable[[float], tuple[float, int]]
+
+
+@dataclass(frozen=True)
+class TaskConfig:
+    """Static description of a periodic task."""
+
+    name: str
+    period: float
+    execution_time: float
+    priority: int
+    core: int
+    memory_stall_fraction: float = 0.1
+    accesses_per_job: int = 0
+    offset: float = 0.0
+    #: If True (default), a release is skipped while the previous job of the
+    #: same task is still pending; the skip is counted as an overrun.
+    skip_if_pending: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise ValueError("period must be positive")
+        if self.execution_time < 0.0:
+            raise ValueError("execution_time must be non-negative")
+        if not 0.0 <= self.memory_stall_fraction <= 1.0:
+            raise ValueError("memory_stall_fraction must be within [0, 1]")
+        if self.accesses_per_job < 0:
+            raise ValueError("accesses_per_job must be non-negative")
+        if self.core < 0:
+            raise ValueError("core must be non-negative")
+
+    @property
+    def utilization(self) -> float:
+        """Nominal CPU utilisation of the task."""
+        return self.execution_time / self.period
+
+    @property
+    def access_rate(self) -> float:
+        """DRAM accesses per second of contention-free execution."""
+        if self.execution_time <= 0.0:
+            return 0.0
+        return self.accesses_per_job / self.execution_time
+
+
+@dataclass
+class TaskStats:
+    """Runtime statistics accumulated per task."""
+
+    released: int = 0
+    completed: int = 0
+    skipped_releases: int = 0
+    deadline_misses: int = 0
+    total_response_time: float = 0.0
+    worst_response_time: float = 0.0
+
+    @property
+    def average_response_time(self) -> float:
+        """Mean response time over completed jobs (0 when none completed)."""
+        if self.completed == 0:
+            return 0.0
+        return self.total_response_time / self.completed
+
+
+@dataclass
+class Job:
+    """One released instance of a task."""
+
+    task: "Task"
+    release_time: float
+    execution_time: float
+    accesses: int
+    remaining: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.remaining = self.execution_time
+
+    @property
+    def access_rate(self) -> float:
+        """DRAM accesses per second of contention-free execution."""
+        if self.execution_time <= 0.0:
+            return 0.0
+        return self.accesses / self.execution_time
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the job's execution already performed."""
+        if self.execution_time <= 0.0:
+            return 1.0
+        return 1.0 - self.remaining / self.execution_time
+
+
+class Task:
+    """A periodic task registered with the scheduler."""
+
+    def __init__(
+        self,
+        config: TaskConfig,
+        callback: CompletionCallback | None = None,
+        dynamic_cost: DynamicCost | None = None,
+    ) -> None:
+        self.config = config
+        self.callback = callback
+        self.dynamic_cost = dynamic_cost
+        self.stats = TaskStats()
+        self.enabled = True
+        self._next_release = config.offset
+        self._pending_jobs = 0
+
+    @property
+    def name(self) -> str:
+        """Task name."""
+        return self.config.name
+
+    @property
+    def next_release(self) -> float:
+        """Time of the next job release."""
+        return self._next_release
+
+    @property
+    def pending_jobs(self) -> int:
+        """Number of released jobs not yet completed."""
+        return self._pending_jobs
+
+    def stop(self) -> None:
+        """Disable the task: no further jobs are released."""
+        self.enabled = False
+
+    def start(self, now: float | None = None) -> None:
+        """(Re-)enable the task, optionally re-phasing its next release."""
+        self.enabled = True
+        if now is not None:
+            self._next_release = now
+
+    def release_due_jobs(self, now: float) -> list[Job]:
+        """Release every job due by ``now`` (normally zero or one)."""
+        jobs: list[Job] = []
+        while self.enabled and self._next_release <= now + 1e-12:
+            release_time = self._next_release
+            self._next_release += self.config.period
+            if self.config.skip_if_pending and self._pending_jobs > 0:
+                self.stats.skipped_releases += 1
+                continue
+            if self.dynamic_cost is not None:
+                execution_time, accesses = self.dynamic_cost(release_time)
+            else:
+                execution_time = self.config.execution_time
+                accesses = self.config.accesses_per_job
+            if execution_time <= 0.0:
+                # Nothing to do for this activation (e.g. an empty receive
+                # queue); it completes immediately without occupying the CPU.
+                self.stats.released += 1
+                self.stats.completed += 1
+                if self.callback is not None:
+                    self.callback(release_time)
+                continue
+            job = Job(
+                task=self,
+                release_time=release_time,
+                execution_time=execution_time,
+                accesses=accesses,
+            )
+            self.stats.released += 1
+            self._pending_jobs += 1
+            jobs.append(job)
+        return jobs
+
+    def complete_job(self, job: Job, completion_time: float) -> None:
+        """Record a job completion and invoke the completion callback."""
+        self._pending_jobs = max(0, self._pending_jobs - 1)
+        response_time = completion_time - job.release_time
+        self.stats.completed += 1
+        self.stats.total_response_time += response_time
+        self.stats.worst_response_time = max(self.stats.worst_response_time, response_time)
+        if response_time > self.config.period:
+            self.stats.deadline_misses += 1
+        if self.callback is not None:
+            self.callback(completion_time)

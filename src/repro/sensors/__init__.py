@@ -1,0 +1,52 @@
+"""Sensor suite replacing the Navio2 hat and the Vicon motion-capture system.
+
+Default sampling rates follow Table I of the paper.
+"""
+
+from .barometer import (
+    BARO_RATE_HZ,
+    Barometer,
+    BarometerParameters,
+    BarometerReading,
+    altitude_to_pressure,
+    pressure_to_altitude,
+)
+from .base import PeriodicSensor, SensorSample
+from .gps import GPS_RATE_HZ, Gps, GpsParameters, GpsReading
+from .imu import IMU_RATE_HZ, Imu, ImuParameters, ImuReading
+from .mocap import MOCAP_RATE_HZ, MocapParameters, MocapReading, MotionCapture
+from .noise import GaussianNoise, QuantizationNoise, RandomWalkBias
+from .rc import PWM_MAX, PWM_MID, PWM_MIN, RC_RATE_HZ, RcChannels, RcReceiver, scripted_pilot
+
+__all__ = [
+    "BARO_RATE_HZ",
+    "Barometer",
+    "BarometerParameters",
+    "BarometerReading",
+    "GPS_RATE_HZ",
+    "GaussianNoise",
+    "Gps",
+    "GpsParameters",
+    "GpsReading",
+    "IMU_RATE_HZ",
+    "Imu",
+    "ImuParameters",
+    "ImuReading",
+    "MOCAP_RATE_HZ",
+    "MocapParameters",
+    "MocapReading",
+    "MotionCapture",
+    "PWM_MAX",
+    "PWM_MID",
+    "PWM_MIN",
+    "PeriodicSensor",
+    "QuantizationNoise",
+    "RC_RATE_HZ",
+    "RandomWalkBias",
+    "RcChannels",
+    "RcReceiver",
+    "SensorSample",
+    "altitude_to_pressure",
+    "pressure_to_altitude",
+    "scripted_pilot",
+]

@@ -1,0 +1,83 @@
+"""Barometric altimeter model.
+
+Models the Navio2's MS5611 barometer: pressure is converted from true
+altitude with the standard atmosphere, with additive noise and a slow drift.
+Sampled at 50 Hz per Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dynamics.quadrotor import Quadrotor
+from .base import PeriodicSensor
+from .noise import GaussianNoise, RandomWalkBias
+
+__all__ = ["BarometerParameters", "BarometerReading", "Barometer", "BARO_RATE_HZ"]
+
+#: Table I: barometer stream rate from HCE to CCE.
+BARO_RATE_HZ = 50.0
+
+#: Sea-level standard pressure [Pa].
+SEA_LEVEL_PRESSURE = 101325.0
+#: Pressure decay scale used for the altitude-to-pressure conversion [m].
+PRESSURE_SCALE_HEIGHT = 8434.0
+
+
+def altitude_to_pressure(altitude_m: float) -> float:
+    """Convert altitude above sea level to static pressure [Pa]."""
+    return SEA_LEVEL_PRESSURE * np.exp(-altitude_m / PRESSURE_SCALE_HEIGHT)
+
+
+def pressure_to_altitude(pressure_pa: float) -> float:
+    """Convert static pressure [Pa] to altitude above sea level [m]."""
+    return -PRESSURE_SCALE_HEIGHT * np.log(pressure_pa / SEA_LEVEL_PRESSURE)
+
+
+@dataclass(frozen=True)
+class BarometerParameters:
+    """Noise characteristics of the barometer."""
+
+    noise_sigma_m: float = 0.05
+    drift_walk_m: float = 0.002
+    reference_altitude_m: float = 220.0
+
+
+@dataclass(frozen=True)
+class BarometerReading:
+    """One barometer measurement."""
+
+    pressure_pa: float
+    altitude_m: float
+    temperature_c: float = 25.0
+
+
+class Barometer(PeriodicSensor):
+    """Static-pressure altimeter with noise and drift."""
+
+    def __init__(
+        self,
+        params: BarometerParameters | None = None,
+        rate_hz: float = BARO_RATE_HZ,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(rate_hz, name="baro")
+        self.params = params or BarometerParameters()
+        rng = rng or np.random.default_rng(1)
+        self._noise = GaussianNoise(self.params.noise_sigma_m, rng)
+        self._drift = RandomWalkBias(0.0, self.params.drift_walk_m, rng)
+
+    def _measure(self, time: float, plant: Quadrotor) -> BarometerReading:
+        self._drift.step(self.period)
+        altitude_asl = (
+            self.params.reference_altitude_m
+            + plant.altitude
+            + float(self._drift.value[0])
+            + float(self._noise.sample(()))
+        )
+        return BarometerReading(
+            pressure_pa=float(altitude_to_pressure(altitude_asl)),
+            altitude_m=altitude_asl,
+        )

@@ -1,0 +1,80 @@
+"""Common sensor abstractions.
+
+Each sensor samples the simulated plant at a fixed rate.  Rates default to the
+values in Table I of the paper (IMU 250 Hz, barometer 50 Hz, GPS 10 Hz, RC
+50 Hz) because those are exactly the rates at which the HCE feeder threads
+forward data to the complex controller in the container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SensorSample", "PeriodicSensor"]
+
+
+@dataclass(frozen=True)
+class SensorSample:
+    """A timestamped sensor reading.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulation time at which the reading was taken [s].
+    data:
+        Sensor-specific payload (a dataclass from the concrete sensor module).
+    """
+
+    timestamp: float
+    data: Any
+
+
+class PeriodicSensor:
+    """Base class for sensors sampled at a fixed rate.
+
+    Subclasses implement :meth:`_measure` which converts the true vehicle
+    state into a (noisy) measurement payload.
+    """
+
+    def __init__(self, rate_hz: float, name: str) -> None:
+        if rate_hz <= 0.0:
+            raise ValueError("rate_hz must be positive")
+        self.rate_hz = float(rate_hz)
+        self.name = name
+        self.period = 1.0 / self.rate_hz
+        self._last_sample_time: float | None = None
+        self._last_sample: SensorSample | None = None
+
+    @property
+    def last_sample(self) -> SensorSample | None:
+        """Most recent sample produced, if any."""
+        return self._last_sample
+
+    def due(self, time: float) -> bool:
+        """True when a new sample should be produced at simulation time ``time``."""
+        if self._last_sample_time is None:
+            return True
+        # A small epsilon absorbs floating-point drift of the fixed-step clock.
+        return time - self._last_sample_time >= self.period - 1e-9
+
+    def sample(self, time: float, plant: Any) -> SensorSample | None:
+        """Produce a sample if one is due; otherwise return ``None``."""
+        if not self.due(time):
+            return None
+        return self.sample_now(time, plant)
+
+    def sample_now(self, time: float, plant: Any) -> SensorSample:
+        """Produce a sample unconditionally.
+
+        Used when an external scheduler (e.g. the RTOS driver task) already
+        paces the sensor: the driver's activation times jitter slightly, so
+        gating again on :meth:`due` would spuriously drop samples.
+        """
+        data = self._measure(time, plant)
+        self._last_sample_time = time
+        self._last_sample = SensorSample(timestamp=time, data=data)
+        return self._last_sample
+
+    def _measure(self, time: float, plant: Any) -> Any:
+        raise NotImplementedError

@@ -1,0 +1,117 @@
+"""GNSS receiver model.
+
+Models the Navio2's GNSS receiver at 10 Hz (Table I).  Indoors (the paper's
+Vicon-tracked lab) the GPS fix is weak; position-control mode instead uses the
+motion-capture feed (:mod:`repro.sensors.mocap`).  The GPS model is still part
+of the sensor suite because its messages are forwarded to the CCE and count
+toward the Table I traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dynamics.quadrotor import Quadrotor
+from .base import PeriodicSensor
+from .noise import GaussianNoise
+
+__all__ = [
+    "GpsParameters",
+    "GpsReading",
+    "Gps",
+    "GPS_RATE_HZ",
+    "ned_to_geodetic",
+    "geodetic_to_ned",
+]
+
+#: Table I: GPS stream rate from HCE to CCE.
+GPS_RATE_HZ = 10.0
+
+#: Reference geodetic origin for the local NED frame (Urbana, IL).
+DEFAULT_ORIGIN = (40.1106, -88.2073, 220.0)
+
+EARTH_RADIUS_M = 6371000.0
+
+
+def ned_to_geodetic(
+    north: float, east: float, down: float, origin: tuple[float, float, float] = DEFAULT_ORIGIN
+) -> tuple[float, float, float]:
+    """Convert a local NED offset from ``origin`` to (lat [deg], lon [deg], alt [m])."""
+    lat0, lon0, alt0 = origin
+    latitude = lat0 + np.rad2deg(north / EARTH_RADIUS_M)
+    longitude = lon0 + np.rad2deg(east / (EARTH_RADIUS_M * np.cos(np.deg2rad(lat0))))
+    return float(latitude), float(longitude), float(alt0 - down)
+
+
+def geodetic_to_ned(
+    latitude: float,
+    longitude: float,
+    altitude: float,
+    origin: tuple[float, float, float] = DEFAULT_ORIGIN,
+) -> np.ndarray:
+    """Convert geodetic coordinates to the local NED offset from ``origin``."""
+    lat0, lon0, alt0 = origin
+    north = np.deg2rad(latitude - lat0) * EARTH_RADIUS_M
+    east = np.deg2rad(longitude - lon0) * EARTH_RADIUS_M * np.cos(np.deg2rad(lat0))
+    return np.array([north, east, alt0 - altitude])
+
+
+@dataclass(frozen=True)
+class GpsParameters:
+    """Noise and fix-quality characteristics of the GNSS receiver."""
+
+    horizontal_sigma_m: float = 1.2
+    vertical_sigma_m: float = 2.0
+    velocity_sigma_mps: float = 0.25
+    num_satellites: int = 9
+    fix_type: int = 3
+
+
+@dataclass(frozen=True)
+class GpsReading:
+    """One GNSS fix."""
+
+    latitude_deg: float
+    longitude_deg: float
+    altitude_m: float
+    velocity_ned: np.ndarray
+    num_satellites: int
+    fix_type: int
+
+
+class Gps(PeriodicSensor):
+    """GNSS receiver producing geodetic fixes from the local NED state."""
+
+    def __init__(
+        self,
+        params: GpsParameters | None = None,
+        rate_hz: float = GPS_RATE_HZ,
+        origin: tuple[float, float, float] = DEFAULT_ORIGIN,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(rate_hz, name="gps")
+        self.params = params or GpsParameters()
+        self.origin = origin
+        rng = rng or np.random.default_rng(2)
+        self._horizontal_noise = GaussianNoise(self.params.horizontal_sigma_m, rng)
+        self._vertical_noise = GaussianNoise(self.params.vertical_sigma_m, rng)
+        self._velocity_noise = GaussianNoise(self.params.velocity_sigma_mps, rng)
+
+    def _measure(self, time: float, plant: Quadrotor) -> GpsReading:
+        north = float(plant.position[0]) + float(self._horizontal_noise.sample(()))
+        east = float(plant.position[1]) + float(self._horizontal_noise.sample(()))
+        down = float(plant.position[2]) + float(self._vertical_noise.sample(()))
+
+        latitude, longitude, altitude = ned_to_geodetic(north, east, down, self.origin)
+
+        velocity = plant.velocity + self._velocity_noise.sample((3,))
+        return GpsReading(
+            latitude_deg=float(latitude),
+            longitude_deg=float(longitude),
+            altitude_m=float(altitude),
+            velocity_ned=velocity,
+            num_satellites=self.params.num_satellites,
+            fix_type=self.params.fix_type,
+        )

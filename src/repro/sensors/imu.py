@@ -1,0 +1,81 @@
+"""Inertial measurement unit model (gyroscope + accelerometer).
+
+Models one of the Navio2's IMU chips (MPU9250-class) with white noise and a
+slowly drifting bias on each axis.  Sampled at 250 Hz, the rate at which the
+HCE forwards IMU data to the container (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dynamics.quadrotor import Quadrotor
+from .base import PeriodicSensor
+from .noise import GaussianNoise, RandomWalkBias
+
+__all__ = ["ImuParameters", "ImuReading", "Imu", "IMU_RATE_HZ"]
+
+#: Table I: IMU stream rate from HCE to CCE.
+IMU_RATE_HZ = 250.0
+
+
+@dataclass(frozen=True)
+class ImuParameters:
+    """Noise characteristics of the IMU."""
+
+    gyro_noise_sigma: float = 0.005
+    gyro_bias_sigma: float = 0.0005
+    gyro_bias_walk: float = 1e-5
+    accel_noise_sigma: float = 0.05
+    accel_bias_sigma: float = 0.01
+    accel_bias_walk: float = 1e-4
+
+
+@dataclass(frozen=True)
+class ImuReading:
+    """One IMU measurement in the body frame."""
+
+    gyro: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    accel: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+
+class Imu(PeriodicSensor):
+    """Gyroscope + accelerometer with bias drift and white noise."""
+
+    def __init__(
+        self,
+        params: ImuParameters | None = None,
+        rate_hz: float = IMU_RATE_HZ,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(rate_hz, name="imu")
+        self.params = params or ImuParameters()
+        rng = rng or np.random.default_rng(0)
+        self._gyro_noise = GaussianNoise(self.params.gyro_noise_sigma, rng)
+        self._accel_noise = GaussianNoise(self.params.accel_noise_sigma, rng)
+        self._gyro_bias = RandomWalkBias(
+            rng.normal(0.0, self.params.gyro_bias_sigma, size=3),
+            self.params.gyro_bias_walk,
+            rng,
+        )
+        self._accel_bias = RandomWalkBias(
+            rng.normal(0.0, self.params.accel_bias_sigma, size=3),
+            self.params.accel_bias_walk,
+            rng,
+        )
+
+    def _measure(self, time: float, plant: Quadrotor) -> ImuReading:
+        self._gyro_bias.step(self.period)
+        self._accel_bias.step(self.period)
+
+        gyro_true = plant.state.angular_velocity
+        gyro = gyro_true + self._gyro_bias.value + self._gyro_noise.sample((3,))
+
+        # Accelerometers measure specific force (thrust and drag, no gravity)
+        # expressed in the body frame; on the ground the plant model returns
+        # the gravity reaction instead.
+        accel_true = plant.specific_force_body()
+        accel = accel_true + self._accel_bias.value + self._accel_noise.sample((3,))
+        return ImuReading(gyro=gyro, accel=accel)

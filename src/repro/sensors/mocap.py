@@ -1,0 +1,66 @@
+"""Motion-capture (Vicon) positioning model.
+
+The paper uses a Vicon system plus the ViconMAVLink bridge to provide indoor
+positioning to the drone.  The substitute is a low-noise, low-latency external
+position and yaw reference sampled at a configurable rate (Vicon systems run
+at 100 Hz or more; the bridge forwards at a lower rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dynamics.quadrotor import Quadrotor
+from .base import PeriodicSensor
+from .noise import GaussianNoise
+
+__all__ = ["MocapParameters", "MocapReading", "MotionCapture", "MOCAP_RATE_HZ"]
+
+#: Rate at which the ViconMAVLink bridge forwards position updates.
+MOCAP_RATE_HZ = 50.0
+
+
+@dataclass(frozen=True)
+class MocapParameters:
+    """Noise characteristics of the motion-capture feed."""
+
+    position_sigma_m: float = 0.002
+    yaw_sigma_rad: float = 0.002
+    dropout_probability: float = 0.0
+
+
+@dataclass(frozen=True)
+class MocapReading:
+    """One motion-capture position/yaw update."""
+
+    position_ned: np.ndarray
+    yaw: float
+    valid: bool = True
+
+
+class MotionCapture(PeriodicSensor):
+    """Vicon-like external positioning reference."""
+
+    def __init__(
+        self,
+        params: MocapParameters | None = None,
+        rate_hz: float = MOCAP_RATE_HZ,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(rate_hz, name="mocap")
+        self.params = params or MocapParameters()
+        self._rng = rng or np.random.default_rng(3)
+        self._position_noise = GaussianNoise(self.params.position_sigma_m, self._rng)
+        self._yaw_noise = GaussianNoise(self.params.yaw_sigma_rad, self._rng)
+
+    def _measure(self, time: float, plant: Quadrotor) -> MocapReading:
+        if self.params.dropout_probability > 0.0:
+            if self._rng.random() < self.params.dropout_probability:
+                return MocapReading(
+                    position_ned=plant.position.copy(), yaw=plant.attitude[2], valid=False
+                )
+        position = plant.position + self._position_noise.sample((3,))
+        yaw = plant.attitude[2] + float(self._yaw_noise.sample(()))
+        return MocapReading(position_ned=position, yaw=yaw, valid=True)

@@ -1,0 +1,66 @@
+"""Reusable noise models for the sensor suite.
+
+Every stochastic component takes an explicit :class:`numpy.random.Generator`
+so simulations are reproducible end to end (see DESIGN.md, "Determinism").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianNoise", "RandomWalkBias", "QuantizationNoise"]
+
+
+class GaussianNoise:
+    """Additive white Gaussian noise with a fixed standard deviation."""
+
+    def __init__(self, sigma: float | np.ndarray, rng: np.random.Generator) -> None:
+        self.sigma = np.asarray(sigma, dtype=float)
+        self._rng = rng
+
+    def sample(self, shape: tuple[int, ...] | None = None) -> np.ndarray | float:
+        """Draw one noise sample; shape defaults to the sigma's shape."""
+        if shape is None:
+            if self.sigma.shape == ():
+                return float(self._rng.normal(0.0, float(self.sigma)))
+            shape = self.sigma.shape
+        return self._rng.normal(0.0, 1.0, size=shape) * self.sigma
+
+
+class RandomWalkBias:
+    """Slowly drifting bias modelled as a discrete random walk.
+
+    Used for gyroscope and accelerometer bias instability.
+    """
+
+    def __init__(
+        self,
+        initial: float | np.ndarray,
+        walk_sigma: float | np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        self.value = np.atleast_1d(np.asarray(initial, dtype=float)).copy()
+        self.walk_sigma = np.asarray(walk_sigma, dtype=float)
+        self._rng = rng
+
+    def step(self, dt: float) -> np.ndarray:
+        """Advance the bias by ``dt`` seconds and return the new value."""
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self.value = self.value + self._rng.normal(
+            0.0, 1.0, size=self.value.shape
+        ) * self.walk_sigma * np.sqrt(dt)
+        return self.value
+
+
+class QuantizationNoise:
+    """Quantizes measurements to a fixed resolution (ADC / packet encoding)."""
+
+    def __init__(self, resolution: float) -> None:
+        if resolution <= 0.0:
+            raise ValueError("resolution must be positive")
+        self.resolution = float(resolution)
+
+    def apply(self, value: np.ndarray | float) -> np.ndarray | float:
+        """Quantize ``value`` to the configured resolution."""
+        return np.round(np.asarray(value, dtype=float) / self.resolution) * self.resolution

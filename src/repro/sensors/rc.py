@@ -1,0 +1,73 @@
+"""Radio-control (RC) input model.
+
+In the paper's experiments the operator first flies manually, then switches to
+position-control mode.  The RC model replays a scripted pilot: stick values
+are held neutral and the flight-mode channel encodes the requested mode.
+RC input is forwarded to the CCE at 50 Hz (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .base import PeriodicSensor
+
+__all__ = ["RcChannels", "RcReceiver", "RC_RATE_HZ", "scripted_pilot"]
+
+#: Table I: RC stream rate from HCE to CCE.
+RC_RATE_HZ = 50.0
+
+#: PWM microsecond values used for RC channels (standard 1000-2000 us range).
+PWM_MIN = 1000
+PWM_MID = 1500
+PWM_MAX = 2000
+
+
+@dataclass(frozen=True)
+class RcChannels:
+    """One RC frame: four control sticks plus a flight-mode switch."""
+
+    roll: int = PWM_MID
+    pitch: int = PWM_MID
+    throttle: int = PWM_MID
+    yaw: int = PWM_MID
+    mode_switch: int = PWM_MIN
+
+    def as_array(self) -> np.ndarray:
+        """Return the five channels as an integer array."""
+        return np.array(
+            [self.roll, self.pitch, self.throttle, self.yaw, self.mode_switch], dtype=int
+        )
+
+
+def scripted_pilot(position_mode_at: float = 0.0) -> Callable[[float], RcChannels]:
+    """Return a pilot script that switches to position mode at ``position_mode_at``.
+
+    Before the switch the sticks are neutral in manual/stabilised mode, which
+    mirrors the paper's procedure of taking off manually and then engaging
+    position control.
+    """
+
+    def pilot(time: float) -> RcChannels:
+        mode = PWM_MAX if time >= position_mode_at else PWM_MIN
+        return RcChannels(mode_switch=mode)
+
+    return pilot
+
+
+class RcReceiver(PeriodicSensor):
+    """RC receiver that samples a pilot script at a fixed rate."""
+
+    def __init__(
+        self,
+        pilot: Callable[[float], RcChannels] | None = None,
+        rate_hz: float = RC_RATE_HZ,
+    ) -> None:
+        super().__init__(rate_hz, name="rc")
+        self._pilot = pilot or scripted_pilot()
+
+    def _measure(self, time: float, plant: object) -> RcChannels:
+        return self._pilot(time)

@@ -1,0 +1,22 @@
+"""Co-simulation engine, scenarios, telemetry recording and flight metrics."""
+
+from .engine import HostLoadConfig, SystemSimulation
+from .flight import FLIGHT_DRAM_PARAMETERS, FlightResult, FlightSimulation, run_scenario
+from .metrics import FlightMetrics, compute_metrics
+from .recorder import FlightRecorder, FlightSample
+from .scenario import ControllerPlacement, FlightScenario
+
+__all__ = [
+    "ControllerPlacement",
+    "FLIGHT_DRAM_PARAMETERS",
+    "FlightMetrics",
+    "FlightRecorder",
+    "FlightResult",
+    "FlightSample",
+    "FlightScenario",
+    "FlightSimulation",
+    "HostLoadConfig",
+    "SystemSimulation",
+    "compute_metrics",
+    "run_scenario",
+]

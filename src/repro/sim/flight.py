@@ -1,0 +1,683 @@
+"""Full-system flight co-simulation.
+
+This module wires every substrate into the system of Figure 2 of the paper:
+
+* the quadrotor plant and its sensor suite (:mod:`repro.dynamics`,
+  :mod:`repro.sensors`),
+* the host control environment: sensor drivers, feeder threads, the safety
+  controller, the security monitor, the receiving thread and the actuator
+  (PWM) driver, all scheduled as SCHED_FIFO tasks on the HCE cores,
+* the container control environment: the complex controller and its motor
+  output publisher running inside a Docker-like container pinned to the CCE
+  core, exchanging MAVLink messages with the host over the simulated docker0
+  bridge,
+* the protections: cgroup cpuset/priority limits, MemGuard on the shared
+  DRAM, iptables rate limiting and the security monitor,
+* the attacks of Section V, launched from inside the container.
+
+The result of a run is a :class:`~repro.sim.recorder.FlightRecorder` plus the
+derived :class:`~repro.sim.metrics.FlightMetrics`, which the benchmarks use to
+regenerate Figures 4-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..attacks.controller_kill import ControllerKillAttack
+from ..attacks.cpu_hog import CpuHogAttack
+from ..attacks.memory_dos import MemoryBandwidthAttack
+from ..attacks.udp_flood import UdpFloodAttack
+from ..container.runtime import ContainerRuntime
+from ..control.complex_controller import ComplexController, ComplexControllerConfig
+from ..control.setpoints import ActuatorCommand
+from ..core.framework import ContainerDroneFramework
+from ..core.protections import build_container_config, build_memguard, build_network
+from ..core.security_monitor import Violation
+from ..dynamics.quadrotor import Quadrotor, QuadrotorParameters
+from ..dynamics.state import RigidBodyState
+from ..mavlink.connection import MavlinkConnection
+from ..mavlink.messages import (
+    ActuatorOutputs,
+    GpsRawInt,
+    HighresImu,
+    LocalPositionNed,
+    RcChannelsOverride,
+    ScaledPressure,
+)
+from ..memsys.dram import DramModel, DramParameters
+from ..rtos.scheduler import MulticoreScheduler
+from ..rtos.task import Task, TaskConfig
+from ..sensors.barometer import Barometer, BarometerReading
+from ..sensors.gps import Gps, geodetic_to_ned
+from ..sensors.imu import Imu, ImuReading
+from ..sensors.mocap import MocapReading, MotionCapture
+from ..sensors.rc import RcChannels, RcReceiver, scripted_pilot
+from .metrics import FlightMetrics, compute_metrics
+from .recorder import FlightRecorder, FlightSample
+from .scenario import ControllerPlacement, FlightScenario
+
+__all__ = ["FlightResult", "FlightSimulation", "run_scenario"]
+
+#: Default parameters of the shared-DRAM model used by flight scenarios.  The
+#: contention curve is steeper than the :class:`DramParameters` defaults so a
+#: saturating attacker reproduces the severe slowdowns measured on the Pi 3.
+FLIGHT_DRAM_PARAMETERS = DramParameters(
+    peak_accesses_per_second=6.0e6,
+    contention_gain=0.35,
+    max_utilization=0.99,
+)
+
+
+@dataclass
+class _SensorHub:
+    """Latest sensor samples shared between HCE drivers and feeder threads."""
+
+    imu: ImuReading | None = None
+    imu_time: float = 0.0
+    imu_fresh: bool = False
+    baro: BarometerReading | None = None
+    baro_time: float = 0.0
+    baro_fresh: bool = False
+    gps_position: np.ndarray | None = None
+    gps_geodetic: tuple[float, float, float] | None = None
+    gps_velocity: np.ndarray | None = None
+    gps_time: float = 0.0
+    gps_fresh: bool = False
+    rc: RcChannels | None = None
+    rc_time: float = 0.0
+    rc_fresh: bool = False
+    mocap: MocapReading | None = None
+    mocap_time: float = 0.0
+    mocap_fresh: bool = False
+
+
+@dataclass(frozen=True)
+class FlightResult:
+    """Outcome of one simulated flight."""
+
+    scenario: FlightScenario
+    recorder: FlightRecorder
+    metrics: FlightMetrics
+    violations: tuple[Violation, ...]
+    switch_time: float | None
+    crashed: bool
+    crash_time: float | None
+
+
+class FlightSimulation:
+    """Co-simulation of one :class:`FlightScenario`."""
+
+    def __init__(self, scenario: FlightScenario) -> None:
+        self.scenario = scenario
+        config = scenario.config
+        seed = np.random.SeedSequence(scenario.seed)
+        seeds = seed.spawn(8)
+
+        # -- physical plant and sensors ------------------------------------------
+        setpoint_position = np.asarray(scenario.setpoint.position, dtype=float)
+        initial_state = RigidBodyState(position=setpoint_position.copy())
+        self.plant = Quadrotor(QuadrotorParameters(), initial_state=initial_state)
+        self.plant.arm()
+
+        rates = config.rates
+        self.imu = Imu(rate_hz=rates.imu_hz, rng=np.random.default_rng(seeds[0]))
+        self.baro = Barometer(rate_hz=rates.baro_hz, rng=np.random.default_rng(seeds[1]))
+        self.gps = Gps(rate_hz=rates.gps_hz, rng=np.random.default_rng(seeds[2]))
+        self.mocap = MotionCapture(rate_hz=rates.mocap_hz, rng=np.random.default_rng(seeds[3]))
+        self.rc = RcReceiver(pilot=scripted_pilot(position_mode_at=0.0), rate_hz=rates.rc_hz)
+
+        # -- substrates ------------------------------------------------------------
+        self.network = build_network(config)
+        self.memguard = build_memguard(config)
+        self.dram = DramModel(FLIGHT_DRAM_PARAMETERS)
+        self.scheduler = MulticoreScheduler(
+            num_cores=config.cpu.num_cores,
+            quantum=scenario.physics_dt,
+            dram=self.dram,
+            memguard=self.memguard,
+        )
+        self.runtime = ContainerRuntime(self.scheduler, self.network)
+        self.container = self.runtime.create(build_container_config(config))
+        self.runtime.run(self.container)
+
+        # -- control environments ----------------------------------------------------
+        self.framework = ContainerDroneFramework(config=config, setpoint=scenario.setpoint)
+        self.framework.on_kill_receiver = self._kill_receiver
+        self.complex_controller = ComplexController(ComplexControllerConfig(
+            nominal_execution_time=0.0025,
+            memory_stall_fraction=0.5,
+            memory_accesses_per_iteration=3000,
+        ))
+        self.complex_controller.set_position_setpoint(scenario.setpoint)
+
+        self._hub = _SensorHub()
+        self._motor_command = np.full(4, 0.57)
+        self._cce_outbox: ActuatorOutputs | None = None
+        self._geofence_breached = False
+        self._geofence_time: float | None = None
+        self._controller_killed = False
+
+        self.recorder = FlightRecorder(sample_rate_hz=50.0)
+
+        self._hce_core_io = min(config.cpu.hce_cores)
+        remaining = sorted(config.cpu.hce_cores - {self._hce_core_io})
+        self._hce_core_ctrl = remaining[0] if remaining else self._hce_core_io
+        self._hce_core_aux = remaining[1] if len(remaining) > 1 else self._hce_core_ctrl
+        self._cce_core = min(config.cpu.cce_cores)
+
+        self._build_connections()
+        self._build_hce_tasks()
+        if scenario.controller_placement == ControllerPlacement.CONTAINER:
+            self._build_cce_tasks()
+        else:
+            self._build_host_controller_task()
+        self._build_attack_tasks()
+
+    # ------------------------------------------------------------------ wiring --
+
+    def _build_connections(self) -> None:
+        communication = self.scenario.config.communication
+        container_ns = self.container.namespace
+        # HCE side: feeder -> CCE sensor port, receiver <- CCE motor traffic.
+        self.hce_feeder_tx = MavlinkConnection(
+            self.network,
+            local_namespace="host",
+            local_port=47001,
+            remote_namespace=container_ns,
+            remote_port=communication.sensor_port,
+            system_id=1,
+        )
+        self.hce_motor_rx = MavlinkConnection(
+            self.network,
+            local_namespace="host",
+            local_port=communication.motor_port,
+            remote_namespace=container_ns,
+            remote_port=0,
+            system_id=1,
+            queue_capacity=communication.motor_queue_capacity,
+        )
+        # CCE side: sensor receiver and motor publisher.
+        self.cce_sensor_rx = MavlinkConnection(
+            self.network,
+            local_namespace=container_ns,
+            local_port=communication.sensor_port,
+            remote_namespace="host",
+            remote_port=0,
+            system_id=2,
+            queue_capacity=communication.sensor_queue_capacity,
+        )
+        self.cce_motor_tx = MavlinkConnection(
+            self.network,
+            local_namespace=container_ns,
+            local_port=47002,
+            remote_namespace="host",
+            remote_port=communication.motor_port,
+            system_id=2,
+        )
+
+    def _add_hce_task(
+        self,
+        name: str,
+        rate_hz: float,
+        execution_time: float,
+        priority: int,
+        core: int,
+        callback,
+        memory_stall_fraction: float = 0.2,
+        accesses_per_job: int = 50,
+        dynamic_cost=None,
+    ) -> Task:
+        task = Task(
+            TaskConfig(
+                name=name,
+                period=1.0 / rate_hz,
+                execution_time=execution_time,
+                priority=priority,
+                core=core,
+                memory_stall_fraction=memory_stall_fraction,
+                accesses_per_job=accesses_per_job,
+            ),
+            callback=callback,
+            dynamic_cost=dynamic_cost,
+        )
+        self.scheduler.add_task(task)
+        return task
+
+    def _build_hce_tasks(self) -> None:
+        config = self.scenario.config
+        cpu = config.cpu
+        rates = config.rates
+        io_core = self._hce_core_io
+        ctrl_core = self._hce_core_ctrl
+
+        # Kernel sensor drivers (priority 90, Section IV-C).
+        self._add_hce_task("imu-driver", rates.imu_hz, 0.00015, cpu.driver_priority,
+                           io_core, self._imu_driver, accesses_per_job=60)
+        self._add_hce_task("baro-driver", rates.baro_hz, 0.00008, cpu.driver_priority,
+                           io_core, self._baro_driver, accesses_per_job=30)
+        self._add_hce_task("gps-driver", rates.gps_hz, 0.0001, 60,
+                           io_core, self._gps_driver, accesses_per_job=30)
+        self._add_hce_task("rc-driver", rates.rc_hz, 0.00005, 60,
+                           io_core, self._rc_driver, accesses_per_job=20)
+        self._add_hce_task("mocap-bridge", rates.mocap_hz, 0.0001, 60,
+                           io_core, self._mocap_driver, accesses_per_job=40)
+        # Feeder (I/O) thread forwarding sensor data to the CCE.
+        self._add_hce_task("feeder", rates.imu_hz, 0.00015, 50,
+                           io_core, self._feeder, accesses_per_job=60)
+        # Actuator (PWM) output driver.
+        self._add_hce_task("actuator-driver", rates.actuator_hz, 0.0001, cpu.driver_priority,
+                           io_core, self._actuator_driver, accesses_per_job=30)
+        # Kernel housekeeping / interrupt threads.
+        self._add_hce_task("kworker", 100.0, 0.0005, cpu.interrupt_priority,
+                           io_core, None, accesses_per_job=100)
+
+        # Safety controller (priority 20, Section IV-C).
+        safety_config = self.framework.safety_controller.config
+        self._add_hce_task(
+            "safety-controller",
+            rates.controller_hz,
+            safety_config.nominal_execution_time,
+            cpu.safety_priority,
+            ctrl_core,
+            self._safety_controller_step,
+            memory_stall_fraction=safety_config.memory_stall_fraction,
+            accesses_per_job=safety_config.memory_accesses_per_iteration,
+        )
+        # Security monitor.
+        self._add_hce_task("security-monitor", config.monitor.rate_hz, 0.00005,
+                           cpu.monitor_priority, ctrl_core, self._monitor_step,
+                           accesses_per_job=20)
+        # Receiving thread for CCE actuator output.
+        self._receiver_task = self._add_hce_task(
+            "motor-receiver",
+            1000.0,
+            0.0,
+            cpu.receiver_priority,
+            ctrl_core,
+            self._receiver_step,
+            accesses_per_job=0,
+            dynamic_cost=self._receiver_cost,
+        )
+
+    def _build_cce_tasks(self) -> None:
+        """Complex controller and motor publisher inside the container."""
+        config = self.scenario.config
+        controller_config = self.complex_controller.config
+        controller_task = TaskConfig(
+            name="complex-controller",
+            period=1.0 / config.rates.controller_hz,
+            execution_time=controller_config.nominal_execution_time,
+            priority=30,
+            core=self._cce_core,
+            memory_stall_fraction=controller_config.memory_stall_fraction,
+            accesses_per_job=controller_config.memory_accesses_per_iteration,
+        )
+        self._cce_controller_task = self.runtime.spawn_process(
+            self.container, controller_task, callback=self._cce_controller_step
+        )
+        publisher_task = TaskConfig(
+            name="motor-publisher",
+            period=1.0 / config.rates.motor_output_hz,
+            execution_time=0.00005,
+            priority=30,
+            core=self._cce_core,
+            memory_stall_fraction=0.1,
+            accesses_per_job=20,
+        )
+        self._cce_publisher_task = self.runtime.spawn_process(
+            self.container, publisher_task, callback=self._cce_publisher_step
+        )
+
+    def _build_host_controller_task(self) -> None:
+        """Complex controller on the HCE (Figure 4/5 configuration)."""
+        controller_config = self.complex_controller.config
+        self._add_hce_task(
+            "complex-controller-host",
+            self.scenario.config.rates.controller_hz,
+            controller_config.nominal_execution_time,
+            30,
+            self._hce_core_aux,
+            self._host_controller_step,
+            memory_stall_fraction=controller_config.memory_stall_fraction,
+            accesses_per_job=controller_config.memory_accesses_per_iteration,
+        )
+
+    def _build_attack_tasks(self) -> None:
+        quantum = self.scenario.physics_dt
+        for attack in self.scenario.attacks:
+            if isinstance(attack, MemoryBandwidthAttack):
+                self.runtime.spawn_process(
+                    self.container, attack.task_config(self._cce_core, quantum)
+                )
+            elif isinstance(attack, UdpFloodAttack):
+                self.runtime.spawn_process(
+                    self.container,
+                    attack.task_config(self._cce_core, quantum),
+                    callback=self._make_flood_callback(attack),
+                )
+            elif isinstance(attack, CpuHogAttack):
+                for task_config in attack.task_configs(
+                    0, self.scenario.config.cpu.num_cores, quantum
+                ):
+                    self.runtime.spawn_process(self.container, task_config)
+            elif isinstance(attack, ControllerKillAttack):
+                # Handled in the stepping loop (it is an event, not a process).
+                continue
+
+    # ------------------------------------------------------------- HCE callbacks --
+
+    def _imu_driver(self, now: float) -> None:
+        sample = self.imu.sample_now(now, self.plant)
+        self._hub.imu = sample.data
+        self._hub.imu_time = sample.timestamp
+        self._hub.imu_fresh = True
+        self.framework.on_imu(sample.data, sample.timestamp)
+        if self.scenario.controller_placement == ControllerPlacement.HOST:
+            self.complex_controller.on_imu(sample.data, sample.timestamp)
+
+    def _baro_driver(self, now: float) -> None:
+        sample = self.baro.sample_now(now, self.plant)
+        self._hub.baro = sample.data
+        self._hub.baro_time = sample.timestamp
+        self._hub.baro_fresh = True
+        self.framework.on_baro(sample.data, sample.timestamp)
+        if self.scenario.controller_placement == ControllerPlacement.HOST:
+            self.complex_controller.on_baro(sample.data, sample.timestamp)
+
+    def _gps_driver(self, now: float) -> None:
+        sample = self.gps.sample_now(now, self.plant)
+        reading = sample.data
+        position_ned = geodetic_to_ned(
+            reading.latitude_deg, reading.longitude_deg, reading.altitude_m, self.gps.origin
+        )
+        self._hub.gps_position = position_ned
+        self._hub.gps_geodetic = (
+            reading.latitude_deg, reading.longitude_deg, reading.altitude_m
+        )
+        self._hub.gps_velocity = reading.velocity_ned
+        self._hub.gps_time = sample.timestamp
+        self._hub.gps_fresh = True
+        self.framework.on_gps(position_ned, sample.timestamp)
+        if self.scenario.controller_placement == ControllerPlacement.HOST:
+            self.complex_controller.on_gps(position_ned, sample.timestamp)
+
+    def _rc_driver(self, now: float) -> None:
+        sample = self.rc.sample_now(now, self.plant)
+        self._hub.rc = sample.data
+        self._hub.rc_time = sample.timestamp
+        self._hub.rc_fresh = True
+        if self.scenario.controller_placement == ControllerPlacement.HOST:
+            self.complex_controller.on_rc(sample.data, sample.timestamp)
+
+    def _mocap_driver(self, now: float) -> None:
+        sample = self.mocap.sample_now(now, self.plant)
+        self._hub.mocap = sample.data
+        self._hub.mocap_time = sample.timestamp
+        self._hub.mocap_fresh = True
+        self.framework.on_mocap(sample.data, sample.timestamp)
+        if self.scenario.controller_placement == ControllerPlacement.HOST:
+            self.complex_controller.on_mocap(sample.data, sample.timestamp)
+
+    def _feeder(self, now: float) -> None:
+        """Forward fresh sensor samples to the CCE (simulation control mode)."""
+        hub = self._hub
+        if hub.imu_fresh and hub.imu is not None:
+            self.hce_feeder_tx.send(now, HighresImu.from_arrays(
+                int(hub.imu_time * 1000.0), np.asarray(hub.imu.gyro), np.asarray(hub.imu.accel)
+            ))
+            hub.imu_fresh = False
+        if hub.baro_fresh and hub.baro is not None:
+            self.hce_feeder_tx.send(now, ScaledPressure(
+                time_ms=int(hub.baro_time * 1000.0),
+                pressure_abs=hub.baro.pressure_pa,
+                altitude_m=hub.baro.altitude_m,
+                temperature_c=hub.baro.temperature_c,
+            ))
+            hub.baro_fresh = False
+        if hub.gps_fresh and hub.gps_geodetic is not None:
+            latitude, longitude, altitude = hub.gps_geodetic
+            velocity = hub.gps_velocity if hub.gps_velocity is not None else np.zeros(3)
+            self.hce_feeder_tx.send(now, GpsRawInt(
+                time_ms=int(hub.gps_time * 1000.0),
+                lat_e7=int(latitude * 1e7),
+                lon_e7=int(longitude * 1e7),
+                alt_mm=int(altitude * 1000.0),
+                vel_north=float(velocity[0]),
+                vel_east=float(velocity[1]),
+                vel_down=float(velocity[2]),
+            ))
+            hub.gps_fresh = False
+        if hub.rc_fresh and hub.rc is not None:
+            channels = tuple(int(v) for v in hub.rc.as_array()) + (1500,) * 11
+            self.hce_feeder_tx.send(now, RcChannelsOverride(
+                time_ms=int(hub.rc_time * 1000.0), channels=channels[:16]
+            ))
+            hub.rc_fresh = False
+        if hub.mocap_fresh and hub.mocap is not None:
+            self.hce_feeder_tx.send(now, LocalPositionNed(
+                time_ms=int(hub.mocap_time * 1000.0),
+                x=float(hub.mocap.position_ned[0]),
+                y=float(hub.mocap.position_ned[1]),
+                z=float(hub.mocap.position_ned[2]),
+                yaw=float(hub.mocap.yaw),
+            ))
+            hub.mocap_fresh = False
+
+    def _actuator_driver(self, now: float) -> None:
+        command = self.framework.select_command()
+        if command is not None:
+            self._motor_command = np.clip(np.asarray(command.motors, dtype=float), 0.0, 1.0)
+
+    def _safety_controller_step(self, now: float) -> None:
+        self.framework.run_safety_controller(now)
+
+    def _monitor_step(self, now: float) -> None:
+        self.framework.run_monitor(now)
+
+    def _receiver_cost(self, now: float) -> tuple[float, int]:
+        endpoint = self.hce_motor_rx.endpoint
+        if endpoint is None:
+            return 0.0, 0
+        batch = self.scenario.config.communication.receiver_batch_size
+        pending = min(endpoint.queue_depth, batch)
+        # Each datagram costs a syscall plus MAVLink parsing (~15 us on the Pi).
+        return pending * 15e-6, pending * 30
+
+    def _receiver_step(self, now: float) -> None:
+        batch = self.scenario.config.communication.receiver_batch_size
+        frames = self.hce_motor_rx.receive(now, max_datagrams=batch)
+        if frames:
+            self.framework.handle_actuator_frames(frames, now)
+
+    def _host_controller_step(self, now: float) -> None:
+        command = self.complex_controller.compute(now)
+        if command is not None:
+            self.framework.submit_host_complex_command(command, now)
+
+    def _kill_receiver(self, now: float, violation: Violation) -> None:
+        """Monitor action: kill the HCE receiving thread (Section III-E)."""
+        self.hce_motor_rx.close()
+        try:
+            self.scheduler.remove_task("motor-receiver")
+        except KeyError:
+            pass
+
+    # ------------------------------------------------------------- CCE callbacks --
+
+    def _cce_controller_step(self, now: float) -> None:
+        if not self.complex_controller.alive:
+            return
+        frames = self.cce_sensor_rx.receive(now)
+        for frame in frames:
+            message = frame.message
+            timestamp = getattr(message, "time_ms", int(now * 1000)) / 1000.0
+            if isinstance(message, HighresImu):
+                self.complex_controller.on_imu(
+                    ImuReading(gyro=np.array(message.gyro), accel=np.array(message.accel)),
+                    timestamp,
+                )
+            elif isinstance(message, ScaledPressure):
+                self.complex_controller.on_baro(
+                    BarometerReading(
+                        pressure_pa=message.pressure_abs,
+                        altitude_m=message.altitude_m,
+                        temperature_c=message.temperature_c,
+                    ),
+                    timestamp,
+                )
+            elif isinstance(message, GpsRawInt):
+                position_ned = geodetic_to_ned(
+                    message.lat_e7 / 1e7, message.lon_e7 / 1e7, message.alt_mm / 1000.0,
+                    self.gps.origin,
+                )
+                self.complex_controller.on_gps(position_ned, timestamp)
+            elif isinstance(message, LocalPositionNed):
+                self.complex_controller.on_mocap(
+                    MocapReading(
+                        position_ned=np.array([message.x, message.y, message.z]),
+                        yaw=message.yaw,
+                        valid=True,
+                    ),
+                    timestamp,
+                )
+            elif isinstance(message, RcChannelsOverride):
+                channels = message.channels
+                self.complex_controller.on_rc(
+                    RcChannels(
+                        roll=channels[0], pitch=channels[1], throttle=channels[2],
+                        yaw=channels[3], mode_switch=channels[4],
+                    ),
+                    timestamp,
+                )
+        command = self.complex_controller.compute(now)
+        if command is not None:
+            self._cce_outbox = ActuatorOutputs.from_command(
+                int(now * 1000), command.motors, command.sequence
+            )
+
+    def _cce_publisher_step(self, now: float) -> None:
+        if self._cce_outbox is None or not self.complex_controller.alive:
+            return
+        self.cce_motor_tx.send(now, self._cce_outbox)
+
+    def _make_flood_callback(self, attack: UdpFloodAttack):
+        payload = attack.payload()
+        container_ns = self.container.namespace
+
+        def flood(now: float) -> None:
+            for _ in range(attack.packets_per_quantum(self.scenario.physics_dt)):
+                self.network.send(
+                    now,
+                    payload,
+                    source_namespace=container_ns,
+                    source_port=55555,
+                    destination_namespace="host",
+                    destination_port=attack.target_port,
+                )
+
+        return flood
+
+    # ------------------------------------------------------------------- events --
+
+    def _apply_event_attacks(self, now: float) -> None:
+        for attack in self.scenario.attacks:
+            if isinstance(attack, ControllerKillAttack):
+                if attack.active(now) and not self._controller_killed:
+                    self._controller_killed = True
+                    self.complex_controller.kill()
+                    for task_name in ("complex-controller", "motor-publisher",
+                                      "complex-controller-host"):
+                        try:
+                            self.scheduler.remove_task(task_name)
+                        except KeyError:
+                            continue
+
+    # ------------------------------------------------------------------ stepping --
+
+    @property
+    def crashed(self) -> bool:
+        """True when the plant crashed or the drone left the lab volume."""
+        return self.plant.crashed or self._geofence_breached
+
+    @property
+    def crash_time(self) -> float | None:
+        """Time of the crash, if any."""
+        if self.plant.crashed:
+            return self.plant.crash_time
+        return self._geofence_time
+
+    def _check_geofence(self, now: float) -> None:
+        if self._geofence_breached:
+            return
+        deviation = float(np.linalg.norm(
+            self.plant.position - np.asarray(self.scenario.setpoint.position)
+        ))
+        if deviation > self.scenario.geofence_radius:
+            self._geofence_breached = True
+            self._geofence_time = now
+
+    def step(self) -> None:
+        """Advance the co-simulation by one physics step."""
+        dt = self.scenario.physics_dt
+        self.scheduler.advance(dt)
+        now = self.scheduler.time
+        self._apply_event_attacks(now)
+        if not self.crashed:
+            self.plant.step(self._motor_command, dt)
+            self._check_geofence(now)
+        roll, pitch, yaw = self.plant.attitude
+        self.recorder.maybe_record(FlightSample(
+            time=now,
+            position=self.plant.position.copy(),
+            setpoint=np.asarray(self.scenario.setpoint.position, dtype=float).copy(),
+            velocity=self.plant.velocity.copy(),
+            roll=roll,
+            pitch=pitch,
+            yaw=yaw,
+            active_source=self.framework.active_source.value,
+            crashed=self.crashed,
+        ))
+
+    def run(self) -> FlightResult:
+        """Run the scenario to completion and return the result."""
+        steps = int(round(self.scenario.duration / self.scenario.physics_dt))
+        for _ in range(steps):
+            self.step()
+            if self.crashed and self.scheduler.time > (self.crash_time or 0.0) + 1.0:
+                break
+        metrics = compute_metrics(
+            self.recorder, event_time=self.scenario.first_attack_time()
+        )
+        # The recorder may not have caught the crash flag if it happened after
+        # the last decimated sample; trust the simulation state.
+        if self.crashed and not metrics.crashed:
+            metrics = FlightMetrics(
+                duration=metrics.duration,
+                crashed=True,
+                crash_time=self.crash_time,
+                switched_to_safety=metrics.switched_to_safety,
+                switch_time=metrics.switch_time,
+                max_deviation=metrics.max_deviation,
+                max_deviation_after=metrics.max_deviation_after,
+                rms_error=metrics.rms_error,
+                rms_error_after=metrics.rms_error_after,
+                final_deviation=metrics.final_deviation,
+                recovered=False,
+            )
+        return FlightResult(
+            scenario=self.scenario,
+            recorder=self.recorder,
+            metrics=metrics,
+            violations=tuple(self.framework.monitor.violations),
+            switch_time=self.recorder.switch_time(),
+            crashed=self.crashed,
+            crash_time=self.crash_time,
+        )
+
+
+def run_scenario(scenario: FlightScenario) -> FlightResult:
+    """Convenience helper: build and run a flight simulation for ``scenario``."""
+    return FlightSimulation(scenario).run()

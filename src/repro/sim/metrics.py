@@ -1,0 +1,111 @@
+"""Flight-quality metrics used to compare scenarios against the paper's figures.
+
+The paper's evaluation is qualitative (trajectory plots); these metrics turn
+the recorded trajectories into the quantities the figure captions describe:
+whether the drone crashed, how far it deviated from its setpoint, whether it
+oscillated, and whether it recovered after the defence switched controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .recorder import FlightRecorder
+
+__all__ = ["FlightMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class FlightMetrics:
+    """Summary of one recorded flight."""
+
+    duration: float
+    crashed: bool
+    crash_time: float | None
+    switched_to_safety: bool
+    switch_time: float | None
+    max_deviation: float
+    max_deviation_after: float
+    rms_error: float
+    rms_error_after: float
+    final_deviation: float
+    recovered: bool
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"duration={self.duration:.1f}s"]
+        parts.append("CRASHED" if self.crashed else "survived")
+        if self.crash_time is not None:
+            parts.append(f"crash@{self.crash_time:.1f}s")
+        if self.switched_to_safety:
+            parts.append(f"switch@{self.switch_time:.1f}s")
+        parts.append(f"maxdev={self.max_deviation:.2f}m")
+        parts.append(f"rms={self.rms_error:.3f}m")
+        parts.append("recovered" if self.recovered else "not-recovered")
+        return " ".join(parts)
+
+
+def _deviations(recorder: FlightRecorder) -> tuple[np.ndarray, np.ndarray]:
+    times = recorder.times()
+    positions = recorder.positions()
+    setpoints = recorder.setpoints()
+    deviations = np.linalg.norm(positions - setpoints, axis=1)
+    return times, deviations
+
+
+def compute_metrics(
+    recorder: FlightRecorder,
+    event_time: float | None = None,
+    recovery_threshold: float = 0.5,
+    recovery_window: float = 5.0,
+) -> FlightMetrics:
+    """Compute flight metrics from a recording.
+
+    Parameters
+    ----------
+    recorder:
+        The flight recording.
+    event_time:
+        Reference time (normally the attack start); the ``*_after`` metrics
+        are computed over samples at or after this time.
+    recovery_threshold:
+        Maximum deviation [m] the drone must stay within during the final
+        ``recovery_window`` seconds to count as recovered.
+    recovery_window:
+        Length of the window at the end of the flight used for the recovery
+        check [s].
+    """
+    if len(recorder) == 0:
+        raise ValueError("recorder holds no samples")
+    times, deviations = _deviations(recorder)
+    duration = float(times[-1] - times[0])
+
+    crash_time = recorder.crash_time()
+    switch_time = recorder.switch_time()
+
+    if event_time is None:
+        after_mask = np.ones_like(times, dtype=bool)
+    else:
+        after_mask = times >= event_time
+        if not np.any(after_mask):
+            after_mask = np.ones_like(times, dtype=bool)
+
+    tail_mask = times >= times[-1] - recovery_window
+    crashed = crash_time is not None
+    recovered = (not crashed) and bool(np.all(deviations[tail_mask] <= recovery_threshold))
+
+    return FlightMetrics(
+        duration=duration,
+        crashed=crashed,
+        crash_time=crash_time,
+        switched_to_safety=switch_time is not None,
+        switch_time=switch_time,
+        max_deviation=float(np.max(deviations)),
+        max_deviation_after=float(np.max(deviations[after_mask])),
+        rms_error=float(np.sqrt(np.mean(deviations**2))),
+        rms_error_after=float(np.sqrt(np.mean(deviations[after_mask] ** 2))),
+        final_deviation=float(deviations[-1]),
+        recovered=recovered,
+    )

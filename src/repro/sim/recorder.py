@@ -1,0 +1,106 @@
+"""Telemetry recorder for flight simulations.
+
+Records the quantities the paper plots (local position X/Y/Z against their
+setpoints) plus everything needed to analyse the defence behaviour: attitude,
+active control source, violations and crash state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FlightSample", "FlightRecorder"]
+
+
+@dataclass(frozen=True)
+class FlightSample:
+    """One telemetry sample."""
+
+    time: float
+    position: np.ndarray
+    setpoint: np.ndarray
+    velocity: np.ndarray
+    roll: float
+    pitch: float
+    yaw: float
+    active_source: str
+    crashed: bool
+
+
+class FlightRecorder:
+    """Accumulates telemetry samples at a fixed decimation."""
+
+    def __init__(self, sample_rate_hz: float = 50.0) -> None:
+        if sample_rate_hz <= 0.0:
+            raise ValueError("sample_rate_hz must be positive")
+        self.sample_rate_hz = float(sample_rate_hz)
+        self._period = 1.0 / self.sample_rate_hz
+        self._last_sample_time: float | None = None
+        self.samples: list[FlightSample] = []
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def maybe_record(self, sample: FlightSample) -> bool:
+        """Record the sample if the decimation period has elapsed."""
+        if (
+            self._last_sample_time is not None
+            and sample.time - self._last_sample_time < self._period - 1e-9
+        ):
+            return False
+        self._last_sample_time = sample.time
+        self.samples.append(sample)
+        return True
+
+    # -- array accessors --------------------------------------------------------
+
+    def times(self) -> np.ndarray:
+        """Sample times [s]."""
+        return np.array([sample.time for sample in self.samples])
+
+    def positions(self) -> np.ndarray:
+        """NED positions, one row per sample [m]."""
+        return np.array([sample.position for sample in self.samples])
+
+    def setpoints(self) -> np.ndarray:
+        """NED position setpoints, one row per sample [m]."""
+        return np.array([sample.setpoint for sample in self.samples])
+
+    def attitudes(self) -> np.ndarray:
+        """Roll/pitch/yaw, one row per sample [rad]."""
+        return np.array([[sample.roll, sample.pitch, sample.yaw] for sample in self.samples])
+
+    def sources(self) -> list[str]:
+        """Active control source per sample."""
+        return [sample.active_source for sample in self.samples]
+
+    def axis(self, name: str) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(times, estimated, setpoint)`` for axis ``"x"``, ``"y"`` or ``"z"``.
+
+        The Z axis is returned as altitude (positive up), matching how the
+        paper's figures plot it.
+        """
+        index = {"x": 0, "y": 1, "z": 2}[name.lower()]
+        times = self.times()
+        positions = self.positions()[:, index]
+        setpoints = self.setpoints()[:, index]
+        if index == 2:
+            positions = -positions
+            setpoints = -setpoints
+        return times, positions, setpoints
+
+    def switch_time(self) -> float | None:
+        """Time at which the active source first became the safety controller."""
+        for sample in self.samples:
+            if sample.active_source == "safety":
+                return sample.time
+        return None
+
+    def crash_time(self) -> float | None:
+        """Time at which the vehicle was first recorded as crashed."""
+        for sample in self.samples:
+            if sample.crashed:
+                return sample.time
+        return None

@@ -1,0 +1,163 @@
+"""Scenario descriptions for the flight co-simulation.
+
+A scenario bundles everything that varies between the paper's experiments:
+the mission (hover setpoint and duration), where the complex controller runs,
+which attacks are launched and which protections are enabled.  The
+``figure4``/``figure5``/``figure6``/``figure7`` constructors reproduce the
+four attack experiments of Section V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..attacks.controller_kill import ControllerKillAttack
+from ..attacks.memory_dos import MemoryBandwidthAttack
+from ..attacks.udp_flood import UdpFloodAttack
+from ..control.setpoints import PositionSetpoint
+from ..core.config import ContainerDroneConfig
+
+__all__ = ["ControllerPlacement", "FlightScenario"]
+
+
+class ControllerPlacement:
+    """Where the complex controller executes."""
+
+    CONTAINER = "container"
+    HOST = "host"
+
+
+def _default_setpoint() -> PositionSetpoint:
+    return PositionSetpoint.hover_at(0.0, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class FlightScenario:
+    """One flight experiment.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier used in reports.
+    duration:
+        Flight duration [s] (the paper's traces span 30 s).
+    setpoint:
+        Hover setpoint for position-control mode.
+    controller_placement:
+        ``"container"`` runs the complex controller inside the CCE (the
+        framework's normal configuration, used by the Figure 6/7 experiments);
+        ``"host"`` runs it on the HCE with only the attacker inside the
+        container (the Figure 4/5 memory-DoS configuration).
+    attacks:
+        Attacks launched during the flight.
+    config:
+        ContainerDrone framework configuration (protections and thresholds).
+    physics_dt:
+        Physics/scheduler step [s].
+    seed:
+        Seed for all stochastic components.
+    """
+
+    name: str = "hover"
+    duration: float = 30.0
+    setpoint: PositionSetpoint = field(default_factory=_default_setpoint)
+    controller_placement: str = ControllerPlacement.CONTAINER
+    attacks: tuple[Attack, ...] = ()
+    config: ContainerDroneConfig = field(default_factory=ContainerDroneConfig)
+    physics_dt: float = 0.001
+    seed: int = 2019
+    #: Deviation from the setpoint at which the flight counts as a crash
+    #: (the drone has left the motion-capture volume / hit the lab wall) [m].
+    geofence_radius: float = 6.0
+    initial_altitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ValueError("duration must be positive")
+        if self.physics_dt <= 0.0:
+            raise ValueError("physics_dt must be positive")
+        if self.controller_placement not in (
+            ControllerPlacement.CONTAINER,
+            ControllerPlacement.HOST,
+        ):
+            raise ValueError(f"unknown controller placement {self.controller_placement!r}")
+
+    # -- canonical scenarios -----------------------------------------------------
+
+    @classmethod
+    def baseline(cls, duration: float = 30.0, **kwargs) -> "FlightScenario":
+        """Undisturbed hover with every protection enabled."""
+        return cls(name="baseline-hover", duration=duration, **kwargs)
+
+    @classmethod
+    def figure4(cls, attack_start: float = 10.0, duration: float = 30.0) -> "FlightScenario":
+        """Memory-bandwidth DoS with MemGuard disabled: the drone crashes.
+
+        As in the paper, the Bandwidth attacker is the only process inside the
+        container and the flight controller runs on the host, so the
+        experiment isolates the memory protection: the Simplex monitor is not
+        part of this configuration and cannot save the drone.
+        """
+        return cls(
+            name="fig4-memdos-no-memguard",
+            duration=duration,
+            controller_placement=ControllerPlacement.HOST,
+            attacks=(MemoryBandwidthAttack(start_time=attack_start),),
+            config=ContainerDroneConfig().without_memguard().without_monitor(),
+        )
+
+    @classmethod
+    def figure5(cls, attack_start: float = 10.0, duration: float = 30.0) -> "FlightScenario":
+        """Memory-bandwidth DoS with MemGuard enabled: oscillates but stable."""
+        return cls(
+            name="fig5-memdos-with-memguard",
+            duration=duration,
+            controller_placement=ControllerPlacement.HOST,
+            attacks=(MemoryBandwidthAttack(start_time=attack_start),),
+            config=ContainerDroneConfig().without_monitor(),
+        )
+
+    @classmethod
+    def figure6(cls, kill_time: float = 12.0, duration: float = 30.0) -> "FlightScenario":
+        """Complex controller killed mid-flight: the monitor switches to safety."""
+        return cls(
+            name="fig6-controller-kill",
+            duration=duration,
+            controller_placement=ControllerPlacement.CONTAINER,
+            attacks=(ControllerKillAttack(start_time=kill_time),),
+            config=ContainerDroneConfig(),
+        )
+
+    @classmethod
+    def figure7(cls, attack_start: float = 8.0, duration: float = 30.0) -> "FlightScenario":
+        """UDP flood on the HCE motor port: attitude rule triggers recovery."""
+        return cls(
+            name="fig7-udp-flood",
+            duration=duration,
+            controller_placement=ControllerPlacement.CONTAINER,
+            attacks=(UdpFloodAttack(start_time=attack_start),),
+            config=ContainerDroneConfig(),
+        )
+
+    # -- variants -----------------------------------------------------------------
+
+    def with_config(self, config: ContainerDroneConfig) -> "FlightScenario":
+        """Copy of the scenario with a different framework configuration."""
+        return replace(self, config=config)
+
+    def with_attacks(self, *attacks: Attack) -> "FlightScenario":
+        """Copy of the scenario with a different attack list."""
+        return replace(self, attacks=tuple(attacks))
+
+    def with_name(self, name: str) -> "FlightScenario":
+        """Copy of the scenario under a different name."""
+        return replace(self, name=name)
+
+    def first_attack_time(self) -> float | None:
+        """Start time of the earliest attack, if any."""
+        if not self.attacks:
+            return None
+        return min(attack.start_time for attack in self.attacks)

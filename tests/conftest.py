@@ -1,0 +1,31 @@
+"""Shared pytest fixtures.
+
+The package is normally installed with ``pip install -e .``; the sys.path
+fallback below lets the suite run straight from a source checkout as well.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def hover_state():
+    """Rigid-body state hovering 1 m above the origin."""
+    from repro.dynamics import RigidBodyState
+
+    return RigidBodyState(position=np.array([0.0, 0.0, -1.0]))

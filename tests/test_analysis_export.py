@@ -1,0 +1,79 @@
+"""Tests for the export helpers (CSV, dictionaries, comparison tables)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_results, recorder_to_rows, result_to_dict, write_csv
+from repro.sim import FlightRecorder, FlightSample
+
+
+def make_recording(samples=20, source="complex", crashed=False):
+    recorder = FlightRecorder(sample_rate_hz=10.0)
+    for index in range(samples):
+        recorder.maybe_record(FlightSample(
+            time=index / 10.0,
+            position=np.array([0.01 * index, 0.0, -1.0]),
+            setpoint=np.array([0.0, 0.0, -1.0]),
+            velocity=np.zeros(3),
+            roll=0.0,
+            pitch=0.0,
+            yaw=0.0,
+            active_source=source,
+            crashed=crashed,
+        ))
+    return recorder
+
+
+class TestRecorderExport:
+    def test_rows_match_samples(self):
+        recorder = make_recording(samples=15)
+        rows = recorder_to_rows(recorder)
+        assert len(rows) == len(recorder)
+        assert rows[0]["time"] == pytest.approx(0.0)
+        assert rows[-1]["x"] == pytest.approx(0.14)
+        assert rows[0]["active_source"] == "complex"
+
+    def test_write_csv_to_stream(self):
+        recorder = make_recording(samples=5)
+        buffer = io.StringIO()
+        count = write_csv(recorder, buffer)
+        assert count == 5
+        lines = buffer.getvalue().strip().splitlines()
+        assert lines[0].startswith("time,x,y,z")
+        assert len(lines) == 6
+
+    def test_write_csv_to_path(self, tmp_path):
+        recorder = make_recording(samples=5)
+        path = tmp_path / "flight.csv"
+        count = write_csv(recorder, path)
+        assert count == 5
+        assert path.read_text().count("\n") >= 5
+
+
+class TestResultExport:
+    @pytest.fixture(scope="class")
+    def flight_result(self):
+        from repro.sim import FlightScenario, run_scenario
+
+        return run_scenario(FlightScenario.baseline(duration=2.0))
+
+    def test_result_to_dict_keys(self, flight_result):
+        summary = result_to_dict(flight_result)
+        assert summary["scenario"] == "baseline-hover"
+        assert summary["crashed"] is False
+        assert summary["first_violation_rule"] is None
+        assert summary["max_deviation"] >= 0.0
+
+    def test_result_to_dict_is_json_serialisable(self, flight_result):
+        import json
+
+        text = json.dumps(result_to_dict(flight_result))
+        assert "baseline-hover" in text
+
+    def test_compare_results_table(self, flight_result):
+        table = compare_results({"baseline": flight_result, "again": flight_result})
+        assert "baseline" in table
+        assert "Scenario comparison" in table
+        assert table.count("\n") >= 3

@@ -1,0 +1,98 @@
+"""Tests for the attack library."""
+
+import pytest
+
+from repro.attacks import (
+    Attack,
+    ControllerKillAttack,
+    CpuHogAttack,
+    MemoryBandwidthAttack,
+    UdpFloodAttack,
+)
+from repro.mavlink import MOTOR_PORT
+
+
+class TestAttackBase:
+    def test_inactive_before_start(self):
+        attack = Attack(start_time=5.0)
+        assert not attack.active(4.9)
+        assert attack.active(5.0)
+
+    def test_unbounded_duration(self):
+        attack = Attack(start_time=5.0, duration=None)
+        assert attack.active(1e6)
+
+    def test_bounded_duration(self):
+        attack = Attack(start_time=5.0, duration=2.0)
+        assert attack.active(6.9)
+        assert not attack.active(7.1)
+
+    def test_name_is_class_name(self):
+        assert MemoryBandwidthAttack().name == "MemoryBandwidthAttack"
+
+
+class TestMemoryBandwidthAttack:
+    def test_task_is_memory_bound_and_continuous(self):
+        attack = MemoryBandwidthAttack(start_time=10.0, access_rate=2e7)
+        config = attack.task_config(core=3, quantum=0.001)
+        assert config.core == 3
+        assert config.offset == 10.0
+        # A spin loop never yields: one job longer than any scenario.
+        assert config.execution_time >= 1e5
+        assert config.period > config.execution_time
+        assert config.memory_stall_fraction > 0.8
+        assert config.access_rate == pytest.approx(2e7)
+
+    def test_requests_maximum_priority(self):
+        # The attacker *asks* for priority 99; the container cgroup will cap it.
+        assert MemoryBandwidthAttack().task_config(core=3).priority == 99
+
+
+class TestUdpFloodAttack:
+    def test_targets_motor_port_by_default(self):
+        assert UdpFloodAttack().target_port == MOTOR_PORT
+
+    def test_packets_per_quantum(self):
+        attack = UdpFloodAttack(packets_per_second=20000.0)
+        assert attack.packets_per_quantum(0.001) == 20
+
+    def test_at_least_one_packet_per_quantum(self):
+        assert UdpFloodAttack(packets_per_second=1.0).packets_per_quantum(0.001) == 1
+
+    def test_payload_is_garbage_of_configured_size(self):
+        attack = UdpFloodAttack(payload_size=32)
+        assert len(attack.payload()) == 32
+
+    def test_task_execution_fits_in_quantum(self):
+        config = UdpFloodAttack(packets_per_second=50000.0).task_config(core=3, quantum=0.001)
+        assert config.execution_time <= 0.001
+
+
+class TestControllerKillAttack:
+    def test_default_matches_figure6(self):
+        assert ControllerKillAttack().start_time == 12.0
+
+    def test_activation(self):
+        attack = ControllerKillAttack(start_time=12.0)
+        assert not attack.active(11.99)
+        assert attack.active(12.0)
+
+
+class TestCpuHogAttack:
+    def test_one_task_per_thread(self):
+        attack = CpuHogAttack(threads=3)
+        configs = attack.task_configs(first_core=0, num_cores=4)
+        assert len(configs) == 3
+        assert {config.core for config in configs} == {0, 1, 2}
+
+    def test_threads_wrap_over_cores(self):
+        attack = CpuHogAttack(threads=5)
+        configs = attack.task_configs(first_core=0, num_cores=4)
+        assert [config.core for config in configs] == [0, 1, 2, 3, 0]
+
+    def test_hog_is_cpu_bound(self):
+        (config,) = CpuHogAttack(threads=1).task_configs(first_core=2, num_cores=4)
+        # A busy loop: one never-ending job with negligible memory traffic.
+        assert config.execution_time >= 1e5
+        assert config.period > config.execution_time
+        assert config.memory_stall_fraction < 0.1

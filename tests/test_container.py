@@ -1,0 +1,215 @@
+"""Tests for cgroups, the container model, the runtime and the VM model."""
+
+import pytest
+
+from repro.container import (
+    CgroupViolation,
+    Container,
+    ContainerConfig,
+    ContainerRuntime,
+    ContainerState,
+    CpuCgroup,
+    CpusetCgroup,
+    MemoryCgroup,
+    PortMapping,
+    RuntimeConfig,
+    VirtualMachine,
+    VmConfig,
+)
+from repro.network import NetworkStack
+from repro.rtos import MulticoreScheduler, TaskConfig
+
+
+def container_task(name="proc", priority=99, core=0):
+    return TaskConfig(name=name, period=0.01, execution_time=0.001, priority=priority, core=core)
+
+
+class TestCgroups:
+    def test_cpuset_requires_cores(self):
+        with pytest.raises(ValueError):
+            CpusetCgroup(allowed_cores=frozenset())
+
+    def test_cpuset_redirects_disallowed_core(self):
+        cpuset = CpusetCgroup(allowed_cores=frozenset({3}))
+        assert cpuset.admit_core(0) == 3
+        assert cpuset.admit_core(3) == 3
+
+    def test_cpu_priority_cap(self):
+        cpu = CpuCgroup(max_priority=10)
+        assert cpu.admit_priority(99) == 10
+        assert cpu.admit_priority(5) == 5
+
+    def test_memory_cgroup_enforces_limit(self):
+        memory = MemoryCgroup(limit_bytes=1000)
+        memory.allocate(600)
+        with pytest.raises(CgroupViolation):
+            memory.allocate(600)
+        memory.free(600)
+        memory.allocate(600)
+
+    def test_memory_cgroup_free_never_negative(self):
+        memory = MemoryCgroup(limit_bytes=1000)
+        memory.free(500)
+        assert memory.used_bytes == 0
+
+
+class TestContainer:
+    def test_default_config_matches_prototype(self):
+        config = ContainerConfig()
+        assert config.cpuset_cores == frozenset({3})
+        assert not config.privileged
+        ports = {mapping.host_port for mapping in config.port_mappings}
+        assert ports == {14600, 14660}
+
+    def test_admit_task_applies_cgroups(self):
+        container = Container(ContainerConfig())
+        admitted = container.admit_task(container_task(priority=99, core=0))
+        assert admitted.core == 3
+        assert admitted.priority == ContainerConfig().max_priority
+
+    def test_privileged_container_bypasses_cgroups(self):
+        container = Container(ContainerConfig(privileged=True))
+        admitted = container.admit_task(container_task(priority=99, core=0))
+        assert admitted.priority == 99
+        assert admitted.core == 0
+
+    def test_admitted_task_preserves_timing_profile(self):
+        container = Container(ContainerConfig())
+        original = container_task()
+        admitted = container.admit_task(original)
+        assert admitted.period == original.period
+        assert admitted.execution_time == original.execution_time
+
+    def test_stop_and_kill_transition_state(self):
+        container = Container(ContainerConfig())
+        container.mark_running()
+        container.stop()
+        assert container.state is ContainerState.STOPPED
+        container.kill()
+        assert container.state is ContainerState.KILLED
+
+
+@pytest.fixture
+def runtime():
+    scheduler = MulticoreScheduler(num_cores=4)
+    network = NetworkStack()
+    return ContainerRuntime(scheduler, network), scheduler
+
+
+class TestContainerRuntime:
+    def test_create_and_run(self, runtime):
+        engine, scheduler = runtime
+        container = engine.create()
+        assert container.state is ContainerState.CREATED
+        engine.run(container)
+        assert container.state is ContainerState.RUNNING
+        # The engine daemon appears with the first running container.
+        assert any(task.name == "dockerd" for task in scheduler.tasks)
+
+    def test_duplicate_name_rejected(self, runtime):
+        engine, _ = runtime
+        engine.create(ContainerConfig(name="x"))
+        with pytest.raises(ValueError):
+            engine.create(ContainerConfig(name="x"))
+
+    def test_spawn_requires_running_container(self, runtime):
+        engine, _ = runtime
+        container = engine.create()
+        with pytest.raises(RuntimeError):
+            engine.spawn_process(container, container_task())
+
+    def test_spawned_process_respects_cpuset(self, runtime):
+        engine, scheduler = runtime
+        container = engine.create()
+        engine.run(container)
+        task = engine.spawn_process(container, container_task(priority=99, core=0))
+        assert task.config.core == 3
+        assert task.config.priority == ContainerConfig().max_priority
+        assert task in scheduler.tasks
+
+    def test_spawned_process_runs_in_scheduler(self, runtime):
+        engine, scheduler = runtime
+        container = engine.create()
+        engine.run(container)
+        completions = []
+        engine.spawn_process(container, container_task(), callback=completions.append)
+        scheduler.advance(0.05)
+        assert len(completions) >= 4
+
+    def test_kill_stops_container_processes(self, runtime):
+        engine, scheduler = runtime
+        container = engine.create()
+        engine.run(container)
+        completions = []
+        engine.spawn_process(container, container_task(), callback=completions.append)
+        scheduler.advance(0.02)
+        count = len(completions)
+        engine.kill(container)
+        scheduler.advance(0.05)
+        assert len(completions) == count
+        assert container.state is ContainerState.KILLED
+
+    def test_run_twice_rejected(self, runtime):
+        engine, _ = runtime
+        container = engine.create()
+        engine.run(container)
+        with pytest.raises(RuntimeError):
+            engine.run(container)
+
+    def test_custom_network_namespace_registered(self, runtime):
+        engine, _ = runtime
+        container = engine.create(ContainerConfig(name="other", network="sandbox"))
+        engine.run(container)
+        # The new namespace can only reach the host.
+        assert engine.network.bind("sandbox", 9999) is not None
+
+
+class TestVirtualMachine:
+    def test_vm_adds_emulation_threads(self):
+        scheduler = MulticoreScheduler(num_cores=4)
+        vm = VirtualMachine()
+        tasks = vm.start(scheduler)
+        assert len(tasks) == 4
+        assert vm.running
+
+    def test_vm_overhead_visible_in_idle_rates(self):
+        scheduler = MulticoreScheduler(num_cores=4)
+        VirtualMachine().start(scheduler)
+        scheduler.advance(5.0)
+        idle = scheduler.idle_rates()
+        # Every core should show noticeable emulation overhead.
+        assert all(rate < 0.95 for rate in idle)
+        assert min(idle) > 0.5
+
+    def test_vm_cannot_start_twice(self):
+        scheduler = MulticoreScheduler(num_cores=4)
+        vm = VirtualMachine()
+        vm.start(scheduler)
+        with pytest.raises(RuntimeError):
+            vm.start(scheduler)
+
+    def test_vm_stop_removes_load(self):
+        scheduler = MulticoreScheduler(num_cores=4)
+        vm = VirtualMachine()
+        vm.start(scheduler)
+        vm.stop()
+        scheduler.advance(1.0)
+        # After stopping before any execution the cores stay (almost) idle.
+        assert all(rate > 0.95 for rate in scheduler.idle_rates())
+
+    def test_vm_config_validation(self):
+        with pytest.raises(ValueError):
+            VmConfig(vcpus=0)
+        with pytest.raises(ValueError):
+            VmConfig(thread_loads=(1.5,))
+
+    def test_heaviest_thread_lands_on_least_loaded_core(self):
+        scheduler = MulticoreScheduler(num_cores=2)
+        scheduler.add_task(
+            __import__("repro.rtos", fromlist=["Task"]).Task(
+                TaskConfig(name="busy", period=0.01, execution_time=0.005, priority=10, core=0)
+            )
+        )
+        vm = VirtualMachine(VmConfig(thread_loads=(0.3,)))
+        (task,) = vm.start(scheduler)
+        assert task.config.core == 1

@@ -1,0 +1,212 @@
+"""Tests for the complex and safety flight controllers."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    ComplexController,
+    ComplexControllerConfig,
+    FlightMode,
+    PositionSetpoint,
+    SafetyController,
+    SafetyControllerConfig,
+)
+from repro.sensors import RcChannels
+from repro.sensors.barometer import BarometerReading
+from repro.sensors.imu import ImuReading
+from repro.sensors.mocap import MocapReading
+
+
+def hover_imu() -> ImuReading:
+    return ImuReading(gyro=np.zeros(3), accel=np.array([0.0, 0.0, -9.80665]))
+
+
+def feed_hover_data(controller, position=np.array([0.0, 0.0, -1.0]), steps=50):
+    """Feed consistent hover sensor data so estimators converge."""
+    for step in range(steps):
+        t = step * 0.004
+        controller.on_imu(hover_imu(), t)
+        if step % 5 == 0:
+            controller.on_mocap(MocapReading(position_ned=position.copy(), yaw=0.0), t)
+    return steps * 0.004
+
+
+class TestComplexController:
+    def test_produces_command_after_data(self):
+        controller = ComplexController()
+        controller.set_position_setpoint(PositionSetpoint.hover_at(0.0, 0.0, 1.0))
+        t = feed_hover_data(controller)
+        command = controller.compute(t)
+        assert command is not None
+        assert command.motors.shape == (4,)
+        assert np.all(command.motors >= 0.0) and np.all(command.motors <= 1.0)
+        assert command.source == "complex"
+
+    def test_sequence_increments(self):
+        controller = ComplexController()
+        t = feed_hover_data(controller)
+        first = controller.compute(t)
+        second = controller.compute(t + 0.004)
+        assert second.sequence == first.sequence + 1
+
+    def test_kill_stops_output(self):
+        controller = ComplexController()
+        t = feed_hover_data(controller)
+        controller.kill()
+        assert not controller.alive
+        assert controller.compute(t) is None
+
+    def test_killed_controller_ignores_sensor_data(self):
+        controller = ComplexController()
+        controller.kill()
+        controller.on_imu(hover_imu(), 0.0)
+        controller.on_mocap(MocapReading(position_ned=np.zeros(3), yaw=0.0), 0.0)
+        assert not controller.position_estimate.valid
+
+    def test_mode_follows_rc(self):
+        controller = ComplexController()
+        controller.on_rc(RcChannels(mode_switch=1000), 0.0)
+        assert controller.mode is FlightMode.MANUAL
+        controller.on_rc(RcChannels(mode_switch=2000), 0.1)
+        assert controller.mode is FlightMode.POSITION
+
+    def test_thrust_increases_when_below_setpoint(self):
+        low = ComplexController()
+        low.set_position_setpoint(PositionSetpoint.hover_at(0.0, 0.0, 3.0))
+        t = feed_hover_data(low, position=np.array([0.0, 0.0, -1.0]))
+        command_low = low.compute(t)
+
+        at_target = ComplexController()
+        at_target.set_position_setpoint(PositionSetpoint.hover_at(0.0, 0.0, 1.0))
+        t = feed_hover_data(at_target, position=np.array([0.0, 0.0, -1.0]))
+        command_at = at_target.compute(t)
+        assert command_low.motors.mean() > command_at.motors.mean()
+
+    def test_manual_mode_holds_level_attitude(self):
+        controller = ComplexController()
+        controller.on_rc(RcChannels(mode_switch=1000), 0.0)
+        t = feed_hover_data(controller)
+        command = controller.compute(t)
+        # All four motors nearly equal: no position correction in manual mode.
+        assert np.max(command.motors) - np.min(command.motors) < 0.05
+
+    def test_without_position_fix_falls_back_to_level(self):
+        controller = ComplexController()
+        for step in range(20):
+            controller.on_imu(hover_imu(), step * 0.004)
+        command = controller.compute(0.1)
+        assert command is not None
+        assert np.max(command.motors) - np.min(command.motors) < 0.05
+
+    def test_baro_consumed_without_error(self):
+        controller = ComplexController()
+        controller.on_baro(BarometerReading(pressure_pa=101000.0, altitude_m=221.0), 0.0)
+        controller.on_gps(np.array([0.0, 0.0, -1.0]), 0.0)
+
+    def test_config_execution_profile_positive(self):
+        config = ComplexControllerConfig()
+        assert config.nominal_execution_time > 0.0
+        assert 0.0 <= config.memory_stall_fraction <= 1.0
+        assert config.memory_accesses_per_iteration > 0
+
+
+class TestSafetyController:
+    def test_produces_bounded_command(self):
+        controller = SafetyController()
+        controller.set_position_setpoint(PositionSetpoint.hover_at(0.0, 0.0, 1.0))
+        t = feed_hover_data(controller)
+        command = controller.compute(t)
+        assert command.source == "safety"
+        assert np.all(command.motors >= 0.0) and np.all(command.motors <= 1.0)
+
+    def test_thrust_rises_when_below_target(self):
+        controller = SafetyController()
+        controller.set_position_setpoint(PositionSetpoint.hover_at(0.0, 0.0, 5.0))
+        t = feed_hover_data(controller, position=np.array([0.0, 0.0, -1.0]))
+        below = controller.compute(t)
+
+        at_target = SafetyController()
+        at_target.set_position_setpoint(PositionSetpoint.hover_at(0.0, 0.0, 1.0))
+        t = feed_hover_data(at_target, position=np.array([0.0, 0.0, -1.0]))
+        at = at_target.compute(t)
+        assert below.motors.mean() > at.motors.mean()
+
+    def test_tilt_is_conservative(self):
+        config = SafetyControllerConfig()
+        controller = SafetyController(config)
+        controller.set_position_setpoint(PositionSetpoint.hover_at(10.0, 0.0, 1.0))
+        t = feed_hover_data(controller)
+        command = controller.compute(t)
+        # With the conservative 15 deg tilt limit the motor differential stays small.
+        assert np.max(command.motors) - np.min(command.motors) < 0.4
+
+    def test_attitude_estimate_exposed(self):
+        controller = SafetyController()
+        feed_hover_data(controller)
+        estimate = controller.attitude_estimate
+        assert abs(estimate.roll) < 0.05
+        assert abs(estimate.pitch) < 0.05
+
+    def test_position_estimate_exposed(self):
+        controller = SafetyController()
+        feed_hover_data(controller, position=np.array([0.2, -0.3, -1.5]))
+        estimate = controller.position_estimate
+        assert estimate.valid
+        assert np.allclose(estimate.position, [0.2, -0.3, -1.5], atol=0.2)
+
+    def test_sequence_increments(self):
+        controller = SafetyController()
+        t = feed_hover_data(controller)
+        assert controller.compute(t).sequence + 1 == controller.compute(t + 0.004).sequence
+
+    def test_gps_input_accepted(self):
+        controller = SafetyController()
+        controller.on_gps(np.array([1.0, 1.0, -2.0]), 0.0)
+        assert controller.position_estimate.valid
+
+    def test_execution_profile_is_lighter_than_complex(self):
+        safety = SafetyControllerConfig()
+        complex_config = ComplexControllerConfig()
+        assert safety.nominal_execution_time < complex_config.nominal_execution_time
+        assert safety.memory_accesses_per_iteration < complex_config.memory_accesses_per_iteration
+
+
+class TestClosedLoopHover:
+    """End-to-end closed-loop sanity checks (controller + plant, ideal wiring)."""
+
+    @pytest.mark.parametrize("controller_cls", [ComplexController, SafetyController])
+    def test_controller_holds_hover(self, controller_cls):
+        from repro.dynamics import Quadrotor, RigidBodyState
+        from repro.sensors import Barometer, Imu, MotionCapture
+
+        plant = Quadrotor(initial_state=RigidBodyState(position=np.array([0.0, 0.0, -1.0])))
+        plant.arm()
+        imu = Imu(rng=np.random.default_rng(1))
+        baro = Barometer(rng=np.random.default_rng(2))
+        mocap = MotionCapture(rng=np.random.default_rng(3))
+        controller = controller_cls()
+        controller.set_position_setpoint(PositionSetpoint.hover_at(0.0, 0.3, 1.0))
+
+        dt = 0.001
+        motors = np.full(4, 0.57)
+        last_control = -1.0
+        for step in range(6000):
+            t = step * dt
+            sample = imu.sample(t, plant)
+            if sample:
+                controller.on_imu(sample.data, t)
+            sample = baro.sample(t, plant)
+            if sample:
+                controller.on_baro(sample.data, t)
+            sample = mocap.sample(t, plant)
+            if sample:
+                controller.on_mocap(sample.data, t)
+            if t - last_control >= 1.0 / 250.0 - 1e-9:
+                command = controller.compute(t)
+                if command is not None:
+                    motors = command.motors
+                last_control = t
+            plant.step(motors, dt)
+        assert not plant.crashed
+        assert abs(plant.position[1] - 0.3) < 0.3
+        assert abs(plant.altitude - 1.0) < 0.4

@@ -1,0 +1,207 @@
+"""Tests for the PID primitive, allocator and the inner control loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import (
+    AttitudeControlGains,
+    AttitudeController,
+    AttitudeSetpoint,
+    ControlAllocation,
+    PidController,
+    PidGains,
+    QuadXAllocator,
+    RateController,
+    RateSetpoint,
+)
+
+
+class TestPidGains:
+    def test_rejects_negative_limits(self):
+        with pytest.raises(ValueError):
+            PidGains(kp=1.0, integral_limit=-1.0)
+
+    def test_rejects_negative_filter(self):
+        with pytest.raises(ValueError):
+            PidGains(kp=1.0, derivative_filter_tau=-0.1)
+
+
+class TestPidController:
+    def test_proportional_only(self):
+        pid = PidController(PidGains(kp=2.0))
+        assert pid.update(1.5, 0.01) == pytest.approx(3.0)
+
+    def test_integral_accumulates(self):
+        pid = PidController(PidGains(kp=0.0, ki=1.0))
+        for _ in range(100):
+            output = pid.update(1.0, 0.01)
+        assert output == pytest.approx(1.0, rel=1e-6)
+
+    def test_integral_limit_clamps(self):
+        pid = PidController(PidGains(kp=0.0, ki=1.0, integral_limit=0.2))
+        for _ in range(1000):
+            pid.update(1.0, 0.01)
+        assert pid.integral == pytest.approx(0.2)
+
+    def test_output_limit_clamps(self):
+        pid = PidController(PidGains(kp=10.0, output_limit=1.0))
+        assert pid.update(5.0, 0.01) == pytest.approx(1.0)
+        assert pid.update(-5.0, 0.01) == pytest.approx(-1.0)
+
+    def test_derivative_from_finite_difference(self):
+        pid = PidController(PidGains(kp=0.0, kd=1.0))
+        pid.update(0.0, 0.1)
+        assert pid.update(1.0, 0.1) == pytest.approx(10.0)
+
+    def test_external_derivative_used_when_given(self):
+        pid = PidController(PidGains(kp=0.0, kd=2.0))
+        assert pid.update(0.0, 0.1, derivative=3.0) == pytest.approx(6.0)
+
+    def test_derivative_filter_smooths(self):
+        raw = PidController(PidGains(kp=0.0, kd=1.0))
+        filtered = PidController(PidGains(kp=0.0, kd=1.0, derivative_filter_tau=0.5))
+        raw.update(0.0, 0.01)
+        filtered.update(0.0, 0.01)
+        assert abs(filtered.update(1.0, 0.01)) < abs(raw.update(1.0, 0.01))
+
+    def test_anti_windup_freezes_integrator_when_saturated(self):
+        pid = PidController(PidGains(kp=1.0, ki=1.0, output_limit=0.5))
+        for _ in range(200):
+            pid.update(10.0, 0.01)
+        # The integrator must not have accumulated the full 20 units.
+        assert pid.integral < 1.0
+
+    def test_reset_clears_state(self):
+        pid = PidController(PidGains(kp=1.0, ki=1.0, kd=1.0))
+        pid.update(1.0, 0.01)
+        pid.reset()
+        assert pid.integral == 0.0
+        assert pid.update(0.0, 0.01) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            PidController(PidGains(kp=1.0)).update(1.0, 0.0)
+
+    @given(error=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_output_always_within_limit(self, error):
+        pid = PidController(PidGains(kp=3.0, ki=1.0, kd=0.5, output_limit=2.0))
+        for _ in range(5):
+            output = pid.update(error, 0.01)
+            assert -2.0 <= output <= 2.0
+
+
+class TestQuadXAllocator:
+    def test_pure_thrust_spreads_evenly(self):
+        motors = QuadXAllocator().allocate(ControlAllocation(thrust=0.5, roll=0.0, pitch=0.0, yaw=0.0))
+        assert np.allclose(motors, 0.5)
+
+    def test_roll_demand_differential(self):
+        motors = QuadXAllocator().allocate(ControlAllocation(thrust=0.5, roll=0.1, pitch=0.0, yaw=0.0))
+        # Positive roll -> more thrust on left rotors (1: rear-left, 2: front-left).
+        assert motors[1] > motors[0]
+        assert motors[2] > motors[3]
+
+    def test_pitch_demand_differential(self):
+        motors = QuadXAllocator().allocate(ControlAllocation(thrust=0.5, roll=0.0, pitch=0.1, yaw=0.0))
+        # Positive pitch (nose up) -> more thrust on front rotors (0, 2).
+        assert motors[0] > motors[1]
+        assert motors[2] > motors[3]
+
+    def test_yaw_demand_differential(self):
+        motors = QuadXAllocator().allocate(ControlAllocation(thrust=0.5, roll=0.0, pitch=0.0, yaw=0.1))
+        # Positive yaw -> speed up the CCW rotors (0, 1).
+        assert motors[0] > motors[2]
+        assert motors[1] > motors[3]
+
+    def test_outputs_always_within_unit_range(self):
+        allocator = QuadXAllocator()
+        motors = allocator.allocate(ControlAllocation(thrust=0.9, roll=0.8, pitch=-0.8, yaw=0.5))
+        assert np.all(motors >= 0.0) and np.all(motors <= 1.0)
+
+    @given(
+        thrust=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        roll=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        pitch=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        yaw=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_allocation_is_always_feasible(self, thrust, roll, pitch, yaw):
+        motors = QuadXAllocator().allocate(ControlAllocation(thrust, roll, pitch, yaw))
+        assert motors.shape == (4,)
+        assert np.all(motors >= 0.0) and np.all(motors <= 1.0)
+
+    def test_saturation_preserves_roll_direction(self):
+        motors = QuadXAllocator().allocate(ControlAllocation(thrust=0.9, roll=0.9, pitch=0.0, yaw=0.9))
+        assert motors[1] >= motors[0]
+        assert motors[2] >= motors[3]
+
+
+class TestRateController:
+    def test_zero_error_zero_torque(self):
+        controller = RateController()
+        allocation = controller.update(RateSetpoint(rates=np.zeros(3), thrust=0.5), np.zeros(3), 0.004)
+        assert allocation.roll == pytest.approx(0.0)
+        assert allocation.pitch == pytest.approx(0.0)
+        assert allocation.thrust == pytest.approx(0.5)
+
+    def test_positive_rate_error_gives_positive_torque(self):
+        controller = RateController()
+        allocation = controller.update(
+            RateSetpoint(rates=np.array([1.0, 0.0, 0.0]), thrust=0.5), np.zeros(3), 0.004
+        )
+        assert allocation.roll > 0.0
+
+    def test_thrust_is_clipped(self):
+        controller = RateController()
+        allocation = controller.update(RateSetpoint(rates=np.zeros(3), thrust=1.5), np.zeros(3), 0.004)
+        assert allocation.thrust == 1.0
+
+    def test_reset_clears_integrators(self):
+        controller = RateController()
+        for _ in range(100):
+            controller.update(RateSetpoint(rates=np.array([1.0, 0.0, 0.0]), thrust=0.5),
+                              np.zeros(3), 0.004)
+        with_integral = controller.update(
+            RateSetpoint(rates=np.zeros(3), thrust=0.5), np.zeros(3), 0.004
+        )
+        controller.reset()
+        without_integral = controller.update(
+            RateSetpoint(rates=np.zeros(3), thrust=0.5), np.zeros(3), 0.004
+        )
+        assert abs(without_integral.roll) < abs(with_integral.roll) + 1e-9
+
+
+class TestAttitudeController:
+    def test_zero_error_zero_rates(self):
+        controller = AttitudeController()
+        setpoint = controller.update(AttitudeSetpoint(thrust=0.5), 0.0, 0.0, 0.0)
+        assert np.allclose(setpoint.rates, 0.0)
+
+    def test_roll_error_commands_roll_rate(self):
+        controller = AttitudeController()
+        setpoint = controller.update(AttitudeSetpoint(roll=0.2, thrust=0.5), 0.0, 0.0, 0.0)
+        assert setpoint.rates[0] > 0.0
+        assert setpoint.rates[1] == pytest.approx(0.0)
+
+    def test_rates_clipped_to_limits(self):
+        gains = AttitudeControlGains(max_rate=1.0, max_yaw_rate=0.5)
+        controller = AttitudeController(gains)
+        setpoint = controller.update(AttitudeSetpoint(roll=3.0, yaw=3.0, thrust=0.5), 0.0, 0.0, 0.0)
+        assert abs(setpoint.rates[0]) <= 1.0
+        assert abs(setpoint.rates[2]) <= 0.5
+
+    def test_yaw_error_wraps(self):
+        controller = AttitudeController()
+        setpoint = controller.update(
+            AttitudeSetpoint(yaw=np.pi - 0.1, thrust=0.5), 0.0, 0.0, -np.pi + 0.1
+        )
+        # The short way round is -0.2 rad, so the commanded yaw rate is negative.
+        assert setpoint.rates[2] < 0.0
+
+    def test_thrust_passes_through(self):
+        controller = AttitudeController()
+        setpoint = controller.update(AttitudeSetpoint(thrust=0.7), 0.0, 0.0, 0.0)
+        assert setpoint.thrust == pytest.approx(0.7)

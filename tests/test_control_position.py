@@ -1,0 +1,137 @@
+"""Tests for the position controller, flight modes and setpoint types."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    ActuatorCommand,
+    AttitudeSetpoint,
+    FlightMode,
+    PositionControlGains,
+    PositionController,
+    PositionSetpoint,
+    mode_from_rc,
+)
+from repro.sensors import PWM_MAX, PWM_MID, PWM_MIN, RcChannels
+
+
+class TestSetpoints:
+    def test_hover_at_uses_up_positive_altitude(self):
+        setpoint = PositionSetpoint.hover_at(1.0, 2.0, 3.0)
+        assert np.allclose(setpoint.position, [1.0, 2.0, -3.0])
+
+    def test_actuator_command_clipping(self):
+        command = ActuatorCommand(motors=np.array([-0.5, 0.5, 1.5, 0.2]))
+        clipped = command.clipped()
+        assert np.all(clipped.motors >= 0.0) and np.all(clipped.motors <= 1.0)
+
+    def test_actuator_command_metadata_preserved_by_clipping(self):
+        command = ActuatorCommand(motors=np.zeros(4), timestamp=2.0, source="safety", sequence=7)
+        clipped = command.clipped()
+        assert clipped.timestamp == 2.0
+        assert clipped.source == "safety"
+        assert clipped.sequence == 7
+
+
+class TestFlightModes:
+    def test_low_switch_is_manual(self):
+        assert mode_from_rc(RcChannels(mode_switch=PWM_MIN)) is FlightMode.MANUAL
+
+    def test_mid_switch_is_stabilized(self):
+        assert mode_from_rc(RcChannels(mode_switch=PWM_MID + 10)) is FlightMode.STABILIZED
+
+    def test_high_switch_is_position(self):
+        assert mode_from_rc(RcChannels(mode_switch=PWM_MAX)) is FlightMode.POSITION
+
+
+class TestPositionController:
+    def setup_method(self):
+        self.controller = PositionController()
+        self.setpoint = PositionSetpoint.hover_at(0.0, 0.0, 1.0)
+
+    def test_at_setpoint_commands_level_hover(self):
+        attitude = self.controller.update(
+            self.setpoint, np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004
+        )
+        assert abs(attitude.roll) < 0.02
+        assert abs(attitude.pitch) < 0.02
+        gains = PositionControlGains()
+        assert abs(attitude.thrust - gains.hover_thrust) < 0.1
+
+    def test_target_ahead_commands_nose_down_pitch(self):
+        # Target 2 m north of the vehicle: accelerate forward -> pitch down (negative).
+        attitude = self.controller.update(
+            PositionSetpoint.hover_at(2.0, 0.0, 1.0),
+            np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004,
+        )
+        assert attitude.pitch < -0.01
+        assert abs(attitude.roll) < 0.01
+
+    def test_target_right_commands_positive_roll(self):
+        attitude = self.controller.update(
+            PositionSetpoint.hover_at(0.0, 2.0, 1.0),
+            np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004,
+        )
+        assert attitude.roll > 0.01
+
+    def test_target_above_increases_thrust(self):
+        at_setpoint = self.controller.update(
+            self.setpoint, np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004
+        )
+        controller = PositionController()
+        below_target = controller.update(
+            PositionSetpoint.hover_at(0.0, 0.0, 3.0),
+            np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004,
+        )
+        assert below_target.thrust > at_setpoint.thrust
+
+    def test_tilt_limited(self):
+        gains = PositionControlGains(max_tilt=np.deg2rad(10.0))
+        controller = PositionController(gains)
+        attitude = controller.update(
+            PositionSetpoint.hover_at(50.0, 0.0, 1.0),
+            np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004,
+        )
+        assert abs(attitude.pitch) <= np.deg2rad(10.0) + 1e-9
+
+    def test_thrust_limited(self):
+        gains = PositionControlGains()
+        attitude = self.controller.update(
+            PositionSetpoint.hover_at(0.0, 0.0, 100.0),
+            np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004,
+        )
+        assert attitude.thrust <= gains.max_thrust
+
+    def test_yaw_rotation_maps_acceleration_to_body_frame(self):
+        # Target to the north, vehicle yawed 90 deg east: the forward axis now
+        # points east, so the northward acceleration requires a negative roll.
+        attitude = self.controller.update(
+            PositionSetpoint.hover_at(2.0, 0.0, 1.0, yaw=np.pi / 2.0),
+            np.array([0.0, 0.0, -1.0]), np.zeros(3), np.pi / 2.0, 0.004,
+        )
+        assert attitude.roll < -0.01
+
+    def test_velocity_damps_command(self):
+        moving_fast = self.controller.update(
+            PositionSetpoint.hover_at(2.0, 0.0, 1.0),
+            np.array([0.0, 0.0, -1.0]), np.array([3.0, 0.0, 0.0]), 0.0, 0.004,
+        )
+        controller = PositionController()
+        stationary = controller.update(
+            PositionSetpoint.hover_at(2.0, 0.0, 1.0),
+            np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004,
+        )
+        # Moving toward the target already: command less nose-down pitch.
+        assert moving_fast.pitch > stationary.pitch
+
+    def test_reset_clears_velocity_integrators(self):
+        for _ in range(200):
+            self.controller.update(
+                PositionSetpoint.hover_at(0.0, 0.0, 5.0),
+                np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004,
+            )
+        self.controller.reset()
+        attitude = self.controller.update(
+            self.setpoint, np.array([0.0, 0.0, -1.0]), np.zeros(3), 0.0, 0.004
+        )
+        assert abs(attitude.thrust - PositionControlGains().hover_thrust) < 0.1

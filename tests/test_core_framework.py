@@ -1,0 +1,227 @@
+"""Tests for the framework configuration, protection builders and the HCE framework."""
+
+import numpy as np
+import pytest
+
+from repro.container import ContainerConfig
+from repro.control import PositionSetpoint
+from repro.core import (
+    ContainerDroneConfig,
+    ContainerDroneFramework,
+    ControlSource,
+    MonitorConfig,
+    ProtectionStatus,
+    build_container_config,
+    build_memguard,
+    build_network,
+)
+from repro.mavlink import ActuatorOutputs, Heartbeat, MavlinkCodec
+from repro.sensors.imu import ImuReading
+from repro.sensors.mocap import MocapReading
+
+
+def hover_imu():
+    return ImuReading(gyro=np.zeros(3), accel=np.array([0.0, 0.0, -9.80665]))
+
+
+def feed_framework(framework, position=np.array([0.0, 0.0, -1.0]), steps=50, start=0.0):
+    for step in range(steps):
+        t = start + step * 0.004
+        framework.on_imu(hover_imu(), t)
+        if step % 5 == 0:
+            framework.on_mocap(MocapReading(position_ned=position.copy(), yaw=0.0), t)
+    return start + steps * 0.004
+
+
+def actuator_frame(motors=(0.5, 0.5, 0.5, 0.5), sequence=1):
+    codec = MavlinkCodec()
+    return MavlinkCodec().decode(codec.encode(ActuatorOutputs(motors=motors, sequence=sequence)))
+
+
+class TestConfig:
+    def test_default_core_partition(self):
+        config = ContainerDroneConfig()
+        assert config.cpu.cce_cores == frozenset({3})
+        assert config.cpu.hce_cores == frozenset({0, 1, 2})
+
+    def test_default_priorities_match_paper(self):
+        cpu = ContainerDroneConfig().cpu
+        assert cpu.driver_priority == 90
+        assert cpu.safety_priority == 20
+        assert cpu.safety_priority < cpu.interrupt_priority < cpu.driver_priority
+
+    def test_without_memguard(self):
+        config = ContainerDroneConfig().without_memguard()
+        assert not config.memory.enabled
+        assert config.monitor.enabled
+
+    def test_without_monitor(self):
+        config = ContainerDroneConfig().without_monitor()
+        assert not config.monitor.enabled
+        assert config.memory.enabled
+
+    def test_without_iptables(self):
+        config = ContainerDroneConfig().without_iptables()
+        assert not config.communication.iptables_enabled
+
+    def test_table1_ports(self):
+        communication = ContainerDroneConfig().communication
+        assert communication.sensor_port == 14660
+        assert communication.motor_port == 14600
+
+    def test_table1_rates(self):
+        rates = ContainerDroneConfig().rates
+        assert rates.imu_hz == 250.0
+        assert rates.baro_hz == 50.0
+        assert rates.gps_hz == 10.0
+        assert rates.rc_hz == 50.0
+        assert rates.motor_output_hz == 400.0
+
+
+class TestProtectionBuilders:
+    def test_status_flags(self):
+        status = ProtectionStatus.from_config(ContainerDroneConfig())
+        assert status.cpu_pinning and status.memguard and status.iptables and status.security_monitor
+        status = ProtectionStatus.from_config(ContainerDroneConfig().without_memguard())
+        assert not status.memguard
+
+    def test_container_config_protected(self):
+        container = build_container_config(ContainerDroneConfig())
+        assert container.cpuset_cores == frozenset({3})
+        assert container.max_priority == 10
+
+    def test_container_config_unprotected_baseline(self):
+        from dataclasses import replace
+
+        config = ContainerDroneConfig()
+        config = replace(config, cpu=replace(config.cpu, enabled=False))
+        container = build_container_config(config)
+        assert container.cpuset_cores == frozenset({0, 1, 2, 3})
+        assert container.max_priority == 99
+
+    def test_memguard_budgets_only_cce_core(self):
+        memguard = build_memguard(ContainerDroneConfig())
+        assert memguard.budget(3) == ContainerDroneConfig().memory.cce_budget_accesses_per_period
+        assert memguard.budget(0) is None
+        assert memguard.enabled
+
+    def test_memguard_disabled_when_configured_off(self):
+        memguard = build_memguard(ContainerDroneConfig().without_memguard())
+        assert not memguard.enabled
+
+    def test_network_firewall_rules(self):
+        network = build_network(ContainerDroneConfig())
+        ports = {rule.destination_port for rule in network.firewall.rules}
+        assert ports == {14600, 14660}
+        network = build_network(ContainerDroneConfig().without_iptables())
+        assert network.firewall.rules == []
+
+
+class TestFramework:
+    def make(self, config=None):
+        framework = ContainerDroneFramework(
+            config=config or ContainerDroneConfig(),
+            setpoint=PositionSetpoint.hover_at(0.0, 0.0, 1.0),
+        )
+        return framework
+
+    def test_initial_source_is_complex(self):
+        assert self.make().active_source is ControlSource.COMPLEX
+
+    def test_safety_controller_command_registered(self):
+        framework = self.make()
+        t = feed_framework(framework)
+        command = framework.run_safety_controller(t)
+        assert command.source == "safety"
+        assert framework.decision.safety_commands_received == 1
+
+    def test_actuator_frames_accepted(self):
+        framework = self.make()
+        accepted = framework.handle_actuator_frames([actuator_frame()], now=1.0)
+        assert accepted == 1
+        assert framework.decision.last_complex_received == 1.0
+
+    def test_non_actuator_frames_ignored(self):
+        framework = self.make()
+        codec = MavlinkCodec()
+        frame = MavlinkCodec().decode(codec.encode(Heartbeat()))
+        assert framework.handle_actuator_frames([frame], now=1.0) == 0
+
+    def test_select_prefers_complex(self):
+        framework = self.make()
+        t = feed_framework(framework)
+        framework.run_safety_controller(t)
+        framework.handle_actuator_frames([actuator_frame(motors=(0.9, 0.9, 0.9, 0.9))], now=t)
+        assert framework.select_command().source == "complex"
+
+    def test_receive_timeout_triggers_switch_and_kills_receiver(self):
+        framework = self.make()
+        killed = []
+        framework.on_kill_receiver = lambda now, violation: killed.append(violation.rule)
+        t = feed_framework(framework)
+        framework.handle_actuator_frames([actuator_frame()], now=t)
+        framework.run_safety_controller(t)
+        # Long silence from the CCE, checked after the arming grace period.
+        violation = framework.run_monitor(t + 3.0)
+        assert violation is not None
+        assert violation.rule == "receiving-interval"
+        assert framework.active_source is ControlSource.SAFETY
+        assert framework.receiver_killed
+        assert killed == ["receiving-interval"]
+        assert framework.select_command().source == "safety"
+
+    def test_attitude_error_triggers_switch(self):
+        framework = self.make()
+        # Hover normally past the arming grace period, CCE output flowing.
+        t = 0.0
+        for step in range(600):
+            t = step * 0.004
+            framework.on_imu(hover_imu(), t)
+            framework.handle_actuator_frames([actuator_frame(sequence=step)], now=t)
+        # Then the drone rolls hard (0.2 s at 2.5 rad/s ~ 29 deg) while CCE
+        # output keeps arriving, so only the attitude rule can fire.
+        for step in range(50):
+            t += 0.004
+            framework.on_imu(ImuReading(gyro=np.array([2.5, 0.0, 0.0]), accel=np.zeros(3)), t)
+            framework.handle_actuator_frames([actuator_frame(sequence=600 + step)], now=t)
+        violation = framework.run_monitor(t)
+        assert violation is not None
+        assert violation.rule == "attitude-error"
+        assert framework.active_source is ControlSource.SAFETY
+
+    def test_monitor_respects_grace_period(self):
+        framework = self.make()
+        # No CCE output ever received, but still inside the grace period.
+        assert framework.run_monitor(1.0) is None
+        assert framework.active_source is ControlSource.COMPLEX
+
+    def test_disabled_monitor_never_switches(self):
+        framework = self.make(ContainerDroneConfig().without_monitor())
+        feed_framework(framework)
+        assert framework.run_monitor(100.0) is None
+        assert framework.active_source is ControlSource.COMPLEX
+
+    def test_frames_ignored_after_receiver_killed(self):
+        framework = self.make()
+        feed_framework(framework)
+        framework.run_monitor(10.0)  # interval rule fires (nothing ever received)
+        assert framework.receiver_killed
+        assert framework.handle_actuator_frames([actuator_frame()], now=11.0) == 0
+
+    def test_host_complex_command_submission(self):
+        from repro.control import ActuatorCommand
+
+        framework = self.make(ContainerDroneConfig().without_monitor())
+        command = ActuatorCommand(motors=np.full(4, 0.6), timestamp=1.0, source="complex")
+        framework.submit_host_complex_command(command, now=1.0)
+        assert framework.select_command().source == "complex"
+
+    def test_attitude_errors_relative_to_setpoint_yaw(self):
+        framework = ContainerDroneFramework(
+            setpoint=PositionSetpoint(position=np.array([0.0, 0.0, -1.0]), yaw=0.5)
+        )
+        feed_framework(framework)
+        roll_error, pitch_error, yaw_error = framework.attitude_errors()
+        assert abs(roll_error) < 0.05
+        assert abs(pitch_error) < 0.05
+        assert yaw_error == pytest.approx(-0.5, abs=0.05)

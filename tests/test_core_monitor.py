@@ -1,0 +1,196 @@
+"""Tests for the security monitor, its rules and the Simplex decision module."""
+
+import numpy as np
+import pytest
+
+from repro.control import ActuatorCommand
+from repro.core import (
+    AttitudeErrorRule,
+    ContainerDroneConfig,
+    ControlSource,
+    DecisionModule,
+    MonitorConfig,
+    MonitorContext,
+    ReceivingIntervalRule,
+    SecurityMonitor,
+    SecurityRule,
+)
+
+
+def context(now=10.0, engaged_at=0.0, last_receive=9.99, roll=0.0, pitch=0.0, yaw=0.0):
+    return MonitorContext(
+        now=now,
+        engaged_at=engaged_at,
+        last_receive_time=last_receive,
+        roll_error=roll,
+        pitch_error=pitch,
+        yaw_error=yaw,
+    )
+
+
+class TestReceivingIntervalRule:
+    def test_within_threshold_no_violation(self):
+        rule = ReceivingIntervalRule(0.1)
+        assert rule.check(context(now=10.0, last_receive=9.95)) is None
+
+    def test_gap_exceeding_threshold_violates(self):
+        rule = ReceivingIntervalRule(0.1)
+        violation = rule.check(context(now=10.0, last_receive=9.8))
+        assert violation is not None
+        assert violation.rule == "receiving-interval"
+
+    def test_never_received_uses_engagement_time(self):
+        rule = ReceivingIntervalRule(0.1)
+        assert rule.check(context(now=0.05, engaged_at=0.0, last_receive=None)) is None
+        assert rule.check(context(now=0.5, engaged_at=0.0, last_receive=None)) is not None
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            ReceivingIntervalRule(0.0)
+
+
+class TestAttitudeErrorRule:
+    def setup_method(self):
+        self.rule = AttitudeErrorRule(max_roll=0.3, max_pitch=0.3, max_yaw=0.8)
+
+    def test_small_errors_pass(self):
+        assert self.rule.check(context(roll=0.1, pitch=-0.1, yaw=0.2)) is None
+
+    def test_roll_violation(self):
+        violation = self.rule.check(context(roll=0.5))
+        assert violation is not None
+        assert "roll" in violation.message
+
+    def test_pitch_violation_negative_side(self):
+        assert self.rule.check(context(pitch=-0.5)) is not None
+
+    def test_yaw_violation(self):
+        assert self.rule.check(context(yaw=1.0)) is not None
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError):
+            AttitudeErrorRule(0.0, 0.3, 0.3)
+
+
+class TestSecurityMonitor:
+    def test_default_rules_installed(self):
+        monitor = SecurityMonitor()
+        rule_names = {type(rule).__name__ for rule in monitor.rules}
+        assert rule_names == {"ReceivingIntervalRule", "AttitudeErrorRule"}
+
+    def test_disabled_monitor_never_fires(self):
+        monitor = SecurityMonitor(MonitorConfig(enabled=False))
+        assert monitor.check(context(roll=3.0, last_receive=0.0)) is None
+        assert not monitor.violated
+
+    def test_grace_period_suppresses_rules(self):
+        monitor = SecurityMonitor(MonitorConfig(arming_grace_period=5.0))
+        assert monitor.check(context(now=3.0, engaged_at=0.0, roll=3.0)) is None
+        assert monitor.check(context(now=6.0, engaged_at=0.0, roll=3.0)) is not None
+
+    def test_violations_recorded_in_order(self):
+        monitor = SecurityMonitor()
+        monitor.check(context(roll=3.0))
+        monitor.check(context(pitch=3.0))
+        assert monitor.violated
+        assert monitor.first_violation.rule == "attitude-error"
+        assert len(monitor.violations) == 2
+
+    def test_interval_rule_checked_before_attitude(self):
+        monitor = SecurityMonitor()
+        violation = monitor.check(context(last_receive=0.0, roll=3.0))
+        assert violation.rule == "receiving-interval"
+
+    def test_custom_rule_can_be_added(self):
+        class AlwaysViolate(SecurityRule):
+            name = "always"
+
+            def check(self, ctx):
+                from repro.core.security_monitor import Violation
+
+                return Violation(rule=self.name, time=ctx.now, message="test")
+
+        monitor = SecurityMonitor()
+        monitor.add_rule(AlwaysViolate())
+        violation = monitor.check(context())
+        assert violation is None or violation.rule in {"always"}
+        # With benign context only the custom rule can fire.
+        assert monitor.check(context()).rule == "always"
+
+    def test_checks_counted(self):
+        monitor = SecurityMonitor()
+        for _ in range(5):
+            monitor.check(context())
+        assert monitor.checks_performed == 5
+
+
+class TestDecisionModule:
+    def command(self, source="complex", sequence=1):
+        return ActuatorCommand(motors=np.full(4, 0.5), timestamp=0.0, source=source,
+                               sequence=sequence)
+
+    def test_starts_with_complex_source(self):
+        assert DecisionModule().source is ControlSource.COMPLEX
+
+    def test_select_prefers_complex_when_active(self):
+        decision = DecisionModule()
+        decision.submit_safety(self.command(source="safety"))
+        decision.submit_complex(self.command(source="complex"), received_at=1.0)
+        assert decision.select().source == "complex"
+
+    def test_select_falls_back_to_safety_before_first_complex(self):
+        decision = DecisionModule()
+        decision.submit_safety(self.command(source="safety"))
+        assert decision.select().source == "safety"
+
+    def test_select_none_when_nothing_submitted(self):
+        assert DecisionModule().select() is None
+
+    def test_switch_to_safety_latches(self):
+        decision = DecisionModule()
+        decision.submit_complex(self.command(), received_at=1.0)
+        decision.submit_safety(self.command(source="safety"))
+        decision.switch_to_safety(2.0, "violation")
+        decision.submit_complex(self.command(sequence=2), received_at=3.0)
+        assert decision.select().source == "safety"
+        assert decision.switched_to_safety
+        assert len(decision.switch_events) == 1
+
+    def test_switch_is_idempotent(self):
+        decision = DecisionModule()
+        decision.switch_to_safety(1.0, "a")
+        decision.switch_to_safety(2.0, "b")
+        assert len(decision.switch_events) == 1
+
+    def test_switch_back_to_complex_is_possible(self):
+        decision = DecisionModule()
+        decision.submit_safety(self.command(source="safety"))
+        decision.switch_to_safety(1.0, "violation")
+        decision.switch_to_complex(5.0)
+        decision.submit_complex(self.command(), received_at=6.0)
+        assert decision.select().source == "complex"
+        assert len(decision.switch_events) == 2
+
+    def test_last_complex_received_tracked_after_switch(self):
+        decision = DecisionModule()
+        decision.switch_to_safety(1.0, "violation")
+        decision.submit_complex(self.command(), received_at=2.5)
+        # Reception is still tracked (for diagnostics) even though the
+        # command is not used.
+        assert decision.last_complex_received == 2.5
+
+    def test_commands_are_clipped_on_submission(self):
+        decision = DecisionModule()
+        decision.submit_complex(
+            ActuatorCommand(motors=np.array([2.0, -1.0, 0.5, 0.5])), received_at=0.0
+        )
+        assert decision.select().motors.max() <= 1.0
+        assert decision.select().motors.min() >= 0.0
+
+    def test_counters(self):
+        decision = DecisionModule()
+        decision.submit_complex(self.command(), received_at=0.0)
+        decision.submit_safety(self.command(source="safety"))
+        decision.submit_safety(self.command(source="safety"))
+        assert decision.complex_commands_received == 1
+        assert decision.safety_commands_received == 2

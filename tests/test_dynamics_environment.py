@@ -1,0 +1,86 @@
+"""Tests for the environment, wind models and fixed-step integrators."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import ConstantWind, Environment, GustWind, euler_step, rk4_step
+from repro.dynamics.integrators import INTEGRATORS
+
+
+class TestWindModels:
+    def test_constant_wind_returns_same_everywhere(self):
+        wind = ConstantWind(np.array([1.0, -2.0, 0.0]))
+        assert np.allclose(wind.at(0.0, np.zeros(3)), [1.0, -2.0, 0.0])
+        assert np.allclose(wind.at(100.0, np.ones(3) * 50.0), [1.0, -2.0, 0.0])
+
+    def test_constant_wind_defaults_to_calm(self):
+        assert np.allclose(ConstantWind().at(5.0, np.zeros(3)), 0.0)
+
+    def test_gust_wind_oscillates_about_mean(self):
+        wind = GustWind(mean_ned=np.array([2.0, 0.0, 0.0]), gust_amplitude=1.0, gust_period=4.0)
+        at_zero = wind.at(0.0, np.zeros(3))
+        at_quarter = wind.at(1.0, np.zeros(3))
+        assert at_zero[0] == pytest.approx(2.0)
+        assert at_quarter[0] == pytest.approx(3.0)
+
+    def test_gust_wind_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            GustWind(gust_period=0.0)
+
+
+class TestEnvironment:
+    def test_gravity_vector_points_down(self):
+        env = Environment()
+        gravity = env.gravity_vector()
+        assert gravity[2] > 9.0
+        assert gravity[0] == gravity[1] == 0.0
+
+    def test_below_ground_detection(self):
+        env = Environment()
+        assert env.below_ground(np.array([0.0, 0.0, 0.5]))
+        assert not env.below_ground(np.array([0.0, 0.0, -0.5]))
+
+    def test_wind_at_delegates_to_model(self):
+        env = Environment(wind=ConstantWind(np.array([0.0, 3.0, 0.0])))
+        assert np.allclose(env.wind_at(1.0, np.zeros(3)), [0.0, 3.0, 0.0])
+
+
+class TestIntegrators:
+    def test_registry_contains_both_schemes(self):
+        assert set(INTEGRATORS) == {"euler", "rk4"}
+
+    def test_euler_linear_system(self):
+        # y' = -y, y(0) = 1 -> y(dt) ~ 1 - dt
+        y = np.array([1.0])
+        result = euler_step(lambda t, y: -y, 0.0, y, 0.1)
+        assert result[0] == pytest.approx(0.9)
+
+    def test_rk4_matches_exponential_closely(self):
+        y = np.array([1.0])
+        dt = 0.1
+        for step in range(10):
+            y = rk4_step(lambda t, y: -y, step * dt, y, dt)
+        assert y[0] == pytest.approx(np.exp(-1.0), rel=1e-6)
+
+    def test_rk4_is_more_accurate_than_euler(self):
+        def decay(t, y):
+            return -y
+
+        y_euler = np.array([1.0])
+        y_rk4 = np.array([1.0])
+        dt = 0.05
+        for step in range(20):
+            y_euler = euler_step(decay, step * dt, y_euler, dt)
+            y_rk4 = rk4_step(decay, step * dt, y_rk4, dt)
+        exact = np.exp(-1.0)
+        assert abs(y_rk4[0] - exact) < abs(y_euler[0] - exact)
+
+    def test_rk4_exact_for_constant_acceleration(self):
+        # State [position, velocity] with constant acceleration 2.
+        def f(t, y):
+            return np.array([y[1], 2.0])
+
+        y = np.array([0.0, 0.0])
+        y = rk4_step(f, 0.0, y, 1.0)
+        assert y[0] == pytest.approx(1.0)
+        assert y[1] == pytest.approx(2.0)

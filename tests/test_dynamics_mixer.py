@@ -1,0 +1,79 @@
+"""Tests for the quad-X geometry and force/torque composition."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import QuadGeometry, forces_and_torques
+
+
+@pytest.fixture
+def geometry():
+    return QuadGeometry()
+
+
+class TestQuadGeometry:
+    def test_rejects_nonpositive_arm(self):
+        with pytest.raises(ValueError):
+            QuadGeometry(arm_length=0.0)
+
+    def test_rejects_wrong_spin_count(self):
+        with pytest.raises(ValueError):
+            QuadGeometry(spin_directions=(1, 1, -1))
+
+    def test_rejects_invalid_spin_values(self):
+        with pytest.raises(ValueError):
+            QuadGeometry(spin_directions=(1, 1, -1, 0))
+
+    def test_rotor_positions_symmetric(self, geometry):
+        positions = geometry.rotor_positions
+        assert positions.shape == (4, 3)
+        assert np.allclose(np.sum(positions, axis=0), 0.0)
+        radii = np.linalg.norm(positions, axis=1)
+        assert np.allclose(radii, geometry.arm_length)
+
+
+class TestForcesAndTorques:
+    def test_equal_thrust_gives_pure_lift(self, geometry):
+        force, torque = forces_and_torques(np.full(4, 2.0), np.full(4, 0.05), geometry)
+        assert np.allclose(force, [0.0, 0.0, -8.0])
+        assert np.allclose(torque[:2], 0.0, atol=1e-12)
+        # CCW/CW reaction torques cancel for equal rotor speeds.
+        assert torque[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_roll_torque_sign(self, geometry):
+        # More thrust on the left rotors (1: rear-left, 2: front-left) rolls right (+).
+        force, torque = forces_and_torques(
+            np.array([1.0, 2.0, 2.0, 1.0]), np.zeros(4), geometry
+        )
+        assert torque[0] > 0.0
+        assert torque[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_pitch_torque_sign(self, geometry):
+        # More thrust on the front rotors (0, 2) pitches the nose up (+).
+        force, torque = forces_and_torques(
+            np.array([2.0, 1.0, 2.0, 1.0]), np.zeros(4), geometry
+        )
+        assert torque[1] > 0.0
+        assert torque[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_yaw_torque_from_ccw_rotors(self, geometry):
+        # Only the CCW rotors (0, 1) spin: their reaction torque is positive yaw.
+        force, torque = forces_and_torques(
+            np.zeros(4), np.array([0.1, 0.1, 0.0, 0.0]), geometry
+        )
+        assert torque[2] > 0.0
+
+    def test_yaw_torque_from_cw_rotors(self, geometry):
+        force, torque = forces_and_torques(
+            np.zeros(4), np.array([0.0, 0.0, 0.1, 0.1]), geometry
+        )
+        assert torque[2] < 0.0
+
+    def test_rejects_wrong_rotor_count(self, geometry):
+        with pytest.raises(ValueError):
+            forces_and_torques(np.ones(3), np.ones(3), geometry)
+
+    def test_force_is_sum_of_thrusts(self, geometry):
+        thrusts = np.array([1.0, 2.0, 3.0, 4.0])
+        force, _ = forces_and_torques(thrusts, np.zeros(4), geometry)
+        assert force[2] == pytest.approx(-10.0)

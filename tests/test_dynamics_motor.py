@@ -1,0 +1,115 @@
+"""Tests for the motor and motor-bank models."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import Motor, MotorBank, MotorParameters
+
+
+class TestMotorParameters:
+    def test_defaults_valid(self):
+        params = MotorParameters()
+        assert params.max_thrust > 0.0
+
+    def test_rejects_inverted_speed_range(self):
+        with pytest.raises(ValueError):
+            MotorParameters(max_speed=50.0, min_speed=100.0)
+
+    def test_rejects_nonpositive_time_constant(self):
+        with pytest.raises(ValueError):
+            MotorParameters(time_constant=0.0)
+
+    def test_rejects_nonpositive_coefficients(self):
+        with pytest.raises(ValueError):
+            MotorParameters(thrust_coefficient=0.0)
+
+
+class TestMotor:
+    def test_disarmed_motor_ignores_throttle(self):
+        motor = Motor()
+        motor.step(1.0, 0.01)
+        assert motor.speed < MotorParameters().min_speed
+
+    def test_arming_spins_to_idle(self):
+        motor = Motor()
+        motor.arm()
+        assert motor.speed == pytest.approx(MotorParameters().min_speed)
+
+    def test_speed_converges_to_command(self):
+        motor = Motor()
+        motor.arm()
+        for _ in range(1000):
+            motor.step(1.0, 0.001)
+        assert motor.speed == pytest.approx(MotorParameters().max_speed, rel=1e-3)
+
+    def test_first_order_lag_is_monotone(self):
+        motor = Motor()
+        motor.arm()
+        speeds = [motor.step(0.8, 0.001) for _ in range(200)]
+        assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))
+
+    def test_throttle_is_clipped(self):
+        motor = Motor()
+        motor.arm()
+        assert motor.command_to_speed(2.0) == motor.command_to_speed(1.0)
+        assert motor.command_to_speed(-1.0) == motor.command_to_speed(0.0)
+
+    def test_thrust_is_quadratic_in_speed(self):
+        params = MotorParameters()
+        motor = Motor(params)
+        motor.arm()
+        for _ in range(2000):
+            motor.step(1.0, 0.001)
+        assert motor.thrust == pytest.approx(params.thrust_coefficient * motor.speed**2)
+
+    def test_step_rejects_nonpositive_dt(self):
+        motor = Motor()
+        with pytest.raises(ValueError):
+            motor.step(0.5, 0.0)
+
+    def test_disarm_cuts_response(self):
+        motor = Motor()
+        motor.arm()
+        for _ in range(100):
+            motor.step(0.8, 0.001)
+        motor.disarm()
+        for _ in range(2000):
+            motor.step(0.8, 0.001)
+        assert motor.speed < 1.0
+
+
+class TestMotorBank:
+    def test_requires_at_least_one_motor(self):
+        with pytest.raises(ValueError):
+            MotorBank(0)
+
+    def test_armed_reports_all(self):
+        bank = MotorBank(4)
+        assert not bank.armed
+        bank.arm()
+        assert bank.armed
+
+    def test_step_validates_command_shape(self):
+        bank = MotorBank(4)
+        bank.arm()
+        with pytest.raises(ValueError):
+            bank.step(np.array([0.5, 0.5]), 0.001)
+
+    def test_step_returns_speeds(self):
+        bank = MotorBank(4)
+        bank.arm()
+        speeds = bank.step(np.full(4, 0.5), 0.001)
+        assert speeds.shape == (4,)
+        assert np.all(speeds > 0.0)
+
+    def test_differential_commands_produce_differential_thrust(self):
+        bank = MotorBank(4)
+        bank.arm()
+        for _ in range(1000):
+            bank.step(np.array([0.8, 0.4, 0.8, 0.4]), 0.001)
+        thrusts = bank.thrusts
+        assert thrusts[0] > thrusts[1]
+        assert thrusts[2] > thrusts[3]
+
+    def test_len(self):
+        assert len(MotorBank(6)) == 6

@@ -1,0 +1,160 @@
+"""Tests for the 6-DOF quadrotor plant."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    Environment,
+    GustWind,
+    Quadrotor,
+    QuadrotorParameters,
+    RigidBodyState,
+)
+
+
+def hover_throttle(params: QuadrotorParameters) -> float:
+    """Throttle that balances gravity for the given parameters."""
+    weight = params.mass * 9.80665
+    per_motor = weight / 4.0
+    speed = np.sqrt(per_motor / params.motor.thrust_coefficient)
+    return (speed - params.motor.min_speed) / (params.motor.max_speed - params.motor.min_speed)
+
+
+@pytest.fixture
+def airborne_quad():
+    quad = Quadrotor(initial_state=RigidBodyState(position=np.array([0.0, 0.0, -5.0])))
+    quad.arm()
+    return quad
+
+
+class TestQuadrotorBasics:
+    def test_invalid_integrator_rejected(self):
+        with pytest.raises(ValueError):
+            Quadrotor(integrator="rk7")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            QuadrotorParameters(mass=-1.0)
+        with pytest.raises(ValueError):
+            QuadrotorParameters(inertia=np.zeros((3, 3)))
+
+    def test_step_rejects_nonpositive_dt(self, airborne_quad):
+        with pytest.raises(ValueError):
+            airborne_quad.step(np.full(4, 0.5), 0.0)
+
+    def test_hover_fraction_is_reasonable(self):
+        params = QuadrotorParameters()
+        assert 0.2 < params.hover_thrust_fraction < 0.7
+
+
+class TestFreeFallAndHover:
+    def test_zero_throttle_free_fall(self, airborne_quad):
+        for _ in range(500):
+            airborne_quad.step(np.zeros(4), 0.001)
+        # After 0.5 s of free fall the vehicle should have dropped ~1.2 m.
+        assert airborne_quad.altitude < 4.0
+        assert airborne_quad.velocity[2] > 1.0
+
+    def test_hover_throttle_holds_altitude(self):
+        params = QuadrotorParameters()
+        quad = Quadrotor(params, initial_state=RigidBodyState(position=np.array([0.0, 0.0, -5.0])))
+        quad.arm()
+        throttle = hover_throttle(params)
+        # Open-loop hover: the spin-up transient costs some altitude, but the
+        # vertical speed must settle near zero once thrust balances gravity.
+        for _ in range(3000):
+            quad.step(np.full(4, throttle), 0.001)
+        assert abs(quad.altitude - 5.0) < 1.0
+        assert abs(quad.velocity[2]) < 0.3
+
+    def test_full_throttle_climbs(self, airborne_quad):
+        for _ in range(1000):
+            airborne_quad.step(np.ones(4), 0.001)
+        assert airborne_quad.altitude > 5.0
+        assert airborne_quad.velocity[2] < 0.0
+
+
+class TestAttitudeResponse:
+    def test_differential_thrust_rolls(self):
+        params = QuadrotorParameters()
+        quad = Quadrotor(params, initial_state=RigidBodyState(position=np.array([0.0, 0.0, -5.0])))
+        quad.arm()
+        throttle = hover_throttle(params)
+        # More thrust on the left rotors (indices 1 and 2) -> positive roll.
+        commands = np.array([throttle - 0.05, throttle + 0.05, throttle + 0.05, throttle - 0.05])
+        for _ in range(200):
+            quad.step(commands, 0.001)
+        roll, pitch, _ = quad.attitude
+        assert roll > 0.01
+        assert abs(pitch) < 0.01
+
+    def test_differential_thrust_pitches(self):
+        params = QuadrotorParameters()
+        quad = Quadrotor(params, initial_state=RigidBodyState(position=np.array([0.0, 0.0, -5.0])))
+        quad.arm()
+        throttle = hover_throttle(params)
+        # More thrust on the front rotors (indices 0 and 2) -> positive pitch.
+        commands = np.array([throttle + 0.05, throttle - 0.05, throttle + 0.05, throttle - 0.05])
+        for _ in range(200):
+            quad.step(commands, 0.001)
+        roll, pitch, _ = quad.attitude
+        assert pitch > 0.01
+        assert abs(roll) < 0.01
+
+
+class TestGroundAndCrash:
+    def test_starts_on_ground(self):
+        quad = Quadrotor()
+        assert quad.on_ground
+
+    def test_hard_impact_is_a_crash(self):
+        quad = Quadrotor(initial_state=RigidBodyState(
+            position=np.array([0.0, 0.0, -3.0]), velocity=np.array([0.0, 0.0, 4.0])
+        ))
+        quad.arm()
+        for _ in range(2000):
+            quad.step(np.zeros(4), 0.001)
+            if quad.crashed:
+                break
+        assert quad.crashed
+        assert quad.crash_time is not None
+
+    def test_crashed_vehicle_stays_put(self):
+        quad = Quadrotor(initial_state=RigidBodyState(
+            position=np.array([0.0, 0.0, -3.0]), velocity=np.array([0.0, 0.0, 5.0])
+        ))
+        quad.arm()
+        for _ in range(2000):
+            quad.step(np.zeros(4), 0.001)
+        position = quad.position.copy()
+        quad.step(np.ones(4), 0.001)
+        assert np.allclose(quad.position, position)
+
+    def test_gentle_touchdown_is_not_a_crash(self):
+        quad = Quadrotor(initial_state=RigidBodyState(
+            position=np.array([0.0, 0.0, -0.2]), velocity=np.array([0.0, 0.0, 0.3])
+        ))
+        quad.arm()
+        for _ in range(1000):
+            quad.step(np.zeros(4), 0.001)
+        assert quad.on_ground
+        assert not quad.crashed
+
+
+class TestEnvironmentCoupling:
+    def test_wind_pushes_the_vehicle(self):
+        params = QuadrotorParameters()
+        env = Environment(wind=GustWind(mean_ned=np.array([3.0, 0.0, 0.0]), gust_amplitude=0.0))
+        quad = Quadrotor(params, environment=env,
+                         initial_state=RigidBodyState(position=np.array([0.0, 0.0, -5.0])))
+        quad.arm()
+        throttle = hover_throttle(params)
+        for _ in range(2000):
+            quad.step(np.full(4, throttle), 0.001)
+        assert quad.position[0] > 0.05
+
+    def test_specific_force_on_ground_reads_gravity_reaction(self):
+        quad = Quadrotor()
+        quad.arm()
+        force = quad.specific_force_body()
+        assert force[2] == pytest.approx(-9.80665, rel=1e-3)

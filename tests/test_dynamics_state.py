@@ -1,0 +1,162 @@
+"""Tests for quaternion utilities and the rigid-body state container."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamics import (
+    RigidBodyState,
+    angle_wrap,
+    euler_error,
+    quat_conjugate,
+    quat_from_axis_angle,
+    quat_from_euler,
+    quat_multiply,
+    quat_normalize,
+    quat_rotate,
+    quat_rotate_inverse,
+    quat_to_euler,
+    quat_to_rotation_matrix,
+)
+
+angles = st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+small_angles = st.floats(min_value=-1.2, max_value=1.2, allow_nan=False)
+vectors = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), min_size=3, max_size=3
+)
+
+
+class TestQuaternionBasics:
+    def test_normalize_unit(self):
+        q = quat_normalize(np.array([2.0, 0.0, 0.0, 0.0]))
+        assert np.allclose(q, [1.0, 0.0, 0.0, 0.0])
+
+    def test_normalize_zero_returns_identity(self):
+        q = quat_normalize(np.zeros(4))
+        assert np.allclose(q, [1.0, 0.0, 0.0, 0.0])
+
+    def test_multiply_identity(self):
+        identity = np.array([1.0, 0.0, 0.0, 0.0])
+        q = quat_from_euler(0.3, -0.2, 0.7)
+        assert np.allclose(quat_multiply(identity, q), q)
+        assert np.allclose(quat_multiply(q, identity), q)
+
+    def test_conjugate_is_inverse(self):
+        q = quat_from_euler(0.3, -0.2, 0.7)
+        product = quat_multiply(q, quat_conjugate(q))
+        assert np.allclose(product, [1.0, 0.0, 0.0, 0.0], atol=1e-12)
+
+    def test_rotate_identity_preserves_vector(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(quat_rotate(np.array([1.0, 0.0, 0.0, 0.0]), v), v)
+
+    def test_rotate_yaw_90(self):
+        q = quat_from_euler(0.0, 0.0, math.pi / 2.0)
+        rotated = quat_rotate(q, np.array([1.0, 0.0, 0.0]))
+        assert np.allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_rotation_matrix_matches_quat_rotate(self):
+        q = quat_from_euler(0.4, -0.3, 1.2)
+        v = np.array([0.3, -1.0, 2.0])
+        assert np.allclose(quat_to_rotation_matrix(q) @ v, quat_rotate(q, v), atol=1e-10)
+
+    def test_axis_angle_zero_axis_is_identity(self):
+        q = quat_from_axis_angle(np.zeros(3), 1.0)
+        assert np.allclose(q, [1.0, 0.0, 0.0, 0.0])
+
+    def test_axis_angle_matches_euler_yaw(self):
+        q1 = quat_from_axis_angle(np.array([0.0, 0.0, 1.0]), 0.5)
+        q2 = quat_from_euler(0.0, 0.0, 0.5)
+        assert np.allclose(q1, q2, atol=1e-12)
+
+
+class TestQuaternionProperties:
+    @given(roll=small_angles, pitch=small_angles, yaw=angles)
+    @settings(max_examples=80, deadline=None)
+    def test_euler_roundtrip(self, roll, pitch, yaw):
+        q = quat_from_euler(roll, pitch, yaw)
+        r2, p2, y2 = quat_to_euler(q)
+        assert math.isclose(r2, roll, abs_tol=1e-9)
+        assert math.isclose(p2, pitch, abs_tol=1e-9)
+        assert math.isclose(angle_wrap(y2 - yaw), 0.0, abs_tol=1e-9)
+
+    @given(roll=small_angles, pitch=small_angles, yaw=angles, v=vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_rotation_preserves_norm(self, roll, pitch, yaw, v):
+        q = quat_from_euler(roll, pitch, yaw)
+        rotated = quat_rotate(q, np.array(v))
+        assert math.isclose(np.linalg.norm(rotated), np.linalg.norm(v), rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(roll=small_angles, pitch=small_angles, yaw=angles, v=vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_rotate_then_inverse_is_identity(self, roll, pitch, yaw, v):
+        q = quat_from_euler(roll, pitch, yaw)
+        v = np.array(v)
+        assert np.allclose(quat_rotate_inverse(q, quat_rotate(q, v)), v, atol=1e-8)
+
+    @given(a=angles)
+    @settings(max_examples=100, deadline=None)
+    def test_angle_wrap_range(self, a):
+        wrapped = angle_wrap(a * 7.0)
+        assert -math.pi < wrapped <= math.pi + 1e-12
+
+    @given(a=angles)
+    @settings(max_examples=100, deadline=None)
+    def test_angle_wrap_preserves_angle_modulo_2pi(self, a):
+        wrapped = angle_wrap(a)
+        assert math.isclose(
+            math.fmod(wrapped - a, 2.0 * math.pi), 0.0, abs_tol=1e-9
+        ) or math.isclose(abs(math.fmod(wrapped - a, 2.0 * math.pi)), 2.0 * math.pi, abs_tol=1e-9)
+
+
+class TestEulerError:
+    def test_zero_error(self):
+        assert euler_error((0.1, 0.2, 0.3), (0.1, 0.2, 0.3)) == (0.0, 0.0, 0.0)
+
+    def test_wrapping_across_pi(self):
+        error = euler_error((0.0, 0.0, math.pi - 0.1), (0.0, 0.0, -math.pi + 0.1))
+        assert math.isclose(error[2], 0.2, abs_tol=1e-9)
+
+
+class TestRigidBodyState:
+    def test_default_state_is_at_origin(self):
+        state = RigidBodyState()
+        assert np.allclose(state.position, 0.0)
+        assert np.allclose(state.quaternion, [1.0, 0.0, 0.0, 0.0])
+
+    def test_altitude_sign_convention(self):
+        state = RigidBodyState(position=np.array([0.0, 0.0, -2.5]))
+        assert state.altitude == pytest.approx(2.5)
+
+    def test_copy_is_independent(self):
+        state = RigidBodyState()
+        copy = state.copy()
+        copy.position[0] = 9.0
+        assert state.position[0] == 0.0
+
+    def test_vector_roundtrip(self):
+        state = RigidBodyState(
+            position=np.array([1.0, 2.0, 3.0]),
+            velocity=np.array([-1.0, 0.5, 0.2]),
+            quaternion=quat_from_euler(0.1, 0.2, 0.3),
+            angular_velocity=np.array([0.4, -0.4, 0.0]),
+        )
+        rebuilt = RigidBodyState.from_vector(state.as_vector())
+        assert np.allclose(rebuilt.position, state.position)
+        assert np.allclose(rebuilt.velocity, state.velocity)
+        assert np.allclose(rebuilt.quaternion, state.quaternion)
+        assert np.allclose(rebuilt.angular_velocity, state.angular_velocity)
+
+    def test_from_vector_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            RigidBodyState.from_vector(np.zeros(12))
+
+    def test_euler_property(self):
+        state = RigidBodyState(quaternion=quat_from_euler(0.1, -0.2, 0.3))
+        roll, pitch, yaw = state.euler
+        assert roll == pytest.approx(0.1, abs=1e-9)
+        assert pitch == pytest.approx(-0.2, abs=1e-9)
+        assert yaw == pytest.approx(0.3, abs=1e-9)

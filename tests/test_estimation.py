@@ -1,0 +1,142 @@
+"""Tests for the attitude complementary filter and the position estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import ComplementaryFilter, PositionEstimator
+from repro.sensors.imu import ImuReading
+
+
+def level_imu(gravity: float = 9.80665) -> ImuReading:
+    """IMU reading of a level, non-rotating vehicle in hover."""
+    return ImuReading(gyro=np.zeros(3), accel=np.array([0.0, 0.0, -gravity]))
+
+
+class TestComplementaryFilter:
+    def test_rejects_invalid_gain(self):
+        with pytest.raises(ValueError):
+            ComplementaryFilter(accel_gain=1.5)
+
+    def test_initial_estimate_is_level(self):
+        estimate = ComplementaryFilter().estimate
+        assert estimate.roll == pytest.approx(0.0)
+        assert estimate.pitch == pytest.approx(0.0)
+
+    def test_gyro_integration_tracks_roll(self):
+        filt = ComplementaryFilter(accel_gain=0.0)
+        reading = ImuReading(gyro=np.array([0.5, 0.0, 0.0]), accel=np.zeros(3))
+        for _ in range(250):
+            filt.update(reading, 1.0 / 250.0)
+        assert filt.estimate.roll == pytest.approx(0.5, abs=0.01)
+
+    def test_gyro_integration_tracks_yaw(self):
+        filt = ComplementaryFilter(accel_gain=0.0)
+        reading = ImuReading(gyro=np.array([0.0, 0.0, 1.0]), accel=np.zeros(3))
+        for _ in range(125):
+            filt.update(reading, 1.0 / 250.0)
+        assert filt.estimate.yaw == pytest.approx(0.5, abs=0.01)
+
+    def test_accel_correction_pulls_towards_measured_tilt(self):
+        filt = ComplementaryFilter(accel_gain=0.2)
+        # Specific force of a stationary vehicle rolled by 0.2 rad: the
+        # accelerometer reads the gravity reaction -R^T [0, 0, g].
+        roll = 0.2
+        accel = np.array([0.0, -9.80665 * np.sin(roll), -9.80665 * np.cos(roll)])
+        reading = ImuReading(gyro=np.zeros(3), accel=accel)
+        for _ in range(200):
+            filt.update(reading, 1.0 / 250.0)
+        assert filt.estimate.roll == pytest.approx(roll, abs=0.02)
+
+    def test_accel_correction_ignored_during_high_acceleration(self):
+        filt = ComplementaryFilter(accel_gain=0.5)
+        # Specific force far from 1 g: the tilt correction must not engage.
+        reading = ImuReading(gyro=np.zeros(3), accel=np.array([0.0, 30.0, -30.0]))
+        for _ in range(100):
+            filt.update(reading, 1.0 / 250.0)
+        assert abs(filt.estimate.roll) < 1e-6
+
+    def test_set_yaw_preserves_tilt(self):
+        filt = ComplementaryFilter(accel_gain=0.0)
+        reading = ImuReading(gyro=np.array([0.4, 0.0, 0.0]), accel=np.zeros(3))
+        for _ in range(125):
+            filt.update(reading, 1.0 / 250.0)
+        roll_before = filt.estimate.roll
+        filt.set_yaw(1.0)
+        assert filt.estimate.yaw == pytest.approx(1.0, abs=1e-6)
+        assert filt.estimate.roll == pytest.approx(roll_before, abs=1e-6)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            ComplementaryFilter().update(level_imu(), 0.0)
+
+    def test_rates_exposed(self):
+        filt = ComplementaryFilter()
+        filt.update(ImuReading(gyro=np.array([0.1, 0.2, 0.3]), accel=np.zeros(3)), 0.004)
+        assert np.allclose(filt.estimate.rates, [0.1, 0.2, 0.3])
+
+
+class TestPositionEstimator:
+    def test_initially_invalid(self):
+        assert not PositionEstimator().estimate.valid
+
+    def test_mocap_fix_sets_position(self):
+        estimator = PositionEstimator()
+        estimator.update_mocap(np.array([1.0, -2.0, -3.0]))
+        estimate = estimator.estimate
+        assert estimate.valid
+        assert np.allclose(estimate.position, [1.0, -2.0, -3.0], atol=0.3)
+
+    def test_velocity_estimated_from_moving_fixes(self):
+        estimator = PositionEstimator()
+        dt = 0.02
+        for step in range(200):
+            estimator.predict(dt)
+            estimator.update_mocap(np.array([0.5 * step * dt, 0.0, -1.0]))
+        velocity = estimator.estimate.velocity
+        assert velocity[0] == pytest.approx(0.5, abs=0.1)
+        assert abs(velocity[1]) < 0.1
+
+    def test_prediction_propagates_with_velocity(self):
+        estimator = PositionEstimator()
+        dt = 0.02
+        for step in range(200):
+            estimator.predict(dt)
+            estimator.update_mocap(np.array([step * dt, 0.0, -1.0]))
+        position_before = estimator.estimate.position[0]
+        for _ in range(50):
+            estimator.predict(dt)
+        assert estimator.estimate.position[0] > position_before + 0.5
+
+    def test_gps_noisier_than_mocap(self):
+        mocap_estimator = PositionEstimator()
+        gps_estimator = PositionEstimator()
+        rng = np.random.default_rng(3)
+        truth = np.array([2.0, 2.0, -5.0])
+        for _ in range(50):
+            mocap_estimator.predict(0.02)
+            gps_estimator.predict(0.02)
+            mocap_estimator.update_mocap(truth + rng.normal(0.0, 0.002, 3))
+            gps_estimator.update_gps(truth + rng.normal(0.0, 1.5, 3))
+        mocap_error = np.linalg.norm(mocap_estimator.estimate.position - truth)
+        gps_error = np.linalg.norm(gps_estimator.estimate.position - truth)
+        assert mocap_error < gps_error
+
+    def test_baro_ignored_until_first_fix(self):
+        estimator = PositionEstimator()
+        estimator.update_baro_altitude(220.0)
+        estimator.update_baro_altitude(225.0)
+        assert not estimator.estimate.valid
+        assert estimator.estimate.position[2] == pytest.approx(0.0)
+
+    def test_baro_constrains_vertical_after_fix(self):
+        estimator = PositionEstimator()
+        estimator.update_mocap(np.array([0.0, 0.0, -1.0]))
+        estimator.update_baro_altitude(221.0)  # establishes the reference
+        for _ in range(100):
+            estimator.predict(0.02)
+            estimator.update_baro_altitude(222.0)  # one metre higher than reference
+        assert estimator.estimate.position[2] == pytest.approx(-2.0, abs=0.3)
+
+    def test_predict_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            PositionEstimator().predict(-0.01)

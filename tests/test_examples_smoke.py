@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion on a reduced workload.
+
+The examples are part of the public deliverable, so the suite executes each
+one (with short durations) in a subprocess and checks that it exits cleanly
+and prints the expected kind of report.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize(
+    "name, args, expected_fragments",
+    [
+        ("quickstart.py", ["--duration", "5", "--kill-time", "3"],
+         ["Flight summary", "X position"]),
+        ("controller_failover.py", ["--duration", "6", "--kill-time", "3"],
+         ["Timeline", "switched to"]),
+        ("overhead_comparison.py", ["--seconds", "3"],
+         ["System overhead comparison", "One VM"]),
+        ("telemetry_rates.py", ["--duration", "2"],
+         ["Table I (reproduced)", "Motor Output"]),
+        ("schedulability_analysis.py", [],
+         ["Worst-case execution-time inflation", "safety-controller"]),
+    ],
+)
+def test_example_runs(name, args, expected_fragments):
+    completed = run_example(name, *args)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for fragment in expected_fragments:
+        assert fragment in completed.stdout
+
+
+@pytest.mark.slow
+def test_memory_dos_defense_example_runs():
+    completed = run_example("memory_dos_defense.py", "--duration", "8", "--attack-start", "3")
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "MemGuard off vs on" in completed.stdout
+
+
+@pytest.mark.slow
+def test_udp_flood_defense_example_runs():
+    completed = run_example("udp_flood_defense.py", "--duration", "8", "--attack-start", "3",
+                            "--rate", "20000")
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "UDP flood" in completed.stdout

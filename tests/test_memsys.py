@@ -1,0 +1,189 @@
+"""Tests for the DRAM contention model, performance counters and MemGuard."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsys import (
+    CounterBank,
+    DramModel,
+    DramParameters,
+    MemGuard,
+    MemGuardConfig,
+    PerformanceCounter,
+)
+
+
+class TestDramModel:
+    def test_idle_bus_has_unit_latency(self):
+        assert DramModel().latency_factor(0.0) == pytest.approx(1.0)
+
+    def test_latency_grows_with_demand(self):
+        model = DramModel()
+        low = model.latency_factor(1e6)
+        high = model.latency_factor(5e6)
+        assert high > low > 1.0
+
+    def test_latency_is_capped_at_saturation(self):
+        params = DramParameters()
+        model = DramModel(params)
+        saturated = model.latency_factor(1e9)
+        expected_max = 1.0 + params.contention_gain * params.max_utilization / (
+            1.0 - params.max_utilization
+        )
+        assert saturated == pytest.approx(expected_max)
+
+    def test_utilization_capped(self):
+        model = DramModel()
+        assert model.utilization(1e12) == pytest.approx(DramParameters().max_utilization)
+
+    def test_last_values_cached(self):
+        model = DramModel()
+        model.latency_factor(3e6)
+        assert model.last_utilization == pytest.approx(0.5)
+        assert model.last_latency_factor > 1.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel().latency_factor(-1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DramParameters(peak_accesses_per_second=0.0)
+        with pytest.raises(ValueError):
+            DramParameters(max_utilization=1.5)
+
+    def test_stretch_execution_bounds(self):
+        assert DramModel.stretch_execution(1.0, 0.5) == pytest.approx(1.0)
+        assert DramModel.stretch_execution(3.0, 0.0) == pytest.approx(1.0)
+        assert DramModel.stretch_execution(3.0, 1.0) == pytest.approx(3.0)
+        assert DramModel.stretch_execution(3.0, 0.5) == pytest.approx(2.0)
+
+    def test_stretch_execution_validation(self):
+        with pytest.raises(ValueError):
+            DramModel.stretch_execution(0.5, 0.5)
+        with pytest.raises(ValueError):
+            DramModel.stretch_execution(2.0, 1.5)
+
+    @given(demand=st.floats(min_value=0.0, max_value=1e9),
+           stall=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_stretch_is_monotone_and_at_least_one(self, demand, stall):
+        model = DramModel()
+        factor = model.latency_factor(demand)
+        stretch = DramModel.stretch_execution(factor, stall)
+        assert stretch >= 1.0
+        assert stretch <= factor + 1e-9
+
+
+class TestPerformanceCounter:
+    def test_counts_accumulate(self):
+        counter = PerformanceCounter(0)
+        counter.add(100)
+        counter.add(50)
+        assert counter.total == 150
+        assert counter.since_reset == 150
+
+    def test_reset_clears_period_count_only(self):
+        counter = PerformanceCounter(0)
+        counter.add(100)
+        counter.reset()
+        assert counter.total == 100
+        assert counter.since_reset == 0
+
+    def test_overflow_threshold(self):
+        counter = PerformanceCounter(0)
+        counter.program_overflow(100)
+        assert not counter.add(50)
+        assert counter.add(60)
+        assert counter.overflowed
+
+    def test_overflow_cleared_by_reset(self):
+        counter = PerformanceCounter(0)
+        counter.program_overflow(10)
+        counter.add(20)
+        counter.reset()
+        assert not counter.overflowed
+
+    def test_negative_values_rejected(self):
+        counter = PerformanceCounter(0)
+        with pytest.raises(ValueError):
+            counter.add(-1)
+        with pytest.raises(ValueError):
+            counter.program_overflow(-5)
+
+    def test_counter_bank(self):
+        bank = CounterBank(4)
+        bank[2].add(10)
+        assert bank.totals() == [0, 0, 10, 0]
+        assert len(bank) == 4
+        with pytest.raises(ValueError):
+            CounterBank(0)
+
+
+class TestMemGuard:
+    def test_unregulated_core_never_throttled(self):
+        memguard = MemGuard(2, MemGuardConfig(budgets={1: 100}))
+        memguard.record_accesses(0, 10_000)
+        assert not memguard.is_throttled(0)
+
+    def test_core_throttled_when_budget_exhausted(self):
+        memguard = MemGuard(2, MemGuardConfig(budgets={1: 100}))
+        memguard.record_accesses(1, 150)
+        assert memguard.is_throttled(1)
+        assert memguard.throttle_events == 1
+
+    def test_budget_replenished_at_period_boundary(self):
+        memguard = MemGuard(1, MemGuardConfig(period=0.001, budgets={0: 100}))
+        memguard.record_accesses(0, 200)
+        assert memguard.is_throttled(0)
+        memguard.advance_to(0.001)
+        assert not memguard.is_throttled(0)
+        assert memguard.allowed_accesses(0) == 100
+
+    def test_allowed_accesses_decreases(self):
+        memguard = MemGuard(1, MemGuardConfig(budgets={0: 100}))
+        memguard.record_accesses(0, 30)
+        assert memguard.allowed_accesses(0) == 70
+
+    def test_disable_makes_it_transparent(self):
+        memguard = MemGuard(1, MemGuardConfig(budgets={0: 10}))
+        memguard.disable()
+        memguard.record_accesses(0, 1000)
+        assert not memguard.is_throttled(0)
+        assert memguard.allowed_accesses(0) is None
+        memguard.enable()
+        memguard.record_accesses(0, 1000)
+        assert memguard.is_throttled(0)
+
+    def test_set_budget_reprograms_counter(self):
+        memguard = MemGuard(1)
+        assert memguard.allowed_accesses(0) is None
+        memguard.set_budget(0, 50)
+        assert memguard.allowed_accesses(0) == 50
+        with pytest.raises(ValueError):
+            memguard.set_budget(0, -1)
+
+    def test_reclaim_draws_from_donation_pool(self):
+        config = MemGuardConfig(period=0.001, budgets={0: 100, 1: 100}, reclaim=True)
+        memguard = MemGuard(2, config)
+        # Core 0 uses nothing during the first period; at the boundary its
+        # unused budget is donated.
+        memguard.advance_to(0.001)
+        memguard.record_accesses(1, 150)
+        # Core 1 exceeded its budget by 50 but the pool covers it.
+        assert not memguard.is_throttled(1)
+
+    def test_reclaim_pool_exhaustion_throttles(self):
+        config = MemGuardConfig(period=0.001, budgets={0: 10, 1: 100}, reclaim=True)
+        memguard = MemGuard(2, config)
+        memguard.record_accesses(0, 10)
+        memguard.advance_to(0.001)
+        memguard.record_accesses(1, 500)
+        assert memguard.is_throttled(1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemGuardConfig(period=0.0)
+        with pytest.raises(ValueError):
+            MemGuardConfig(budgets={0: -1})

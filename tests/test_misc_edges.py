@@ -1,0 +1,116 @@
+"""Additional edge-case tests for configuration, analysis and engine helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_plot, format_figure_summary
+from repro.analysis.trajectory import AxisSeries
+from repro.core import ContainerDroneConfig
+from repro.sim import FlightRecorder, FlightSample, FlightScenario, compute_metrics
+from repro.sim.engine import HostLoadConfig, SystemSimulation
+
+
+class TestHostLoadConfig:
+    def test_rejects_out_of_range_loads(self):
+        with pytest.raises(ValueError):
+            HostLoadConfig(boot_core_load=1.5)
+        with pytest.raises(ValueError):
+            HostLoadConfig(other_core_load=-0.1)
+
+    def test_zero_load_adds_no_tasks(self):
+        simulation = SystemSimulation(host_load=HostLoadConfig(boot_core_load=0.0,
+                                                               other_core_load=0.0))
+        assert simulation.scheduler.tasks == []
+        assert simulation.run(1.0) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_custom_core_count(self):
+        simulation = SystemSimulation(num_cores=2)
+        assert len(simulation.run(1.0)) == 2
+
+
+class TestScenarioEdges:
+    def test_custom_setpoint_propagates(self):
+        from repro.control import PositionSetpoint
+
+        setpoint = PositionSetpoint.hover_at(1.0, -1.0, 2.0, yaw=0.3)
+        scenario = FlightScenario.baseline(duration=5.0, setpoint=setpoint)
+        assert np.allclose(scenario.setpoint.position, [1.0, -1.0, -2.0])
+        assert scenario.setpoint.yaw == 0.3
+
+    def test_invalid_physics_dt_rejected(self):
+        with pytest.raises(ValueError):
+            FlightScenario(physics_dt=0.0)
+
+    def test_figure_constructors_accept_custom_times(self):
+        assert FlightScenario.figure4(attack_start=5.0).attacks[0].start_time == 5.0
+        assert FlightScenario.figure6(kill_time=7.0).attacks[0].start_time == 7.0
+        assert FlightScenario.figure7(attack_start=3.0).attacks[0].start_time == 3.0
+
+    def test_without_helpers_do_not_mutate_original(self):
+        config = ContainerDroneConfig()
+        config.without_memguard()
+        config.without_monitor()
+        assert config.memory.enabled
+        assert config.monitor.enabled
+
+
+class TestAnalysisEdges:
+    def test_ascii_plot_with_too_few_samples(self):
+        series = AxisSeries(name="X", times=np.array([0.0]), estimated=np.array([1.0]),
+                            setpoint=np.array([1.0]))
+        assert "not enough samples" in ascii_plot(series)
+
+    def test_ascii_plot_constant_series(self):
+        times = np.linspace(0.0, 1.0, 20)
+        series = AxisSeries(name="Z", times=times, estimated=np.ones(20), setpoint=np.ones(20))
+        text = ascii_plot(series)
+        assert "Z position" in text
+
+    def test_format_figure_summary_mentions_expectation(self):
+        recorder = FlightRecorder(sample_rate_hz=10.0)
+        for index in range(30):
+            recorder.maybe_record(FlightSample(
+                time=index / 10.0,
+                position=np.array([0.0, 0.0, -1.0]),
+                setpoint=np.array([0.0, 0.0, -1.0]),
+                velocity=np.zeros(3),
+                roll=0.0, pitch=0.0, yaw=0.0,
+                active_source="complex",
+                crashed=False,
+            ))
+        metrics = compute_metrics(recorder)
+        summary = format_figure_summary("Figure 5", metrics, "oscillates but remains stable")
+        assert "Figure 5" in summary
+        assert "oscillates but remains stable" in summary
+
+
+class TestMetricsEdges:
+    def test_event_time_after_recording_uses_full_range(self):
+        recorder = FlightRecorder(sample_rate_hz=10.0)
+        for index in range(20):
+            recorder.maybe_record(FlightSample(
+                time=index / 10.0,
+                position=np.array([0.1, 0.0, -1.0]),
+                setpoint=np.array([0.0, 0.0, -1.0]),
+                velocity=np.zeros(3),
+                roll=0.0, pitch=0.0, yaw=0.0,
+                active_source="complex",
+                crashed=False,
+            ))
+        metrics = compute_metrics(recorder, event_time=100.0)
+        assert metrics.max_deviation_after == pytest.approx(0.1)
+
+    def test_recovery_window_longer_than_flight(self):
+        recorder = FlightRecorder(sample_rate_hz=10.0)
+        for index in range(5):
+            recorder.maybe_record(FlightSample(
+                time=index / 10.0,
+                position=np.array([0.0, 0.0, -1.0]),
+                setpoint=np.array([0.0, 0.0, -1.0]),
+                velocity=np.zeros(3),
+                roll=0.0, pitch=0.0, yaw=0.0,
+                active_source="complex",
+                crashed=False,
+            ))
+        metrics = compute_metrics(recorder, recovery_window=100.0)
+        assert metrics.recovered

@@ -1,0 +1,216 @@
+"""Tests for the simulated UDP stack, iptables rate limiting and namespaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (
+    CONTAINER_NAMESPACE,
+    HOST_NAMESPACE,
+    IptablesFirewall,
+    NetworkStack,
+    RateLimitRule,
+    SocketAddress,
+    TokenBucket,
+    UdpEndpoint,
+)
+from repro.network.udp import Datagram
+
+
+def make_datagram(deliver_at: float = 0.0, size: int = 10) -> Datagram:
+    return Datagram(
+        payload=b"x" * size,
+        source=SocketAddress(CONTAINER_NAMESPACE, 1000),
+        destination=SocketAddress(HOST_NAMESPACE, 14600),
+        sent_at=deliver_at,
+        deliver_at=deliver_at,
+    )
+
+
+class TestUdpEndpoint:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            UdpEndpoint(SocketAddress(HOST_NAMESPACE, 1), queue_capacity=0)
+
+    def test_enqueue_and_receive(self):
+        endpoint = UdpEndpoint(SocketAddress(HOST_NAMESPACE, 14600))
+        assert endpoint.enqueue(make_datagram(0.0))
+        received = endpoint.receive(1.0)
+        assert len(received) == 1
+        assert endpoint.stats.delivered == 1
+
+    def test_receive_respects_delivery_time(self):
+        endpoint = UdpEndpoint(SocketAddress(HOST_NAMESPACE, 14600))
+        endpoint.enqueue(make_datagram(deliver_at=5.0))
+        assert endpoint.receive(1.0) == []
+        assert len(endpoint.receive(5.0)) == 1
+
+    def test_drop_tail_when_full(self):
+        endpoint = UdpEndpoint(SocketAddress(HOST_NAMESPACE, 14600), queue_capacity=2)
+        assert endpoint.enqueue(make_datagram())
+        assert endpoint.enqueue(make_datagram())
+        assert not endpoint.enqueue(make_datagram())
+        assert endpoint.stats.dropped_queue_full == 1
+
+    def test_receive_batch_limit(self):
+        endpoint = UdpEndpoint(SocketAddress(HOST_NAMESPACE, 14600))
+        for _ in range(10):
+            endpoint.enqueue(make_datagram())
+        assert len(endpoint.receive(1.0, max_datagrams=4)) == 4
+        assert endpoint.queue_depth == 6
+
+    def test_flush_discards_everything(self):
+        endpoint = UdpEndpoint(SocketAddress(HOST_NAMESPACE, 14600))
+        for _ in range(5):
+            endpoint.enqueue(make_datagram())
+        assert endpoint.flush() == 5
+        assert endpoint.queue_depth == 0
+
+    def test_byte_counters(self):
+        endpoint = UdpEndpoint(SocketAddress(HOST_NAMESPACE, 14600))
+        endpoint.enqueue(make_datagram(size=25))
+        endpoint.receive(1.0)
+        assert endpoint.stats.bytes_received == 25
+        assert endpoint.stats.bytes_delivered == 25
+
+
+class TestTokenBucket:
+    def test_burst_allows_initial_packets(self):
+        bucket = TokenBucket(rate_per_second=10.0, burst=5)
+        assert all(bucket.allow(0.0) for _ in range(5))
+        assert not bucket.allow(0.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate_per_second=10.0, burst=1)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.01)
+        assert bucket.allow(0.2)
+
+    def test_sustained_rate_is_enforced(self):
+        bucket = TokenBucket(rate_per_second=100.0, burst=10)
+        accepted = sum(1 for step in range(10000) if bucket.allow(step * 0.001))
+        # 10 s at 100 pkt/s plus the initial burst.
+        assert 900 <= accepted <= 1200
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 10)
+        with pytest.raises(ValueError):
+            TokenBucket(10.0, 0)
+
+    @given(rate=st.floats(min_value=1.0, max_value=1000.0),
+           burst=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_acceptance_never_exceeds_rate_plus_burst(self, rate, burst):
+        bucket = TokenBucket(rate, burst)
+        duration = 2.0
+        accepted = sum(1 for step in range(2000) if bucket.allow(step * 0.001))
+        assert accepted <= rate * duration + burst + 1
+
+
+class TestIptablesFirewall:
+    def test_rule_matching_wildcards(self):
+        rule = RateLimitRule(destination_port=None, source_namespace=None)
+        assert rule.matches("anything", 1234)
+
+    def test_rule_matching_specific(self):
+        rule = RateLimitRule(destination_port=14600, source_namespace=CONTAINER_NAMESPACE)
+        assert rule.matches(CONTAINER_NAMESPACE, 14600)
+        assert not rule.matches(HOST_NAMESPACE, 14600)
+        assert not rule.matches(CONTAINER_NAMESPACE, 14660)
+
+    def test_no_rules_accepts_everything(self):
+        firewall = IptablesFirewall()
+        assert firewall.accepts(0.0, CONTAINER_NAMESPACE, 14600)
+
+    def test_rate_limit_drops_flood(self):
+        firewall = IptablesFirewall([RateLimitRule(destination_port=14600,
+                                                   rate_per_second=100.0, burst=10)])
+        accepted = sum(
+            1 for index in range(1000) if firewall.accepts(index * 0.0001, CONTAINER_NAMESPACE, 14600)
+        )
+        assert accepted < 50
+
+    def test_unmatched_port_not_limited(self):
+        firewall = IptablesFirewall([RateLimitRule(destination_port=14600,
+                                                   rate_per_second=1.0, burst=1)])
+        accepted = sum(
+            1 for index in range(100) if firewall.accepts(index * 0.001, CONTAINER_NAMESPACE, 9999)
+        )
+        assert accepted == 100
+
+    def test_counters_track_accept_and_drop(self):
+        firewall = IptablesFirewall([RateLimitRule(rate_per_second=10.0, burst=1)])
+        firewall.accepts(0.0, CONTAINER_NAMESPACE, 1)
+        firewall.accepts(0.0, CONTAINER_NAMESPACE, 1)
+        accepted, dropped = firewall.counters()[0]
+        assert accepted == 1
+        assert dropped == 1
+
+
+class TestNetworkStack:
+    def test_bind_and_send(self):
+        stack = NetworkStack(latency=0.0)
+        endpoint = stack.bind(HOST_NAMESPACE, 14600)
+        assert stack.send(0.0, b"abc", CONTAINER_NAMESPACE, 5555, HOST_NAMESPACE, 14600)
+        assert endpoint.queue_depth == 1
+
+    def test_send_to_unbound_port_dropped(self):
+        stack = NetworkStack()
+        assert not stack.send(0.0, b"abc", CONTAINER_NAMESPACE, 5555, HOST_NAMESPACE, 14600)
+        assert stack.stats.dropped_no_listener == 1
+
+    def test_duplicate_bind_rejected(self):
+        stack = NetworkStack()
+        stack.bind(HOST_NAMESPACE, 14600)
+        with pytest.raises(ValueError):
+            stack.bind(HOST_NAMESPACE, 14600)
+
+    def test_unknown_namespace_rejected(self):
+        stack = NetworkStack()
+        with pytest.raises(ValueError):
+            stack.bind("internet", 80)
+
+    def test_container_cannot_reach_unknown_namespace(self):
+        stack = NetworkStack()
+        stack.add_namespace("internet", reachable=set())
+        stack.bind("internet", 80)
+        assert not stack.send(0.0, b"exfil", CONTAINER_NAMESPACE, 5555, "internet", 80)
+        assert stack.stats.dropped_unreachable == 1
+
+    def test_bridge_latency_applied_cross_namespace(self):
+        stack = NetworkStack(latency=0.01)
+        endpoint = stack.bind(HOST_NAMESPACE, 14600)
+        stack.send(0.0, b"abc", CONTAINER_NAMESPACE, 5555, HOST_NAMESPACE, 14600)
+        assert endpoint.receive(0.005) == []
+        assert len(endpoint.receive(0.02)) == 1
+
+    def test_same_namespace_has_no_bridge_latency(self):
+        stack = NetworkStack(latency=0.01)
+        endpoint = stack.bind(HOST_NAMESPACE, 15000)
+        stack.send(0.0, b"abc", HOST_NAMESPACE, 5555, HOST_NAMESPACE, 15000)
+        assert len(endpoint.receive(0.0)) == 1
+
+    def test_firewall_applied_only_across_bridge(self):
+        firewall = IptablesFirewall([RateLimitRule(destination_port=14600,
+                                                   rate_per_second=1.0, burst=1)])
+        stack = NetworkStack(latency=0.0, firewall=firewall)
+        endpoint = stack.bind(HOST_NAMESPACE, 14600)
+        assert stack.send(0.0, b"1", CONTAINER_NAMESPACE, 5555, HOST_NAMESPACE, 14600)
+        assert not stack.send(0.0, b"2", CONTAINER_NAMESPACE, 5555, HOST_NAMESPACE, 14600)
+        assert stack.stats.dropped_firewall == 1
+        # Host-local traffic to the same port bypasses the docker0 firewall.
+        assert stack.send(0.0, b"3", HOST_NAMESPACE, 5556, HOST_NAMESPACE, 14600)
+        assert endpoint.queue_depth == 2
+
+    def test_unbind_stops_delivery(self):
+        stack = NetworkStack()
+        endpoint = stack.bind(HOST_NAMESPACE, 14600)
+        stack.unbind(endpoint)
+        assert not stack.send(0.0, b"abc", CONTAINER_NAMESPACE, 5555, HOST_NAMESPACE, 14600)
+
+    def test_stats_bytes_counted(self):
+        stack = NetworkStack()
+        stack.bind(HOST_NAMESPACE, 14600)
+        stack.send(0.0, b"abcd", CONTAINER_NAMESPACE, 5555, HOST_NAMESPACE, 14600)
+        assert stack.stats.bytes_sent == 4

@@ -1,0 +1,149 @@
+"""Cross-module property-based tests on core invariants.
+
+These complement the per-module unit tests: they assert relationships that
+must hold for *any* admissible input — conservation of CPU time in the
+scheduler, MemGuard's bandwidth guarantee, consistency between the control
+allocator and the physical mixer, and the latching behaviour of the Simplex
+decision module.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.container import Container, ContainerConfig
+from repro.control import ActuatorCommand, ControlAllocation, QuadXAllocator
+from repro.core import DecisionModule
+from repro.dynamics import QuadGeometry, forces_and_torques
+from repro.memsys import MemGuard, MemGuardConfig
+from repro.rtos import MulticoreScheduler, Task, TaskConfig
+
+
+class TestSchedulerInvariants:
+    @given(
+        executions=st.lists(st.floats(min_value=0.0001, max_value=0.003), min_size=1, max_size=4),
+        priorities=st.lists(st.integers(min_value=1, max_value=99), min_size=4, max_size=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_busy_time_never_exceeds_elapsed_time(self, executions, priorities):
+        scheduler = MulticoreScheduler(num_cores=1)
+        for index, execution in enumerate(executions):
+            scheduler.add_task(Task(TaskConfig(
+                name=f"task-{index}",
+                period=0.005,
+                execution_time=execution,
+                priority=priorities[index % len(priorities)],
+                core=0,
+            )))
+        scheduler.advance(0.25)
+        core = scheduler.cores[0]
+        assert core.busy_time <= core.elapsed_time + 1e-9
+        assert 0.0 <= core.idle_rate <= 1.0
+
+    @given(utilization=st.floats(min_value=0.05, max_value=0.85))
+    @settings(max_examples=20, deadline=None)
+    def test_measured_utilization_tracks_nominal_when_feasible(self, utilization):
+        scheduler = MulticoreScheduler(num_cores=1)
+        scheduler.add_task(Task(TaskConfig(
+            name="load", period=0.01, execution_time=utilization * 0.01, priority=10, core=0,
+        )))
+        scheduler.advance(1.0)
+        assert scheduler.utilizations()[0] == pytest.approx(utilization, abs=0.05)
+
+    @given(executions=st.lists(st.floats(min_value=0.0005, max_value=0.02), min_size=2, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_completions_never_exceed_releases(self, executions):
+        scheduler = MulticoreScheduler(num_cores=2)
+        tasks = []
+        for index, execution in enumerate(executions):
+            task = Task(TaskConfig(
+                name=f"task-{index}", period=0.004, execution_time=execution,
+                priority=10 + index, core=index % 2,
+            ))
+            tasks.append(scheduler.add_task(task))
+        scheduler.advance(0.3)
+        for task in tasks:
+            assert task.stats.completed <= task.stats.released
+            assert task.stats.released + task.stats.skipped_releases >= task.stats.completed
+
+
+class TestMemGuardInvariant:
+    @given(
+        budget=st.integers(min_value=100, max_value=5000),
+        demand=st.integers(min_value=1000, max_value=100000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_regulated_core_never_exceeds_budget_per_period(self, budget, demand):
+        memguard = MemGuard(2, MemGuardConfig(period=0.001, budgets={1: budget}))
+        scheduler = MulticoreScheduler(num_cores=2, memguard=memguard)
+        scheduler.add_task(Task(TaskConfig(
+            name="attacker", period=2.0, execution_time=1.0, priority=10, core=1,
+            memory_stall_fraction=0.9, accesses_per_job=demand * 1000,
+        )))
+        periods = 50
+        for _ in range(periods):
+            scheduler.advance(0.001)
+        total = memguard.counters[1].total
+        # Per-period accesses are capped by the budget (a small overshoot of a
+        # single quantum's rounding is tolerated).
+        assert total <= budget * (periods + 1)
+
+
+class TestAllocatorMixerConsistency:
+    @given(
+        thrust=st.floats(min_value=0.2, max_value=0.8),
+        roll=st.floats(min_value=-0.15, max_value=0.15),
+        pitch=st.floats(min_value=-0.15, max_value=0.15),
+        yaw=st.floats(min_value=-0.15, max_value=0.15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_unsaturated_demands_produce_matching_physical_torques(self, thrust, roll, pitch, yaw):
+        """A positive normalised demand must map to a positive physical torque."""
+        from hypothesis import assume
+
+        # Only consider demands the allocator can satisfy without hitting the
+        # [0, 1] motor limits (saturation intentionally sacrifices yaw).
+        assume(abs(roll) + abs(pitch) + abs(yaw) < min(thrust, 1.0 - thrust))
+        allocator = QuadXAllocator()
+        motors = allocator.allocate(ControlAllocation(thrust, roll, pitch, yaw))
+        # Use motor command directly as a thrust surrogate (monotone mapping),
+        # with reaction torque proportional to thrust.
+        _, torque = forces_and_torques(motors, 0.02 * motors, QuadGeometry())
+        for demand, axis in ((roll, 0), (pitch, 1), (yaw, 2)):
+            if abs(demand) > 0.02:
+                assert np.sign(torque[axis]) == np.sign(demand)
+
+
+class TestDecisionModuleInvariant:
+    @given(events=st.lists(st.sampled_from(["complex", "safety", "switch"]), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_no_complex_command_selected_after_switch(self, events):
+        decision = DecisionModule()
+        switched = False
+        for index, event in enumerate(events):
+            now = float(index)
+            if event == "complex":
+                decision.submit_complex(
+                    ActuatorCommand(motors=np.full(4, 0.4), source="complex"), received_at=now
+                )
+            elif event == "safety":
+                decision.submit_safety(ActuatorCommand(motors=np.full(4, 0.6), source="safety"))
+            else:
+                decision.switch_to_safety(now, "test")
+                switched = True
+            selected = decision.select()
+            if switched and selected is not None:
+                assert selected.source == "safety"
+
+
+class TestCgroupInvariant:
+    @given(priority=st.integers(min_value=0, max_value=99), core=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_unprivileged_container_never_escapes_its_limits(self, priority, core):
+        container = Container(ContainerConfig())
+        admitted = container.admit_task(TaskConfig(
+            name="proc", period=0.01, execution_time=0.001, priority=priority, core=core,
+        ))
+        assert admitted.core in ContainerConfig().cpuset_cores
+        assert admitted.priority <= ContainerConfig().max_priority

@@ -1,0 +1,279 @@
+"""Tests for the task model, the multicore FIFO scheduler and the RTA helper."""
+
+import numpy as np
+import pytest
+
+from repro.memsys import DramModel, DramParameters, MemGuard, MemGuardConfig
+from repro.rtos import (
+    MulticoreScheduler,
+    Task,
+    TaskConfig,
+    core_utilization,
+    response_time_analysis,
+)
+
+
+def make_task(name="task", period=0.01, execution=0.001, priority=10, core=0,
+              callback=None, accesses=0, stall=0.1, offset=0.0, dynamic_cost=None):
+    return Task(
+        TaskConfig(
+            name=name,
+            period=period,
+            execution_time=execution,
+            priority=priority,
+            core=core,
+            memory_stall_fraction=stall,
+            accesses_per_job=accesses,
+            offset=offset,
+        ),
+        callback=callback,
+        dynamic_cost=dynamic_cost,
+    )
+
+
+class TestTaskConfig:
+    def test_utilization(self):
+        config = TaskConfig(name="t", period=0.01, execution_time=0.002, priority=1, core=0)
+        assert config.utilization == pytest.approx(0.2)
+
+    def test_access_rate(self):
+        config = TaskConfig(name="t", period=0.01, execution_time=0.002, priority=1, core=0,
+                            accesses_per_job=100)
+        assert config.access_rate == pytest.approx(50000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskConfig(name="t", period=0.0, execution_time=0.001, priority=1, core=0)
+        with pytest.raises(ValueError):
+            TaskConfig(name="t", period=0.01, execution_time=-1.0, priority=1, core=0)
+        with pytest.raises(ValueError):
+            TaskConfig(name="t", period=0.01, execution_time=0.001, priority=1, core=0,
+                       memory_stall_fraction=2.0)
+
+
+class TestTaskReleases:
+    def test_jobs_released_at_period(self):
+        task = make_task(period=0.01)
+        jobs = task.release_due_jobs(0.0)
+        assert len(jobs) == 1
+        assert task.next_release == pytest.approx(0.01)
+
+    def test_offset_delays_first_release(self):
+        task = make_task(offset=0.05)
+        assert task.release_due_jobs(0.0) == []
+        assert len(task.release_due_jobs(0.05)) == 1
+
+    def test_skip_if_pending(self):
+        task = make_task(period=0.01)
+        jobs = task.release_due_jobs(0.0)
+        assert len(jobs) == 1
+        # The first job is still pending: the next two releases are skipped.
+        assert task.release_due_jobs(0.025) == []
+        assert task.stats.skipped_releases == 2
+
+    def test_stopped_task_releases_nothing(self):
+        task = make_task()
+        task.stop()
+        assert task.release_due_jobs(10.0) == []
+
+    def test_zero_cost_job_completes_immediately(self):
+        completions = []
+        task = make_task(callback=completions.append, dynamic_cost=lambda now: (0.0, 0))
+        assert task.release_due_jobs(0.0) == []
+        assert completions == [0.0]
+        assert task.stats.completed == 1
+
+    def test_completion_statistics(self):
+        task = make_task(period=0.01, execution=0.001)
+        (job,) = task.release_due_jobs(0.0)
+        task.complete_job(job, 0.003)
+        assert task.stats.completed == 1
+        assert task.stats.worst_response_time == pytest.approx(0.003)
+        assert task.stats.deadline_misses == 0
+        (job,) = task.release_due_jobs(0.01)
+        task.complete_job(job, 0.05)
+        assert task.stats.deadline_misses == 1
+
+
+class TestScheduler:
+    def test_single_task_completes_each_period(self):
+        completions = []
+        scheduler = MulticoreScheduler(num_cores=1)
+        scheduler.add_task(make_task(period=0.01, execution=0.001, callback=completions.append))
+        scheduler.advance(0.1)
+        assert len(completions) == 10
+
+    def test_rejects_task_on_missing_core(self):
+        scheduler = MulticoreScheduler(num_cores=2)
+        with pytest.raises(ValueError):
+            scheduler.add_task(make_task(core=5))
+
+    def test_duration_must_be_multiple_of_quantum(self):
+        scheduler = MulticoreScheduler()
+        with pytest.raises(ValueError):
+            scheduler.advance(0.0015)
+
+    def test_higher_priority_task_preempts(self):
+        order = []
+        scheduler = MulticoreScheduler(num_cores=1)
+        scheduler.add_task(make_task(name="low", period=1.0, execution=0.0004, priority=1,
+                                     callback=lambda t: order.append("low")))
+        scheduler.add_task(make_task(name="high", period=1.0, execution=0.0004, priority=90,
+                                     callback=lambda t: order.append("high")))
+        scheduler.advance(0.01)
+        assert order[0] == "high"
+
+    def test_overloaded_core_starves_low_priority(self):
+        scheduler = MulticoreScheduler(num_cores=1)
+        high_completions = []
+        low_completions = []
+        scheduler.add_task(make_task(name="hog", period=0.001, execution=0.001, priority=50,
+                                     callback=lambda t: high_completions.append(t)))
+        scheduler.add_task(make_task(name="victim", period=0.01, execution=0.001, priority=10,
+                                     callback=lambda t: low_completions.append(t)))
+        scheduler.advance(0.5)
+        assert len(high_completions) > 400
+        assert len(low_completions) < 5
+
+    def test_tasks_on_different_cores_run_independently(self):
+        scheduler = MulticoreScheduler(num_cores=2)
+        completions_a, completions_b = [], []
+        scheduler.add_task(make_task(name="a", core=0, period=0.001, execution=0.001,
+                                     callback=lambda t: completions_a.append(t)))
+        scheduler.add_task(make_task(name="b", core=1, period=0.001, execution=0.0005,
+                                     callback=lambda t: completions_b.append(t)))
+        scheduler.advance(0.1)
+        assert len(completions_a) == pytest.approx(100, abs=2)
+        assert len(completions_b) == pytest.approx(100, abs=2)
+
+    def test_idle_rates_reflect_load(self):
+        scheduler = MulticoreScheduler(num_cores=2)
+        scheduler.add_task(make_task(name="half-load", core=0, period=0.01, execution=0.005))
+        scheduler.advance(1.0)
+        idle = scheduler.idle_rates()
+        assert idle[0] == pytest.approx(0.5, abs=0.05)
+        assert idle[1] == pytest.approx(1.0, abs=0.01)
+
+    def test_utilizations_complement_idle(self):
+        scheduler = MulticoreScheduler(num_cores=1)
+        scheduler.add_task(make_task(period=0.01, execution=0.002))
+        scheduler.advance(1.0)
+        assert scheduler.utilizations()[0] + scheduler.idle_rates()[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_remove_task_stops_execution(self):
+        completions = []
+        scheduler = MulticoreScheduler(num_cores=1)
+        scheduler.add_task(make_task(name="victim", callback=completions.append))
+        scheduler.advance(0.02)
+        count = len(completions)
+        scheduler.remove_task("victim")
+        scheduler.advance(0.1)
+        assert len(completions) == count
+
+    def test_task_lookup(self):
+        scheduler = MulticoreScheduler()
+        scheduler.add_task(make_task(name="findme"))
+        assert scheduler.task("findme").name == "findme"
+        with pytest.raises(KeyError):
+            scheduler.task("missing")
+
+    def test_completion_time_is_monotone_with_load(self):
+        # The same task completes later when it shares its core with a hog.
+        def run(with_hog: bool) -> float:
+            scheduler = MulticoreScheduler(num_cores=1)
+            completions = []
+            scheduler.add_task(make_task(name="task", period=0.01, execution=0.002, priority=10,
+                                         callback=completions.append))
+            if with_hog:
+                scheduler.add_task(make_task(name="hog", period=0.01, execution=0.006, priority=50))
+            scheduler.advance(0.01)
+            return completions[0]
+
+        assert run(with_hog=True) > run(with_hog=False)
+
+
+class TestMemoryCoupledScheduling:
+    def test_memory_contention_stretches_execution(self):
+        def completions_with_attacker(attacker: bool) -> int:
+            dram = DramModel(DramParameters(peak_accesses_per_second=1e6, contention_gain=0.5))
+            scheduler = MulticoreScheduler(num_cores=2, dram=dram)
+            completions = []
+            scheduler.add_task(make_task(name="victim", core=0, period=0.002, execution=0.0018,
+                                         stall=0.6, accesses=200, callback=completions.append))
+            if attacker:
+                scheduler.add_task(make_task(name="attacker", core=1, period=0.001,
+                                             execution=0.001, stall=0.9, accesses=5000))
+            scheduler.advance(1.0)
+            return len(completions)
+
+        assert completions_with_attacker(True) < completions_with_attacker(False)
+
+    def test_memguard_throttles_attacker_core(self):
+        memguard = MemGuard(2, MemGuardConfig(period=0.001, budgets={1: 100}))
+        scheduler = MulticoreScheduler(num_cores=2, memguard=memguard)
+        scheduler.add_task(make_task(name="attacker", core=1, period=0.001, execution=0.001,
+                                     stall=0.9, accesses=5000))
+        scheduler.advance(0.1)
+        assert memguard.throttle_events > 50
+        # The attacker core spends most of its time throttled.
+        assert scheduler.cores[1].throttled_time > 0.05
+
+    def test_memguard_protects_victim_completion_rate(self):
+        def victim_completions(with_memguard: bool) -> int:
+            dram = DramModel(DramParameters(peak_accesses_per_second=1e6, contention_gain=0.5))
+            memguard = MemGuard(2, MemGuardConfig(period=0.001, budgets={1: 50}))
+            if not with_memguard:
+                memguard.disable()
+            scheduler = MulticoreScheduler(num_cores=2, dram=dram, memguard=memguard)
+            completions = []
+            scheduler.add_task(make_task(name="victim", core=0, period=0.002, execution=0.0018,
+                                         stall=0.6, accesses=200, callback=completions.append))
+            scheduler.add_task(make_task(name="attacker", core=1, period=0.001, execution=0.001,
+                                         stall=0.9, accesses=5000))
+            scheduler.advance(1.0)
+            return len(completions)
+
+        assert victim_completions(True) > victim_completions(False)
+
+
+class TestResponseTimeAnalysis:
+    def test_utilization_sum(self):
+        tasks = [
+            TaskConfig(name="a", period=0.01, execution_time=0.002, priority=2, core=0),
+            TaskConfig(name="b", period=0.02, execution_time=0.004, priority=1, core=0),
+        ]
+        assert core_utilization(tasks) == pytest.approx(0.4)
+
+    def test_schedulable_set(self):
+        tasks = [
+            TaskConfig(name="drivers", period=0.004, execution_time=0.0005, priority=90, core=0),
+            TaskConfig(name="safety", period=0.004, execution_time=0.0004, priority=20, core=0),
+        ]
+        results = response_time_analysis(tasks)
+        assert all(result.schedulable for result in results)
+        # The lower-priority task's response time includes the driver interference.
+        safety = next(result for result in results if result.task == "safety")
+        assert safety.response_time >= 0.0009
+
+    def test_unschedulable_set_detected(self):
+        tasks = [
+            TaskConfig(name="heavy", period=0.004, execution_time=0.003, priority=90, core=0),
+            TaskConfig(name="light", period=0.004, execution_time=0.002, priority=10, core=0),
+        ]
+        results = response_time_analysis(tasks)
+        light = next(result for result in results if result.task == "light")
+        assert not light.schedulable
+
+    def test_inflation_can_break_schedulability(self):
+        tasks = [
+            TaskConfig(name="a", period=0.004, execution_time=0.0015, priority=90, core=0),
+            TaskConfig(name="b", period=0.004, execution_time=0.0015, priority=10, core=0),
+        ]
+        nominal = response_time_analysis(tasks)
+        inflated = response_time_analysis(tasks, execution_inflation=2.0)
+        assert all(result.schedulable for result in nominal)
+        assert not all(result.schedulable for result in inflated)
+
+    def test_rejects_deflation(self):
+        with pytest.raises(ValueError):
+            response_time_analysis([], execution_inflation=0.5)

@@ -1,0 +1,228 @@
+"""Tests for the sensor suite (IMU, barometer, GPS, RC, motion capture, noise)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import Quadrotor, RigidBodyState
+from repro.sensors import (
+    Barometer,
+    BarometerParameters,
+    GaussianNoise,
+    Gps,
+    GpsParameters,
+    Imu,
+    ImuParameters,
+    MocapParameters,
+    MotionCapture,
+    PWM_MAX,
+    PWM_MIN,
+    QuantizationNoise,
+    RandomWalkBias,
+    RcChannels,
+    RcReceiver,
+    altitude_to_pressure,
+    pressure_to_altitude,
+    scripted_pilot,
+)
+from repro.sensors.base import PeriodicSensor
+from repro.sensors.gps import geodetic_to_ned, ned_to_geodetic
+
+
+@pytest.fixture
+def hovering_plant():
+    quad = Quadrotor(initial_state=RigidBodyState(position=np.array([1.0, -2.0, -3.0])))
+    quad.arm()
+    return quad
+
+
+class TestNoiseModels:
+    def test_gaussian_noise_scales_with_sigma(self, rng):
+        small = GaussianNoise(0.01, np.random.default_rng(1))
+        large = GaussianNoise(10.0, np.random.default_rng(1))
+        small_samples = np.array([small.sample(()) for _ in range(200)])
+        large_samples = np.array([large.sample(()) for _ in range(200)])
+        assert np.std(large_samples) > np.std(small_samples) * 100
+
+    def test_gaussian_noise_vector_shape(self, rng):
+        noise = GaussianNoise(np.array([1.0, 2.0, 3.0]), rng)
+        assert noise.sample().shape == (3,)
+
+    def test_random_walk_spread_grows_with_time(self):
+        # Across independent walks, the dispersion of the bias grows ~ sqrt(t).
+        early, late = [], []
+        for seed in range(60):
+            bias = RandomWalkBias(0.0, 1.0, np.random.default_rng(seed))
+            values = [bias.step(0.01)[0] for _ in range(400)]
+            early.append(values[3])
+            late.append(values[-1])
+        assert np.std(late) > 2.0 * np.std(early)
+
+    def test_random_walk_constant_with_zero_sigma(self, rng):
+        bias = RandomWalkBias(1.5, 0.0, rng)
+        for _ in range(100):
+            bias.step(0.01)
+        assert bias.value[0] == pytest.approx(1.5)
+
+    def test_random_walk_rejects_bad_dt(self, rng):
+        with pytest.raises(ValueError):
+            RandomWalkBias(0.0, 1.0, rng).step(0.0)
+
+    def test_quantization(self):
+        quantizer = QuantizationNoise(0.5)
+        assert quantizer.apply(0.74) == pytest.approx(0.5)
+        assert quantizer.apply(0.76) == pytest.approx(1.0)
+
+    def test_quantization_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            QuantizationNoise(0.0)
+
+
+class TestPeriodicSensorScheduling:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Imu(rate_hz=0.0)
+
+    def test_sampling_respects_rate(self, hovering_plant):
+        imu = Imu(rate_hz=100.0, rng=np.random.default_rng(0))
+        produced = 0
+        for step in range(1000):
+            if imu.sample(step * 0.001, hovering_plant) is not None:
+                produced += 1
+        assert produced == pytest.approx(100, abs=2)
+
+    def test_first_sample_is_immediate(self, hovering_plant):
+        imu = Imu(rng=np.random.default_rng(0))
+        assert imu.sample(0.0, hovering_plant) is not None
+
+    def test_last_sample_is_cached(self, hovering_plant):
+        imu = Imu(rng=np.random.default_rng(0))
+        sample = imu.sample(0.0, hovering_plant)
+        assert imu.last_sample is sample
+
+    def test_base_class_requires_measure(self, hovering_plant):
+        sensor = PeriodicSensor(10.0, "raw")
+        with pytest.raises(NotImplementedError):
+            sensor.sample(0.0, hovering_plant)
+
+
+class TestImu:
+    def test_gyro_tracks_angular_velocity(self):
+        state = RigidBodyState(position=np.array([0.0, 0.0, -5.0]),
+                               angular_velocity=np.array([0.5, -0.2, 0.1]))
+        quad = Quadrotor(initial_state=state)
+        quad.arm()
+        imu = Imu(ImuParameters(gyro_noise_sigma=1e-6, gyro_bias_sigma=0.0, gyro_bias_walk=0.0),
+                  rng=np.random.default_rng(0))
+        reading = imu.sample(0.0, quad).data
+        assert np.allclose(reading.gyro, [0.5, -0.2, 0.1], atol=1e-4)
+
+    def test_accel_reads_gravity_reaction_on_ground(self):
+        quad = Quadrotor()
+        quad.arm()
+        imu = Imu(ImuParameters(accel_noise_sigma=1e-6, accel_bias_sigma=0.0, accel_bias_walk=0.0),
+                  rng=np.random.default_rng(0))
+        reading = imu.sample(0.0, quad).data
+        assert reading.accel[2] == pytest.approx(-9.80665, rel=1e-3)
+
+    def test_noise_differs_between_seeds(self, hovering_plant):
+        imu_a = Imu(rng=np.random.default_rng(1))
+        imu_b = Imu(rng=np.random.default_rng(2))
+        a = imu_a.sample(0.0, hovering_plant).data
+        b = imu_b.sample(0.0, hovering_plant).data
+        assert not np.allclose(a.gyro, b.gyro)
+
+    def test_same_seed_reproducible(self, hovering_plant):
+        a = Imu(rng=np.random.default_rng(7)).sample(0.0, hovering_plant).data
+        b = Imu(rng=np.random.default_rng(7)).sample(0.0, hovering_plant).data
+        assert np.allclose(a.gyro, b.gyro)
+        assert np.allclose(a.accel, b.accel)
+
+
+class TestBarometer:
+    def test_pressure_altitude_roundtrip(self):
+        for altitude in (0.0, 100.0, 500.0, 2000.0):
+            assert pressure_to_altitude(altitude_to_pressure(altitude)) == pytest.approx(altitude)
+
+    def test_altitude_tracks_vehicle(self, hovering_plant):
+        baro = Barometer(BarometerParameters(noise_sigma_m=1e-6, drift_walk_m=0.0),
+                         rng=np.random.default_rng(0))
+        reading = baro.sample(0.0, hovering_plant).data
+        expected = BarometerParameters().reference_altitude_m + hovering_plant.altitude
+        assert reading.altitude_m == pytest.approx(expected, abs=0.01)
+
+    def test_pressure_decreases_with_altitude(self):
+        low = Quadrotor(initial_state=RigidBodyState(position=np.array([0.0, 0.0, -1.0])))
+        high = Quadrotor(initial_state=RigidBodyState(position=np.array([0.0, 0.0, -100.0])))
+        baro = Barometer(BarometerParameters(noise_sigma_m=0.0, drift_walk_m=0.0),
+                         rng=np.random.default_rng(0))
+        p_low = baro.sample(0.0, low).data.pressure_pa
+        baro_high = Barometer(BarometerParameters(noise_sigma_m=0.0, drift_walk_m=0.0),
+                              rng=np.random.default_rng(0))
+        p_high = baro_high.sample(0.0, high).data.pressure_pa
+        assert p_high < p_low
+
+
+class TestGps:
+    def test_geodetic_roundtrip(self):
+        ned = np.array([10.0, -20.0, 3.0])
+        lat, lon, alt = ned_to_geodetic(*ned)
+        recovered = geodetic_to_ned(lat, lon, alt)
+        assert np.allclose(recovered, ned, atol=1e-6)
+
+    def test_fix_metadata(self, hovering_plant):
+        gps = Gps(rng=np.random.default_rng(0))
+        reading = gps.sample(0.0, hovering_plant).data
+        assert reading.fix_type == GpsParameters().fix_type
+        assert reading.num_satellites == GpsParameters().num_satellites
+
+    def test_position_noise_has_configured_scale(self, hovering_plant):
+        gps = Gps(GpsParameters(horizontal_sigma_m=5.0), rate_hz=1000.0,
+                  rng=np.random.default_rng(0))
+        norths = []
+        for step in range(300):
+            sample = gps.sample(step * 0.001, hovering_plant)
+            lat, lon, alt = sample.data.latitude_deg, sample.data.longitude_deg, sample.data.altitude_m
+            norths.append(geodetic_to_ned(lat, lon, alt)[0])
+        assert 2.0 < np.std(norths) < 9.0
+
+
+class TestRc:
+    def test_scripted_pilot_switches_mode(self):
+        pilot = scripted_pilot(position_mode_at=5.0)
+        assert pilot(0.0).mode_switch == PWM_MIN
+        assert pilot(6.0).mode_switch == PWM_MAX
+
+    def test_receiver_samples_pilot(self):
+        receiver = RcReceiver(pilot=scripted_pilot(position_mode_at=0.0))
+        sample = receiver.sample(0.0, None)
+        assert sample.data.mode_switch == PWM_MAX
+
+    def test_channels_as_array(self):
+        channels = RcChannels(roll=1400, pitch=1600, throttle=1500, yaw=1450, mode_switch=2000)
+        array = channels.as_array()
+        assert array.tolist() == [1400, 1600, 1500, 1450, 2000]
+
+
+class TestMotionCapture:
+    def test_low_noise_position(self, hovering_plant):
+        mocap = MotionCapture(rng=np.random.default_rng(0))
+        reading = mocap.sample(0.0, hovering_plant).data
+        assert np.allclose(reading.position_ned, hovering_plant.position, atol=0.02)
+        assert reading.valid
+
+    def test_dropout_marks_invalid(self, hovering_plant):
+        mocap = MotionCapture(MocapParameters(dropout_probability=1.0),
+                              rng=np.random.default_rng(0))
+        reading = mocap.sample(0.0, hovering_plant).data
+        assert not reading.valid
+
+    def test_yaw_measurement(self):
+        from repro.dynamics import quat_from_euler
+
+        state = RigidBodyState(position=np.array([0.0, 0.0, -1.0]),
+                               quaternion=quat_from_euler(0.0, 0.0, 0.7))
+        quad = Quadrotor(initial_state=state)
+        mocap = MotionCapture(MocapParameters(yaw_sigma_rad=1e-9, position_sigma_m=1e-9),
+                              rng=np.random.default_rng(0))
+        reading = mocap.sample(0.0, quad).data
+        assert reading.yaw == pytest.approx(0.7, abs=1e-6)

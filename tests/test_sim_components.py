@@ -1,0 +1,218 @@
+"""Tests for the recorder, metrics, scenarios, system simulation and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_plot, extract_axes, format_overhead_table, format_table, oscillation_amplitude
+from repro.attacks import ControllerKillAttack, MemoryBandwidthAttack, UdpFloodAttack
+from repro.sim import (
+    ControllerPlacement,
+    FlightRecorder,
+    FlightSample,
+    FlightScenario,
+    SystemSimulation,
+    compute_metrics,
+)
+
+
+def make_sample(time, position, setpoint=(0.0, 0.0, -1.0), source="complex", crashed=False):
+    return FlightSample(
+        time=time,
+        position=np.asarray(position, dtype=float),
+        setpoint=np.asarray(setpoint, dtype=float),
+        velocity=np.zeros(3),
+        roll=0.0,
+        pitch=0.0,
+        yaw=0.0,
+        active_source=source,
+        crashed=crashed,
+    )
+
+
+def synthetic_recording(duration=20.0, rate=10.0, deviation=0.0, crash_at=None, switch_at=None):
+    recorder = FlightRecorder(sample_rate_hz=rate)
+    steps = int(duration * rate)
+    for index in range(steps):
+        t = index / rate
+        source = "safety" if switch_at is not None and t >= switch_at else "complex"
+        crashed = crash_at is not None and t >= crash_at
+        position = np.array([deviation * np.sin(t), 0.0, -1.0])
+        recorder.maybe_record(make_sample(t, position, source=source, crashed=crashed))
+    return recorder
+
+
+class TestFlightRecorder:
+    def test_decimation(self):
+        recorder = FlightRecorder(sample_rate_hz=10.0)
+        for index in range(1000):
+            recorder.maybe_record(make_sample(index * 0.001, (0.0, 0.0, -1.0)))
+        assert len(recorder) == pytest.approx(10, abs=1)
+
+    def test_axis_extraction_flips_z(self):
+        recorder = synthetic_recording(duration=2.0)
+        times, values, setpoints = recorder.axis("z")
+        assert np.allclose(values, 1.0)
+        assert np.allclose(setpoints, 1.0)
+
+    def test_switch_time_detection(self):
+        recorder = synthetic_recording(switch_at=5.0)
+        assert recorder.switch_time() == pytest.approx(5.0, abs=0.2)
+        assert synthetic_recording().switch_time() is None
+
+    def test_crash_time_detection(self):
+        recorder = synthetic_recording(crash_at=7.0)
+        assert recorder.crash_time() == pytest.approx(7.0, abs=0.2)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(sample_rate_hz=0.0)
+
+    def test_array_accessors_shapes(self):
+        recorder = synthetic_recording(duration=3.0)
+        assert recorder.positions().shape == (len(recorder), 3)
+        assert recorder.attitudes().shape == (len(recorder), 3)
+        assert len(recorder.sources()) == len(recorder)
+
+
+class TestFlightMetrics:
+    def test_empty_recording_rejected(self):
+        with pytest.raises(ValueError):
+            compute_metrics(FlightRecorder())
+
+    def test_stable_flight_metrics(self):
+        metrics = compute_metrics(synthetic_recording(deviation=0.01))
+        assert not metrics.crashed
+        assert metrics.recovered
+        assert metrics.max_deviation < 0.05
+
+    def test_crash_reported(self):
+        metrics = compute_metrics(synthetic_recording(crash_at=8.0))
+        assert metrics.crashed
+        assert metrics.crash_time == pytest.approx(8.0, abs=0.2)
+        assert not metrics.recovered
+
+    def test_large_persistent_deviation_is_not_recovered(self):
+        metrics = compute_metrics(synthetic_recording(deviation=2.0))
+        assert not metrics.recovered
+        assert metrics.max_deviation > 1.0
+
+    def test_event_time_restricts_after_metrics(self):
+        recorder = FlightRecorder(sample_rate_hz=10.0)
+        for index in range(200):
+            t = index / 10.0
+            deviation = 0.0 if t < 10.0 else 1.0
+            recorder.maybe_record(make_sample(t, (deviation, 0.0, -1.0)))
+        metrics = compute_metrics(recorder, event_time=10.0)
+        assert metrics.max_deviation_after == pytest.approx(1.0, abs=0.01)
+        assert metrics.rms_error_after > metrics.rms_error / 2.0
+
+    def test_switch_time_reported(self):
+        metrics = compute_metrics(synthetic_recording(switch_at=4.0))
+        assert metrics.switched_to_safety
+        assert metrics.switch_time == pytest.approx(4.0, abs=0.2)
+
+    def test_summary_mentions_crash(self):
+        metrics = compute_metrics(synthetic_recording(crash_at=5.0))
+        assert "CRASHED" in metrics.summary()
+
+
+class TestScenarios:
+    def test_figure4_configuration(self):
+        scenario = FlightScenario.figure4()
+        assert scenario.controller_placement == ControllerPlacement.HOST
+        assert not scenario.config.memory.enabled
+        assert isinstance(scenario.attacks[0], MemoryBandwidthAttack)
+
+    def test_figure5_configuration(self):
+        scenario = FlightScenario.figure5()
+        assert scenario.config.memory.enabled
+        assert scenario.controller_placement == ControllerPlacement.HOST
+
+    def test_figure6_configuration(self):
+        scenario = FlightScenario.figure6()
+        assert scenario.controller_placement == ControllerPlacement.CONTAINER
+        assert isinstance(scenario.attacks[0], ControllerKillAttack)
+        assert scenario.config.monitor.enabled
+
+    def test_figure7_configuration(self):
+        scenario = FlightScenario.figure7()
+        assert isinstance(scenario.attacks[0], UdpFloodAttack)
+        assert scenario.config.communication.iptables_enabled
+
+    def test_first_attack_time(self):
+        assert FlightScenario.baseline().first_attack_time() is None
+        assert FlightScenario.figure6().first_attack_time() == 12.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightScenario(duration=0.0)
+        with pytest.raises(ValueError):
+            FlightScenario(controller_placement="cloud")
+
+    def test_with_helpers(self):
+        scenario = FlightScenario.baseline().with_name("renamed")
+        assert scenario.name == "renamed"
+        scenario = scenario.with_attacks(ControllerKillAttack(start_time=3.0))
+        assert scenario.attacks[0].start_time == 3.0
+
+
+class TestSystemSimulation:
+    def test_native_idle_rates_match_table2_band(self):
+        simulation = SystemSimulation()
+        idle = simulation.run(5.0)
+        assert idle[0] == pytest.approx(0.95, abs=0.02)
+        assert all(rate == pytest.approx(0.99, abs=0.02) for rate in idle[1:])
+
+    def test_container_overhead_is_small(self):
+        simulation = SystemSimulation()
+        simulation.add_container()
+        idle = simulation.run(5.0)
+        assert min(idle) > 0.93
+
+    def test_vm_overhead_is_large(self):
+        simulation = SystemSimulation()
+        simulation.add_vm()
+        idle = simulation.run(5.0)
+        assert min(idle) < 0.85
+        assert np.mean(idle) < 0.90
+
+    def test_vm_case_is_worse_than_container_case(self):
+        container_sim = SystemSimulation()
+        container_sim.add_container()
+        vm_sim = SystemSimulation()
+        vm_sim.add_vm()
+        assert np.mean(vm_sim.run(5.0)) < np.mean(container_sim.run(5.0))
+
+
+class TestAnalysisHelpers:
+    def test_extract_axes_names(self):
+        recorder = synthetic_recording(duration=2.0)
+        axes = extract_axes(recorder)
+        assert [axis.name for axis in axes] == ["X", "Y", "Z"]
+
+    def test_oscillation_amplitude(self):
+        recorder = synthetic_recording(duration=10.0, deviation=0.5)
+        x_axis = extract_axes(recorder)[0]
+        amplitude = oscillation_amplitude(x_axis)
+        assert amplitude == pytest.approx(1.0, abs=0.15)
+
+    def test_oscillation_amplitude_window(self):
+        recorder = synthetic_recording(duration=10.0, deviation=0.5)
+        x_axis = extract_axes(recorder)[0]
+        assert oscillation_amplitude(x_axis, start=100.0) == 0.0
+
+    def test_ascii_plot_contains_series_markers(self):
+        recorder = synthetic_recording(duration=5.0, deviation=0.3)
+        plot = ascii_plot(extract_axes(recorder)[0])
+        assert "*" in plot
+        assert "X position" in plot
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+
+    def test_format_overhead_table(self):
+        text = format_overhead_table({"native": [0.95, 0.99], "vm": [0.86, 0.83]})
+        assert "CPU0" in text and "native" in text and "0.86" in text
