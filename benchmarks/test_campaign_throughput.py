@@ -1,0 +1,101 @@
+"""Campaign throughput benchmark: the ISSUE's 3-axis acceptance sweep.
+
+Runs the 2 MemGuard budgets x 2 attack starts x 3 seeds = 12-flight grid
+through the :class:`~repro.campaign.CampaignRunner` twice — serial and
+process-pool — and checks that
+
+* both runs complete with no failed variants,
+* serial and parallel summaries are *identical* (execution strategy must not
+  leak into results), and
+* on machines with at least four cores the pool is >= 1.5x faster than
+  serial (informational on smaller machines, where the pool cannot win).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.campaign import CampaignRunner, ScenarioGrid
+from repro.sim import FlightScenario
+
+#: Per-flight duration [s]; short enough to keep the benchmark affordable,
+#: long enough that each flight sees the attack start and settle.
+FLIGHT_DURATION = 3.0
+
+SPEEDUP_CORES = 4
+SPEEDUP_TARGET = 1.5
+
+
+def acceptance_grid() -> ScenarioGrid:
+    """The ISSUE's 3-axis sweep: 2 budgets x 2 attack starts x 3 seeds."""
+    return ScenarioGrid(
+        FlightScenario.figure5(duration=FLIGHT_DURATION).with_name("campaign-bench"),
+        axes={
+            "memguard_budget": [1500, 3000],
+            "attack_start": [1.0, 2.0],
+            "seed": [101, 102, 103],
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_runs():
+    """Fly the acceptance grid once serially and once on the pool."""
+    grid = acceptance_grid()
+    assert len(grid) == 12
+    serial = CampaignRunner(mode="serial").run(grid)
+    parallel = CampaignRunner(mode="parallel").run(grid)
+    return serial, parallel
+
+
+def test_serial_and_parallel_campaigns_agree(campaign_runs, report):
+    serial, parallel = campaign_runs
+    assert len(serial) == len(parallel) == 12
+    assert serial.failures() == ()
+    assert parallel.failures() == ()
+    # Execution strategy must not change results.
+    assert serial.summaries() == parallel.summaries()
+
+    cores = os.cpu_count() or 1
+    speedup = serial.wall_time / parallel.wall_time if parallel.wall_time else 0.0
+    rows = [
+        ["serial", f"{serial.wall_time:.1f} s", f"{serial.wall_time / 12:.2f} s"],
+        ["process pool", f"{parallel.wall_time:.1f} s", f"{parallel.wall_time / 12:.2f} s"],
+    ]
+    text = format_table(
+        ["Mode", "Campaign wall time", "Per flight"],
+        rows,
+        title=(
+            f"Campaign throughput: 12 x {FLIGHT_DURATION:.0f} s flights on "
+            f"{cores} core(s), speedup {speedup:.2f}x"
+        ),
+    )
+    report("campaign_throughput", text + "\n\n" + serial.to_text())
+
+
+def test_parallel_speedup(campaign_runs):
+    cores = os.cpu_count() or 1
+    serial, parallel = campaign_runs
+    speedup = serial.wall_time / parallel.wall_time if parallel.wall_time else 0.0
+    if cores < SPEEDUP_CORES:
+        pytest.skip(
+            f"speedup target needs >= {SPEEDUP_CORES} cores, "
+            f"machine has {cores} (measured {speedup:.2f}x)"
+        )
+    if os.environ.get("CI"):
+        # Shared CI runners are too noisy for a hard wall-clock gate: a
+        # contended VM measuring 1.4x would block unrelated PRs.  Report
+        # instead of asserting there; dedicated machines still enforce it.
+        if speedup < SPEEDUP_TARGET:
+            pytest.skip(
+                f"informational on CI: measured {speedup:.2f}x on {cores} cores "
+                f"(target {SPEEDUP_TARGET}x)"
+            )
+        return
+    assert speedup >= SPEEDUP_TARGET, (
+        f"parallel campaign only {speedup:.2f}x faster than serial "
+        f"on {cores} cores (target {SPEEDUP_TARGET}x)"
+    )

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario-campaign sweep: the Figure 5 experiment as a parameter grid.
+
+Instead of flying the paper's single hand-picked memory-DoS experiment, this
+example sweeps MemGuard budgets x attack start times x seeds with the
+``repro.campaign`` engine, fans the flights out over a process pool, and
+reports the crash rate and deviation statistics per grid cell.
+
+Usage::
+
+    python examples/campaign_sweep.py [--duration SECONDS] [--seeds N]
+        [--budgets B1,B2,...] [--attack-starts T1,T2,...] [--serial]
+        [--csv PATH] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import CampaignRunner, FlightScenario, ScenarioGrid
+
+
+def _floats(text: str) -> list[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _ints(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=12.0)
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of replicate seeds per grid cell")
+    parser.add_argument("--budgets", type=_ints, default=[1000, 3000],
+                        help="comma-separated MemGuard budgets [accesses/period]")
+    parser.add_argument("--attack-starts", type=_floats, default=[2.0, 4.0],
+                        help="comma-separated attack start times [s]")
+    parser.add_argument("--serial", action="store_true",
+                        help="force serial execution (default: process pool)")
+    parser.add_argument("--csv", type=str, default=None,
+                        help="write per-variant summaries to this CSV file")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the full campaign summary to this JSON file")
+    args = parser.parse_args()
+
+    base = FlightScenario.figure5(duration=args.duration)
+    grid = ScenarioGrid(base, axes={
+        "memguard_budget": args.budgets,
+        "attack_start": args.attack_starts,
+        "seed": list(range(args.seeds)),
+    })
+    mode = "serial" if args.serial else "auto"
+    print(f"Expanding {base.name}: "
+          f"{len(args.budgets)} budgets x {len(args.attack_starts)} attack starts "
+          f"x {args.seeds} seeds = {len(grid)} flights ({mode} mode)")
+
+    result = CampaignRunner(mode=mode).run(grid)
+
+    print()
+    print(result.to_text())
+    print()
+    print(f"Campaign wall time: {result.wall_time:.1f} s "
+          f"({result.wall_time / len(result):.1f} s per flight)")
+    for outcome in result.failures():
+        print(f"FAILED: {outcome.name}\n{outcome.error}")
+
+    if args.csv:
+        rows = result.to_csv(args.csv)
+        print(f"Wrote {rows} rows to {args.csv}")
+    if args.json:
+        result.to_json(args.json)
+        print(f"Wrote campaign JSON to {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,12 @@ Quick start::
     print(result.metrics.summary())
 """
 
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    ScenarioGrid,
+    run_campaign,
+)
 from .core import (
     ContainerDroneConfig,
     ContainerDroneFramework,
@@ -34,6 +40,8 @@ from .sim import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignResult",
+    "CampaignRunner",
     "ComplexController",
     "ContainerDroneConfig",
     "ContainerDroneFramework",
@@ -48,8 +56,10 @@ __all__ = [
     "QuadrotorParameters",
     "RigidBodyState",
     "SafetyController",
+    "ScenarioGrid",
     "SecurityMonitor",
     "SystemSimulation",
+    "run_campaign",
     "run_scenario",
     "__version__",
 ]

@@ -1,19 +1,38 @@
 """Analysis and reporting helpers for the reproduced experiments."""
 
-from .export import compare_results, recorder_to_rows, result_to_dict, write_csv
-from .report import format_figure_summary, format_overhead_table, format_table
+from .export import (
+    campaign_to_dict,
+    campaign_to_rows,
+    compare_results,
+    recorder_to_rows,
+    result_to_dict,
+    write_campaign_csv,
+    write_csv,
+)
+from .report import (
+    format_campaign_table,
+    format_figure_summary,
+    format_markdown_table,
+    format_overhead_table,
+    format_table,
+)
 from .trajectory import AxisSeries, ascii_plot, extract_axes, oscillation_amplitude
 
 __all__ = [
     "AxisSeries",
     "ascii_plot",
+    "campaign_to_dict",
+    "campaign_to_rows",
     "compare_results",
     "extract_axes",
+    "format_campaign_table",
     "format_figure_summary",
+    "format_markdown_table",
     "format_overhead_table",
     "format_table",
     "oscillation_amplitude",
     "recorder_to_rows",
     "result_to_dict",
+    "write_campaign_csv",
     "write_csv",
 ]

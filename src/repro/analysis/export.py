@@ -10,12 +10,23 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..sim.flight import FlightResult
 from ..sim.recorder import FlightRecorder
 
-__all__ = ["recorder_to_rows", "write_csv", "result_to_dict", "compare_results"]
+if TYPE_CHECKING:
+    from ..campaign.results import CampaignResult
+
+__all__ = [
+    "recorder_to_rows",
+    "write_csv",
+    "result_to_dict",
+    "compare_results",
+    "campaign_to_rows",
+    "campaign_to_dict",
+    "write_campaign_csv",
+]
 
 _FIELDS = [
     "time",
@@ -52,15 +63,15 @@ def recorder_to_rows(recorder: FlightRecorder) -> list[dict[str, Any]]:
     return rows
 
 
-def write_csv(recorder: FlightRecorder, destination: str | Path | io.TextIOBase) -> int:
-    """Write a recording as CSV; returns the number of data rows written.
-
-    ``destination`` may be a path or an open text file object.
-    """
-    rows = recorder_to_rows(recorder)
+def _write_rows(
+    rows: list[dict[str, Any]],
+    fields: list[str],
+    destination: str | Path | io.TextIOBase,
+) -> int:
+    """Write dictionaries as CSV to a path or open text file; returns row count."""
 
     def _write(handle) -> None:
-        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer = csv.DictWriter(handle, fieldnames=fields)
         writer.writeheader()
         writer.writerows(rows)
 
@@ -70,6 +81,14 @@ def write_csv(recorder: FlightRecorder, destination: str | Path | io.TextIOBase)
     else:
         _write(destination)
     return len(rows)
+
+
+def write_csv(recorder: FlightRecorder, destination: str | Path | io.TextIOBase) -> int:
+    """Write a recording as CSV; returns the number of data rows written.
+
+    ``destination`` may be a path or an open text file object.
+    """
+    return _write_rows(recorder_to_rows(recorder), _FIELDS, destination)
 
 
 def result_to_dict(result: FlightResult) -> dict[str, Any]:
@@ -90,6 +109,56 @@ def result_to_dict(result: FlightResult) -> dict[str, Any]:
         "rms_error_after": metrics.rms_error_after,
         "final_deviation": metrics.final_deviation,
         "recovered": metrics.recovered,
+    }
+
+
+def campaign_to_rows(campaign: "CampaignResult") -> list[dict[str, Any]]:
+    """Flatten a campaign into one summary row per flown variant.
+
+    Every row carries the same key set (the union of the axis names plus the
+    summary fields), so the rows are directly writable as CSV or loadable
+    into pandas.
+    """
+    rows = campaign.summaries()
+    fields: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    return [{field: row.get(field) for field in fields} for row in rows]
+
+
+def write_campaign_csv(
+    campaign: "CampaignResult", destination: str | Path | io.TextIOBase
+) -> int:
+    """Write per-variant campaign summaries as CSV; returns the row count."""
+    rows = campaign_to_rows(campaign)
+    fields = list(rows[0].keys()) if rows else ["variant"]
+    return _write_rows(rows, fields, destination)
+
+
+def campaign_to_dict(campaign: "CampaignResult") -> dict[str, Any]:
+    """Summarise a campaign as a JSON-serialisable dictionary."""
+    return {
+        "variants": len(campaign),
+        "failures": len(campaign.failures()),
+        "crash_rate": campaign.crash_rate(),
+        "wall_time": campaign.wall_time,
+        "rows": campaign_to_rows(campaign),
+        "cells": [
+            {
+                "cell": cell.label(),
+                "axes": dict(cell.axes),
+                "runs": cell.runs,
+                "failures": cell.failures,
+                "crash_rate": cell.crash_rate,
+                "mean_max_deviation": cell.mean_max_deviation,
+                "worst_max_deviation": cell.worst_max_deviation,
+                "mean_recovery_latency": cell.mean_recovery_latency,
+                "recovery_rate": cell.recovery_rate,
+            }
+            for cell in campaign.cells()
+        ],
     }
 
 

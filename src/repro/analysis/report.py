@@ -7,10 +7,20 @@ helpers format them consistently.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..sim.metrics import FlightMetrics
 
-__all__ = ["format_table", "format_figure_summary", "format_overhead_table"]
+if TYPE_CHECKING:
+    from ..campaign.results import CampaignResult
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_figure_summary",
+    "format_overhead_table",
+    "format_campaign_table",
+]
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
@@ -28,6 +38,57 @@ def format_table(headers: list[str], rows: list[list[str]], title: str | None = 
     for row in rows:
         lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _format_optional(value: float | None, pattern: str = "{:.2f}") -> str:
+    return pattern.format(value) if value is not None else "-"
+
+
+def format_campaign_table(campaign: "CampaignResult", markdown: bool = False) -> str:
+    """Render the per-cell aggregates of a campaign as a table.
+
+    One row per grid cell (combination of non-seed axes); the seeds of a cell
+    are replicates aggregated into crash/recovery rates and deviation stats.
+    """
+    headers = [
+        "Cell", "Runs", "Failed", "Crash rate", "Mean maxdev",
+        "Worst maxdev", "Mean latency", "Recovery rate",
+    ]
+    rows = []
+    for cell in campaign.cells():
+        rows.append([
+            cell.label(),
+            str(cell.runs),
+            str(cell.failures),
+            _format_optional(cell.crash_rate, "{:.0%}"),
+            _format_optional(cell.mean_max_deviation, "{:.2f} m"),
+            _format_optional(cell.worst_max_deviation, "{:.2f} m"),
+            _format_optional(cell.mean_recovery_latency, "{:.2f} s"),
+            _format_optional(cell.recovery_rate, "{:.0%}"),
+        ])
+    crash_rate = campaign.crash_rate()
+    title = (
+        f"Campaign summary ({len(campaign)} flights, "
+        f"{len(campaign.failures())} failed, crash rate "
+        f"{f'{crash_rate:.0%}' if crash_rate is not None else 'n/a'})"
+    )
+    renderer = format_markdown_table if markdown else format_table
+    return renderer(headers, rows, title=title)
 
 
 def format_overhead_table(results: dict[str, list[float]]) -> str:

@@ -9,7 +9,7 @@ they carry their activation time and parameters, and the flight simulation
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 __all__ = ["Attack"]
 
@@ -42,3 +42,23 @@ class Attack:
         if self.duration is None:
             return True
         return now < self.start_time + self.duration
+
+    # -- parameterization hooks (used by campaign sweep grids) -------------------
+
+    def with_start_time(self, start_time: float) -> "Attack":
+        """Copy of the attack rescheduled to begin at ``start_time``."""
+        return replace(self, start_time=float(start_time))
+
+    def with_params(self, **overrides) -> "Attack":
+        """Copy of the attack with the given dataclass fields replaced.
+
+        Unknown field names raise ``ValueError`` so a sweep grid with a typo
+        fails at expansion time instead of silently running the base attack.
+        """
+        valid = {spec.name for spec in fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise ValueError(
+                f"{type(self).__name__} has no parameter(s) {sorted(unknown)}"
+            )
+        return replace(self, **overrides)

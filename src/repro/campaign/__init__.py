@@ -1,0 +1,22 @@
+"""Scenario-campaign engine: sweep grids fanned out over worker processes.
+
+The paper evaluates four hand-picked experiments one at a time; this package
+turns the single-shot ``FlightScenario -> run_scenario`` path into a fleet
+runner.  See ``docs/campaigns.md`` for the sweep-grid syntax and examples.
+"""
+
+from .grid import AxisApplier, GridVariant, ScenarioGrid, register_axis
+from .results import CampaignCell, CampaignResult, VariantOutcome
+from .runner import CampaignRunner, run_campaign
+
+__all__ = [
+    "AxisApplier",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "GridVariant",
+    "ScenarioGrid",
+    "VariantOutcome",
+    "register_axis",
+    "run_campaign",
+]

@@ -1,0 +1,320 @@
+"""Declarative sweep grids over :class:`~repro.sim.scenario.FlightScenario`.
+
+A :class:`ScenarioGrid` turns one base scenario plus a set of named axes into
+the cartesian product of parameter combinations, each expanded into a fully
+configured, uniquely named scenario variant.  The paper's four hand-picked
+experiments become cells of a grid: instead of calling ``figure5()`` once, a
+campaign sweeps MemGuard budgets x attack start times x seeds and reports the
+crash rate per cell.
+
+Built-in axes (value semantics):
+
+``seed``
+    Random seed of the scenario (int).
+``attack_start``
+    Reschedules every attack of the base scenario to the given time [s].
+``memguard_budget``
+    CCE MemGuard budget in DRAM accesses per regulation period (int).
+``controller_placement``
+    ``"container"`` or ``"host"``.
+``memguard`` / ``monitor`` / ``iptables``
+    Protection toggles (bool).
+``duration`` / ``physics_dt`` / ``geofence_radius`` / ``record_hz`` /
+``initial_altitude``
+    Direct scenario-field overrides (float).
+
+Axes not listed above need an explicit applier callable, registered globally
+with :func:`register_axis` or passed per-grid via ``add_axis(applier=...)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping, Sequence
+
+from ..sim.scenario import FlightScenario
+from .results import SUMMARY_FIELDS
+
+__all__ = ["AxisApplier", "GridVariant", "ScenarioGrid", "register_axis"]
+
+#: Axis names that would collide with the per-variant summary columns
+#: (``seed`` is exempt: the seed axis and the summary's seed column agree by
+#: construction, since the applier writes the value into the scenario).
+RESERVED_AXIS_NAMES = frozenset({"variant", "error"} | set(SUMMARY_FIELDS))
+
+#: Applies one axis value to a scenario, returning the modified copy.
+AxisApplier = Callable[[FlightScenario, Any], FlightScenario]
+
+
+def _as_integral(axis: str, value: Any) -> int:
+    """Coerce to int, rejecting values that truncation would silently merge
+    (e.g. seeds 1 and 1.9 both becoming 1 — defeating the duplicate check)."""
+    try:
+        coerced = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"axis {axis!r} value {value!r} is not an integer") from None
+    if not _values_equal(coerced, value):
+        raise ValueError(
+            f"axis {axis!r} value {value!r} is not integral (would be "
+            f"truncated to {coerced})"
+        )
+    return coerced
+
+
+def _apply_seed(scenario: FlightScenario, value: Any) -> FlightScenario:
+    return scenario.with_seed(_as_integral("seed", value))
+
+
+def _apply_attack_start(scenario: FlightScenario, value: Any) -> FlightScenario:
+    if not scenario.attacks:
+        raise ValueError("attack_start axis requires a base scenario with attacks")
+    return scenario.with_attack_start(float(value))
+
+
+def _apply_memguard_budget(scenario: FlightScenario, value: Any) -> FlightScenario:
+    return scenario.with_config(
+        scenario.config.with_memguard_budget(_as_integral("memguard_budget", value))
+    )
+
+
+def _apply_controller_placement(scenario: FlightScenario, value: Any) -> FlightScenario:
+    return replace(scenario, controller_placement=str(value))
+
+
+def _make_protection_applier(protection: str) -> AxisApplier:
+    def _apply(scenario: FlightScenario, value: Any) -> FlightScenario:
+        return scenario.with_config(
+            scenario.config.with_protections(**{protection: bool(value)})
+        )
+
+    return _apply
+
+
+def _make_field_applier(field_name: str) -> AxisApplier:
+    def _apply(scenario: FlightScenario, value: Any) -> FlightScenario:
+        return replace(scenario, **{field_name: value})
+
+    return _apply
+
+
+#: Global registry of named axis appliers.
+_AXIS_APPLIERS: dict[str, AxisApplier] = {
+    "seed": _apply_seed,
+    "attack_start": _apply_attack_start,
+    "memguard_budget": _apply_memguard_budget,
+    "controller_placement": _apply_controller_placement,
+    "memguard": _make_protection_applier("memguard"),
+    "monitor": _make_protection_applier("monitor"),
+    "iptables": _make_protection_applier("iptables"),
+    "duration": _make_field_applier("duration"),
+    "physics_dt": _make_field_applier("physics_dt"),
+    "geofence_radius": _make_field_applier("geofence_radius"),
+    "record_hz": _make_field_applier("record_hz"),
+    "initial_altitude": _make_field_applier("initial_altitude"),
+}
+
+
+def register_axis(name: str, applier: AxisApplier) -> None:
+    """Register a custom named axis usable by every grid.
+
+    Names already in the registry (built-in or previously registered) are
+    rejected: silently shadowing e.g. the ``seed`` axis would change the
+    behaviour of every later campaign in the process while its reports
+    still show the original axis semantics.  To override an axis for one
+    grid, pass ``applier=...`` to :meth:`ScenarioGrid.add_axis` instead.
+    """
+    if not callable(applier):
+        raise TypeError("axis applier must be callable")
+    if name in RESERVED_AXIS_NAMES:
+        raise ValueError(
+            f"axis name {name!r} is reserved (it would collide with a "
+            "summary-export column)"
+        )
+    if name in _AXIS_APPLIERS:
+        raise ValueError(
+            f"axis {name!r} is already registered; use add_axis(applier=...) "
+            "for a per-grid override"
+        )
+    _AXIS_APPLIERS[name] = applier
+
+
+def _format_value(value: Any) -> str:
+    """Compact, name-safe rendering of an axis value."""
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, float):
+        text = f"{value:g}"
+    else:
+        text = str(value)
+    return text.replace("/", "-").replace(" ", "")
+
+
+def _values_equal(first: Any, second: Any) -> bool:
+    """Equality that tolerates exotic axis values (odd __eq__ implementations).
+
+    Deliberately matches plain ``==`` (so ``1`` and ``1.0`` are duplicates):
+    cell aggregation groups outcomes by axis-value equality, and two "distinct"
+    values that compare equal would silently merge into one cell.
+    """
+    try:
+        return bool(first == second)
+    except Exception:
+        return False
+
+
+def _axis_labels(values: tuple[Any, ...]) -> tuple[str, ...]:
+    """Name-safe labels, disambiguated when distinct values format alike
+    (e.g. floats equal to 6 significant digits under ``%g``)."""
+    labels: list[str] = []
+    for value in values:
+        label = _format_value(value)
+        if label in labels:
+            label = f"{label}#{len(labels)}"
+        labels.append(label)
+    return tuple(labels)
+
+
+@dataclass(frozen=True)
+class GridVariant:
+    """One expanded cell-and-replicate of a sweep grid.
+
+    Attributes
+    ----------
+    name:
+        Unique variant identifier, ``base/axis=value/...`` in axis order.
+    axes:
+        The axis assignment that produced this variant, as an ordered tuple
+        of ``(axis, value)`` pairs (hashable, so results can be grouped).
+    scenario:
+        The fully configured scenario to fly.
+    """
+
+    name: str
+    axes: tuple[tuple[str, Any], ...]
+    scenario: FlightScenario
+
+    def axis_dict(self) -> dict[str, Any]:
+        """Axis assignment as a plain dictionary."""
+        return dict(self.axes)
+
+
+class ScenarioGrid:
+    """Cartesian sweep of named axes over a base scenario.
+
+    Parameters
+    ----------
+    base:
+        Scenario every variant starts from.
+    axes:
+        Optional mapping of axis name to value sequence; equivalent to
+        calling :meth:`add_axis` for each entry in iteration order.
+    """
+
+    def __init__(
+        self,
+        base: FlightScenario,
+        axes: Mapping[str, Sequence[Any]] | None = None,
+    ) -> None:
+        if not isinstance(base, FlightScenario):
+            raise TypeError("base must be a FlightScenario")
+        self.base = base
+        self._axes: list[tuple[str, tuple[Any, ...], tuple[str, ...], AxisApplier]] = []
+        for name, values in (axes or {}).items():
+            self.add_axis(name, values)
+
+    def add_axis(
+        self,
+        name: str,
+        values: Sequence[Any],
+        applier: AxisApplier | None = None,
+    ) -> "ScenarioGrid":
+        """Add one sweep axis; returns ``self`` so calls can be chained.
+
+        ``applier`` overrides (or supplies, for unknown names) the function
+        that applies a value of this axis to a scenario.
+        """
+        if name in RESERVED_AXIS_NAMES:
+            raise ValueError(
+                f"axis name {name!r} is reserved (it would collide with a "
+                "summary-export column)"
+            )
+        if applier is None:
+            try:
+                applier = _AXIS_APPLIERS[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown axis {name!r}; register it with register_axis() "
+                    f"or pass applier=... (built-ins: {sorted(_AXIS_APPLIERS)})"
+                ) from None
+        if any(existing == name for existing, _, _, _ in self._axes):
+            raise ValueError(f"duplicate axis {name!r}")
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+        for index, value in enumerate(values):
+            try:
+                hash(value)
+            except TypeError:
+                raise TypeError(
+                    f"axis {name!r} value {value!r} is not hashable; cell "
+                    "aggregation groups on axis values, so use a hashable "
+                    "stand-in (e.g. a tuple or a label) and map it inside "
+                    "the applier"
+                ) from None
+            if any(_values_equal(value, other) for other in values[:index]):
+                raise ValueError(f"axis {name!r} has duplicate values: {values}")
+        self._axes.append((name, values, _axis_labels(values), applier))
+        return self
+
+    @property
+    def axis_names(self) -> tuple[str, ...]:
+        """Names of the sweep axes, in declaration order."""
+        return tuple(name for name, _, _, _ in self._axes)
+
+    def __len__(self) -> int:
+        """Number of variants the grid expands to."""
+        total = 1
+        for _, values, _, _ in self._axes:
+            total *= len(values)
+        return total
+
+    def variants(self) -> list[GridVariant]:
+        """Expand the grid into uniquely named scenario variants.
+
+        Expansion order is deterministic: the cartesian product iterates the
+        last-declared axis fastest (like nested for-loops in declaration
+        order).
+        """
+        if not self._axes:
+            return [GridVariant(name=self.base.name, axes=(), scenario=self.base)]
+        names = [name for name, _, _, _ in self._axes]
+        appliers = [applier for _, _, _, applier in self._axes]
+        variants: list[GridVariant] = []
+        seen: set[str] = set()
+        for combination in itertools.product(
+            *(zip(values, labels) for _, values, labels, _ in self._axes)
+        ):
+            scenario = self.base
+            parts = [self.base.name]
+            for axis_name, applier, (value, label) in zip(names, appliers, combination):
+                scenario = applier(scenario, value)
+                if not isinstance(scenario, FlightScenario):
+                    raise TypeError(
+                        f"applier for axis {axis_name!r} returned "
+                        f"{type(scenario).__name__}, expected FlightScenario"
+                    )
+                parts.append(f"{axis_name}={label}")
+            name = "/".join(parts)
+            if name in seen:
+                raise ValueError(f"duplicate variant name {name!r}")
+            seen.add(name)
+            variants.append(GridVariant(
+                name=name,
+                axes=tuple(
+                    (axis_name, value)
+                    for axis_name, (value, _) in zip(names, combination)
+                ),
+                scenario=scenario.with_name(name),
+            ))
+        return variants

@@ -1,0 +1,241 @@
+"""Aggregation layer over campaign outcomes.
+
+A :class:`CampaignResult` holds one :class:`VariantOutcome` per flown variant
+(in grid-expansion order) and derives the quantities a sweep is run for:
+per-cell crash rates, deviation statistics and recovery latencies, where a
+*cell* is one combination of the non-``seed`` axes and the seeds are its
+replicates.  Export goes through :mod:`repro.analysis.export` (CSV/JSON) and
+:mod:`repro.analysis.report` (text/markdown tables).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["VariantOutcome", "CampaignCell", "CampaignResult"]
+
+#: Summary keys every outcome row exposes, in export order.
+SUMMARY_FIELDS = (
+    "crashed",
+    "crash_time",
+    "switched_to_safety",
+    "switch_time",
+    "recovery_latency",
+    "first_violation_rule",
+    "max_deviation",
+    "max_deviation_after",
+    "rms_error",
+    "rms_error_after",
+    "final_deviation",
+    "recovered",
+)
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """Result of one variant: either a summary or a captured failure.
+
+    Attributes
+    ----------
+    name:
+        Variant name (unique within the campaign).
+    axes:
+        The grid-axis assignment that produced the variant.
+    seed:
+        Seed the variant flew with.
+    summary:
+        Flight summary dictionary (see ``repro.analysis.export.result_to_dict``
+        plus ``recovery_latency``); ``None`` when the variant failed.
+    error:
+        Traceback string when the variant raised; ``None`` on success.
+    wall_time:
+        Wall-clock execution time of the variant [s].  Excluded from
+        summary comparisons — it is the only non-deterministic field.
+    """
+
+    name: str
+    axes: tuple[tuple[str, Any], ...]
+    seed: int
+    summary: dict[str, Any] | None
+    error: str | None
+    wall_time: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the variant ran to completion."""
+        return self.error is None
+
+    def cell_key(self) -> tuple[tuple[str, Any], ...]:
+        """Axis assignment without the ``seed`` axis (seeds are replicates)."""
+        return tuple((axis, value) for axis, value in self.axes if axis != "seed")
+
+
+def _mean(values: list[float]) -> float | None:
+    return sum(values) / len(values) if values else None
+
+
+def _json_default(value: Any) -> Any:
+    """Unwrap numpy scalars (common axis values, e.g. from ``np.arange``)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"Object of type {type(value).__name__} is not JSON serializable")
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """Aggregate over the replicates (seeds) of one grid cell.
+
+    Rates are ``None`` when no replicate of the cell completed — a cell with
+    no data has no crash/recovery rate (same rationale as
+    :meth:`CampaignResult.crash_rate`).
+    """
+
+    axes: tuple[tuple[str, Any], ...]
+    runs: int
+    failures: int
+    crash_rate: float | None
+    mean_max_deviation: float | None
+    worst_max_deviation: float | None
+    mean_recovery_latency: float | None
+    recovery_rate: float | None
+
+    def label(self) -> str:
+        """Compact ``axis=value`` rendering of the cell coordinates."""
+        if not self.axes:
+            return "(all)"
+        return " ".join(f"{axis}={value}" for axis, value in self.axes)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All outcomes of one campaign run, in grid-expansion order."""
+
+    outcomes: tuple[VariantOutcome, ...]
+    #: Wall-clock time of the whole campaign [s].
+    wall_time: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    # -- selection ---------------------------------------------------------------
+
+    def successes(self) -> tuple[VariantOutcome, ...]:
+        """Outcomes that ran to completion."""
+        return tuple(outcome for outcome in self.outcomes if outcome.ok)
+
+    def failures(self) -> tuple[VariantOutcome, ...]:
+        """Outcomes whose variant raised."""
+        return tuple(outcome for outcome in self.outcomes if not outcome.ok)
+
+    def __getitem__(self, name: str) -> VariantOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(name)
+
+    # -- aggregates --------------------------------------------------------------
+
+    def crash_rate(self) -> float | None:
+        """Fraction of completed flights that crashed.
+
+        ``None`` when no flight completed — a campaign with no data has no
+        crash rate, and reporting 0% would read as "all survived".
+        """
+        completed = self.successes()
+        if not completed:
+            return None
+        crashed = sum(1 for outcome in completed if outcome.summary["crashed"])
+        return crashed / len(completed)
+
+    def summaries(self) -> list[dict[str, Any]]:
+        """Deterministic per-variant rows (no wall times): name, axes, seed,
+        error flag and the summary fields.
+
+        Two campaign runs over the same variants produce identical summaries
+        regardless of serial/parallel execution, which is what the equality
+        tests and the reproducibility guarantee rely on.
+        """
+        rows: list[dict[str, Any]] = []
+        for outcome in self.outcomes:
+            row: dict[str, Any] = {"variant": outcome.name}
+            row.update(outcome.axes)
+            row["seed"] = outcome.seed
+            row["error"] = (
+                outcome.error.strip().splitlines()[-1] if outcome.error else None
+            )
+            for field in SUMMARY_FIELDS:
+                row[field] = outcome.summary[field] if outcome.summary else None
+            rows.append(row)
+        return rows
+
+    def cells(self) -> list[CampaignCell]:
+        """Aggregate outcomes per grid cell (non-``seed`` axes), preserving
+        first-appearance order."""
+        grouped: dict[tuple[tuple[str, Any], ...], list[VariantOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.cell_key(), []).append(outcome)
+        cells = []
+        for key, members in grouped.items():
+            completed = [outcome for outcome in members if outcome.ok]
+            crashed = [outcome for outcome in completed if outcome.summary["crashed"]]
+            recovered = [outcome for outcome in completed if outcome.summary["recovered"]]
+            max_deviations = [
+                outcome.summary["max_deviation"] for outcome in completed
+            ]
+            latencies = [
+                outcome.summary["recovery_latency"]
+                for outcome in completed
+                if outcome.summary["recovery_latency"] is not None
+            ]
+            cells.append(CampaignCell(
+                axes=key,
+                runs=len(members),
+                failures=len(members) - len(completed),
+                crash_rate=len(crashed) / len(completed) if completed else None,
+                mean_max_deviation=_mean(max_deviations),
+                worst_max_deviation=max(max_deviations) if max_deviations else None,
+                mean_recovery_latency=_mean(latencies),
+                recovery_rate=len(recovered) / len(completed) if completed else None,
+            ))
+        return cells
+
+    # -- export ------------------------------------------------------------------
+
+    def to_csv(self, destination: str | Path | io.TextIOBase) -> int:
+        """Write the per-variant summary rows as CSV; returns the row count."""
+        from ..analysis.export import write_campaign_csv
+
+        return write_campaign_csv(self, destination)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable campaign summary (variants + cells + aggregates)."""
+        from ..analysis.export import campaign_to_dict
+
+        return campaign_to_dict(self)
+
+    def to_json(self, destination: str | Path | None = None, indent: int = 2) -> str:
+        """Serialise :meth:`to_dict` as JSON, optionally writing it to a file."""
+        text = json.dumps(self.to_dict(), indent=indent, default=_json_default)
+        if destination is not None:
+            Path(destination).write_text(text + "\n")
+        return text
+
+    def to_markdown(self) -> str:
+        """Markdown table of the per-cell aggregates."""
+        from ..analysis.report import format_campaign_table
+
+        return format_campaign_table(self, markdown=True)
+
+    def to_text(self) -> str:
+        """Fixed-width text table of the per-cell aggregates."""
+        from ..analysis.report import format_campaign_table
+
+        return format_campaign_table(self, markdown=False)

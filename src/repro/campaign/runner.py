@@ -1,0 +1,210 @@
+"""Campaign execution: fan a set of scenario variants out over workers.
+
+The runner executes each :class:`~repro.campaign.grid.GridVariant` in its own
+:class:`~repro.sim.flight.FlightSimulation` and collects one
+:class:`VariantOutcome` per variant.  Execution is embarrassingly parallel —
+every variant carries its full configuration (including its seed) in the
+pickled scenario, so results are identical whether the campaign runs serially
+or on a process pool, and independent of completion order.
+
+Failure isolation: a variant that raises is captured as an outcome with a
+``error`` traceback string; the rest of the campaign keeps running.  If the
+process pool itself cannot be used (no fork support, pickling failure, broken
+pool), the runner falls back to serial execution rather than failing the
+campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..sim.flight import FlightResult, run_scenario
+from ..sim.scenario import FlightScenario
+from .grid import RESERVED_AXIS_NAMES, GridVariant, ScenarioGrid
+from .results import CampaignResult, VariantOutcome
+
+__all__ = ["CampaignRunner", "run_campaign"]
+
+
+def _summarise(variant: GridVariant, result: FlightResult) -> dict[str, Any]:
+    """Build the per-variant summary dictionary shipped back to the parent.
+
+    Summaries (not full results) cross the process boundary: they are small,
+    cheap to pickle and enough for the aggregation layer.  ``recovery_latency``
+    is the time from the first attack to the Simplex switch, the paper's
+    "how fast does the defence react" quantity.
+    """
+    from ..analysis.export import result_to_dict
+
+    summary = result_to_dict(result)
+    attack_time = variant.scenario.first_attack_time()
+    if attack_time is not None and summary["switch_time"] is not None:
+        summary["recovery_latency"] = summary["switch_time"] - attack_time
+    else:
+        summary["recovery_latency"] = None
+    return summary
+
+
+def _execute_variant(variant: GridVariant) -> VariantOutcome:
+    """Run one variant, capturing any failure as data (module-level so the
+    process pool can pickle it)."""
+    start = time.perf_counter()
+    try:
+        result = run_scenario(variant.scenario)
+        summary = _summarise(variant, result)
+        error = None
+    except Exception:
+        summary = None
+        error = traceback.format_exc()
+    return VariantOutcome(
+        name=variant.name,
+        axes=variant.axes,
+        seed=variant.scenario.seed,
+        summary=summary,
+        error=error,
+        wall_time=time.perf_counter() - start,
+    )
+
+
+def _as_variants(
+    campaign: ScenarioGrid | Iterable[GridVariant | FlightScenario],
+) -> list[GridVariant]:
+    if isinstance(campaign, ScenarioGrid):
+        return campaign.variants()
+    variants: list[GridVariant] = []
+    seen: set[str] = set()
+    for entry in campaign:
+        if isinstance(entry, FlightScenario):
+            entry = GridVariant(name=entry.name, axes=(), scenario=entry)
+        elif not isinstance(entry, GridVariant):
+            raise TypeError(
+                f"expected FlightScenario or GridVariant, got {type(entry).__name__}"
+            )
+        if entry.name in seen:
+            raise ValueError(f"duplicate variant name {entry.name!r}")
+        # Hand-built variants bypass ScenarioGrid.add_axis, so enforce its
+        # guards here too: reserved names would be silently overwritten by
+        # the summary fields in exports, and unhashable values would only
+        # blow up in cell aggregation after the whole campaign has flown.
+        for axis_name, axis_value in entry.axes:
+            if axis_name in RESERVED_AXIS_NAMES:
+                raise ValueError(
+                    f"variant {entry.name!r} uses reserved axis name "
+                    f"{axis_name!r} (it would collide with a summary-export "
+                    "column)"
+                )
+            try:
+                hash(axis_value)
+            except TypeError:
+                raise TypeError(
+                    f"variant {entry.name!r} axis {axis_name!r} value "
+                    f"{axis_value!r} is not hashable; cell aggregation "
+                    "groups on axis values"
+                ) from None
+            if axis_name == "seed" and axis_value != entry.scenario.seed:
+                # The summary's seed column reports the scenario's seed; a
+                # declared seed axis that disagrees would silently vanish.
+                raise ValueError(
+                    f"variant {entry.name!r} declares seed axis value "
+                    f"{axis_value!r} but its scenario flies with seed "
+                    f"{entry.scenario.seed}"
+                )
+        seen.add(entry.name)
+        variants.append(entry)
+    return variants
+
+
+@dataclass(frozen=True)
+class CampaignRunner:
+    """Executes a campaign of scenario variants.
+
+    Attributes
+    ----------
+    max_workers:
+        Process-pool size; ``None`` uses the CPU count (capped at the number
+        of variants).
+    mode:
+        ``"auto"`` picks the process pool when the machine has more than one
+        core and the campaign more than one variant; ``"parallel"`` and
+        ``"serial"`` force the choice.
+    """
+
+    max_workers: int | None = None
+    mode: str = "auto"
+
+    _MODES = ("auto", "parallel", "serial")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+    def run(
+        self, campaign: ScenarioGrid | Iterable[GridVariant | FlightScenario]
+    ) -> CampaignResult:
+        """Execute every variant and return the aggregated campaign result.
+
+        Outcome order always matches variant (grid-expansion) order, never
+        completion order.
+        """
+        variants = _as_variants(campaign)
+        start = time.perf_counter()
+        if self._use_parallel(variants):
+            outcomes = self._run_parallel(variants)
+        else:
+            outcomes = [_execute_variant(variant) for variant in variants]
+        return CampaignResult(
+            outcomes=tuple(outcomes),
+            wall_time=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------ internal --
+
+    def _use_parallel(self, variants: Sequence[GridVariant]) -> bool:
+        if self.mode == "serial" or len(variants) < 2:
+            return False
+        if self.max_workers == 1:
+            # A one-worker pool pays spawn + pickling for zero concurrency.
+            return False
+        if self.mode == "parallel":
+            return True
+        return (os.cpu_count() or 1) > 1
+
+    def _run_parallel(self, variants: Sequence[GridVariant]) -> list[VariantOutcome]:
+        workers = min(self.max_workers or os.cpu_count() or 1, len(variants))
+        outcomes: list[VariantOutcome] = []
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for outcome in pool.map(_execute_variant, variants):
+                    outcomes.append(outcome)
+        except Exception as exc:
+            # Pool-level failure (fork unavailable, pickling, broken pool):
+            # keep what already completed, finish the rest serially, and tell
+            # the user the speedup is gone.
+            warnings.warn(
+                f"campaign process pool failed after {len(outcomes)}/"
+                f"{len(variants)} variants ({type(exc).__name__}: {exc}); "
+                "finishing the remaining variants serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            outcomes.extend(
+                _execute_variant(variant) for variant in variants[len(outcomes):]
+            )
+        return outcomes
+
+
+def run_campaign(
+    campaign: ScenarioGrid | Iterable[GridVariant | FlightScenario],
+    max_workers: int | None = None,
+    mode: str = "auto",
+) -> CampaignResult:
+    """Convenience helper: run ``campaign`` with a fresh :class:`CampaignRunner`."""
+    return CampaignRunner(max_workers=max_workers, mode=mode).run(campaign)

@@ -153,3 +153,51 @@ class ContainerDroneConfig:
         return replace(
             self, communication=replace(self.communication, iptables_enabled=False)
         )
+
+    # -- parameterization hooks (used by campaign sweep grids) -------------------
+
+    def with_memguard_budget(self, accesses_per_period: int) -> "ContainerDroneConfig":
+        """Copy of the configuration with a different CCE MemGuard budget.
+
+        The budget is a count of DRAM accesses per period; non-integral
+        values are rejected rather than silently truncated.
+        """
+        coerced = int(accesses_per_period)
+        if coerced != accesses_per_period:
+            raise ValueError(
+                f"MemGuard budget must be integral, got {accesses_per_period!r}"
+            )
+        accesses_per_period = coerced
+        if accesses_per_period <= 0:
+            raise ValueError("MemGuard budget must be positive")
+        return replace(
+            self,
+            memory=replace(
+                self.memory, cce_budget_accesses_per_period=accesses_per_period
+            ),
+        )
+
+    def with_protections(
+        self,
+        memguard: bool | None = None,
+        monitor: bool | None = None,
+        iptables: bool | None = None,
+    ) -> "ContainerDroneConfig":
+        """Copy of the configuration with individual protections toggled.
+
+        ``None`` leaves a protection unchanged, so sweep axes can toggle one
+        mechanism without having to restate the others.
+        """
+        config = self
+        if memguard is not None:
+            config = replace(config, memory=replace(config.memory, enabled=bool(memguard)))
+        if monitor is not None:
+            config = replace(config, monitor=replace(config.monitor, enabled=bool(monitor)))
+        if iptables is not None:
+            config = replace(
+                config,
+                communication=replace(
+                    config.communication, iptables_enabled=bool(iptables)
+                ),
+            )
+        return config

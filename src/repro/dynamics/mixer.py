@@ -49,6 +49,17 @@ class QuadGeometry:
             raise ValueError("spin_directions must have four entries")
         if any(direction not in (-1, 1) for direction in self.spin_directions):
             raise ValueError("spin directions must be +1 or -1")
+        # Normalize to a tuple so the frozen geometry stays hashable even
+        # when a list is passed in.
+        object.__setattr__(self, "spin_directions", tuple(self.spin_directions))
+        # Rotor positions as plain float tuples, precomputed once: the mixer
+        # reads them at the physics rate and scalar indexing beats ndarray
+        # access there.
+        object.__setattr__(
+            self,
+            "_position_tuples",
+            tuple(tuple(float(v) for v in row) for row in self.rotor_positions),
+        )
 
     @property
     def rotor_positions(self) -> np.ndarray:
@@ -91,12 +102,19 @@ def forces_and_torques(
 
     force = np.array([0.0, 0.0, -float(np.sum(thrusts))])
 
-    torque = np.zeros(3)
-    positions = geometry.rotor_positions
+    # Thrust acts along body -Z, so cross(p, [0, 0, -T]) reduces to
+    # (-p_y T, p_x T, 0); the scalar accumulation below keeps the exact
+    # summation order of the generic formulation while avoiding the
+    # per-rotor np.cross calls that dominated the flight hot path.
+    positions = geometry._position_tuples
+    torque_x = 0.0
+    torque_y = 0.0
+    torque_z = 0.0
     for index in range(4):
-        rotor_force = np.array([0.0, 0.0, -thrusts[index]])
-        torque += np.cross(positions[index], rotor_force)
+        thrust = float(thrusts[index])
+        torque_x += positions[index][1] * -thrust
+        torque_y += -(positions[index][0] * -thrust)
         # A CCW rotor (+1, viewed from above) is driven against its drag, so
         # the reaction torque on the airframe is positive yaw (nose right).
-        torque[2] += geometry.spin_directions[index] * reaction_torques[index]
-    return force, torque
+        torque_z += geometry.spin_directions[index] * float(reaction_torques[index])
+    return force, np.array([torque_x, torque_y, torque_z])

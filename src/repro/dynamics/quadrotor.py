@@ -148,18 +148,25 @@ class Quadrotor:
 
             omega = state.angular_velocity
             drag_torque = -params.angular_drag * omega
+            # Gyroscopic term omega x (I omega), expanded component-wise: the
+            # generic np.cross carries broadcasting machinery that dominated
+            # the flight hot path.
+            inertia_omega = params.inertia @ omega
+            gyroscopic = np.array([
+                omega[1] * inertia_omega[2] - omega[2] * inertia_omega[1],
+                omega[2] * inertia_omega[0] - omega[0] * inertia_omega[2],
+                omega[0] * inertia_omega[1] - omega[1] * inertia_omega[0],
+            ])
             angular_acceleration = self._inertia_inv @ (
-                torque_body + drag_torque - np.cross(omega, params.inertia @ omega)
+                torque_body + drag_torque - gyroscopic
             )
 
-            return np.concatenate(
-                [
-                    state.velocity,
-                    acceleration,
-                    quat_derivative(quat, omega),
-                    angular_acceleration,
-                ]
-            )
+            derivative = np.empty(13)
+            derivative[0:3] = state.velocity
+            derivative[3:6] = acceleration
+            derivative[6:10] = quat_derivative(quat, omega)
+            derivative[10:13] = angular_acceleration
+            return derivative
 
         return f
 

@@ -118,7 +118,11 @@ class FlightSimulation:
 
         # -- physical plant and sensors ------------------------------------------
         setpoint_position = np.asarray(scenario.setpoint.position, dtype=float)
-        initial_state = RigidBodyState(position=setpoint_position.copy())
+        initial_position = setpoint_position.copy()
+        if scenario.initial_altitude is not None:
+            # NED: altitude is -z.
+            initial_position[2] = -scenario.initial_altitude
+        initial_state = RigidBodyState(position=initial_position)
         self.plant = Quadrotor(QuadrotorParameters(), initial_state=initial_state)
         self.plant.arm()
 
@@ -160,7 +164,7 @@ class FlightSimulation:
         self._geofence_time: float | None = None
         self._controller_killed = False
 
-        self.recorder = FlightRecorder(sample_rate_hz=50.0)
+        self.recorder = FlightRecorder(sample_rate_hz=scenario.record_hz)
 
         self._hce_core_io = min(config.cpu.hce_cores)
         remaining = sorted(config.cpu.hce_cores - {self._hce_core_io})

@@ -59,6 +59,15 @@ class FlightScenario:
         Physics/scheduler step [s].
     seed:
         Seed for all stochastic components.
+    record_hz:
+        Telemetry decimation rate [Hz].  The default matches the paper's
+        50 Hz log rate; campaign sweeps may lower it to make hundreds of
+        flights affordable (fewer samples recorded and post-processed).
+        Note that metrics are derived from the decimated recording, so a
+        coarser rate also coarsens them (event times quantise to the sample
+        period, deviation peaks between samples are missed) — compare
+        metrics across flights only at equal ``record_hz``, and keep the
+        default when comparing against the paper's 50 Hz baselines.
     """
 
     name: str = "hover"
@@ -72,13 +81,24 @@ class FlightScenario:
     #: Deviation from the setpoint at which the flight counts as a crash
     #: (the drone has left the motion-capture volume / hit the lab wall) [m].
     geofence_radius: float = 6.0
-    initial_altitude: float = 1.0
+    #: Starting altitude [m]; ``None`` (the default) starts the flight at the
+    #: setpoint altitude, a non-``None`` value starts it there instead (the
+    #: drone then has to climb/descend to the setpoint).
+    initial_altitude: float | None = None
+    #: Telemetry recording rate [Hz] (see class docstring).
+    record_hz: float = 50.0
 
     def __post_init__(self) -> None:
         if self.duration <= 0.0:
             raise ValueError("duration must be positive")
         if self.physics_dt <= 0.0:
             raise ValueError("physics_dt must be positive")
+        if self.geofence_radius <= 0.0:
+            raise ValueError("geofence_radius must be positive")
+        if self.initial_altitude is not None and self.initial_altitude < 0.0:
+            raise ValueError("initial_altitude must be non-negative")
+        if self.record_hz <= 0.0:
+            raise ValueError("record_hz must be positive")
         if self.controller_placement not in (
             ControllerPlacement.CONTAINER,
             ControllerPlacement.HOST,
@@ -155,6 +175,17 @@ class FlightScenario:
     def with_name(self, name: str) -> "FlightScenario":
         """Copy of the scenario under a different name."""
         return replace(self, name=name)
+
+    def with_seed(self, seed: int) -> "FlightScenario":
+        """Copy of the scenario with a different random seed."""
+        return replace(self, seed=int(seed))
+
+    def with_attack_start(self, start_time: float) -> "FlightScenario":
+        """Copy of the scenario with every attack rescheduled to ``start_time``."""
+        return replace(
+            self,
+            attacks=tuple(attack.with_start_time(start_time) for attack in self.attacks),
+        )
 
     def first_attack_time(self) -> float | None:
         """Start time of the earliest attack, if any."""

@@ -30,6 +30,22 @@ class TestAttackBase:
     def test_name_is_class_name(self):
         assert MemoryBandwidthAttack().name == "MemoryBandwidthAttack"
 
+    def test_with_start_time_returns_rescheduled_copy(self):
+        attack = MemoryBandwidthAttack(start_time=10.0)
+        moved = attack.with_start_time(4.0)
+        assert moved.start_time == 4.0
+        assert attack.start_time == 10.0
+        assert isinstance(moved, MemoryBandwidthAttack)
+        assert moved.access_rate == attack.access_rate
+
+    def test_with_params_overrides_fields(self):
+        attack = UdpFloodAttack(start_time=8.0).with_params(start_time=2.0)
+        assert attack.start_time == 2.0
+
+    def test_with_params_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            MemoryBandwidthAttack().with_params(warp_factor=9)
+
 
 class TestMemoryBandwidthAttack:
     def test_task_is_memory_bound_and_continuous(self):

@@ -1,0 +1,409 @@
+"""Tests for the scenario-campaign engine (repro.campaign).
+
+Covers grid expansion and naming, axis appliers, serial-vs-parallel result
+equality, per-variant failure isolation and the aggregation/export layer.
+Flights here are deliberately tiny (fractions of a second) — full-length
+sweeps live in the benchmarks.
+"""
+
+import io
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.attacks import ControllerKillAttack, MemoryBandwidthAttack
+from repro.campaign import (
+    CampaignRunner,
+    GridVariant,
+    ScenarioGrid,
+    register_axis,
+    run_campaign,
+)
+from repro.sim import ControllerPlacement, FlightScenario
+
+
+def tiny_scenario(**kwargs) -> FlightScenario:
+    defaults = dict(name="tiny", duration=0.5, record_hz=20.0)
+    defaults.update(kwargs)
+    return FlightScenario(**defaults)
+
+
+def _break_cpuset(scenario: FlightScenario, value) -> FlightScenario:
+    """Axis applier producing variants that fail inside FlightSimulation."""
+    if not value:
+        return scenario
+    config = scenario.config
+    return scenario.with_config(
+        replace(config, cpu=replace(config.cpu, cce_cores=frozenset()))
+    )
+
+
+class TestGridExpansion:
+    def test_cartesian_count(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={
+            "seed": [1, 2, 3],
+            "duration": [0.5, 1.0],
+            "monitor": [True, False],
+        })
+        assert len(grid) == 12
+        assert len(grid.variants()) == 12
+
+    def test_no_axes_yields_base(self):
+        grid = ScenarioGrid(tiny_scenario())
+        variants = grid.variants()
+        assert len(grid) == len(variants) == 1
+        assert variants[0].scenario.name == "tiny"
+        assert variants[0].scenario.seed == tiny_scenario().seed
+        assert variants[0].axes == ()
+
+    def test_names_are_unique_and_structured(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={
+            "seed": [1, 2],
+            "memguard": [True, False],
+        })
+        names = [variant.name for variant in grid.variants()]
+        assert len(set(names)) == 4
+        assert "tiny/seed=1/memguard=on" in names
+        assert "tiny/seed=2/memguard=off" in names
+
+    def test_variant_scenario_is_named_after_variant(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [5]})
+        variant = grid.variants()[0]
+        assert variant.scenario.name == variant.name
+
+    def test_expansion_order_is_deterministic(self):
+        axes = {"seed": [1, 2], "duration": [0.5, 1.0]}
+        first = [v.name for v in ScenarioGrid(tiny_scenario(), axes=axes).variants()]
+        second = [v.name for v in ScenarioGrid(tiny_scenario(), axes=axes).variants()]
+        assert first == second
+        # Last axis iterates fastest, like nested loops.
+        assert first[0].endswith("seed=1/duration=0.5")
+        assert first[1].endswith("seed=1/duration=1")
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate values"):
+            ScenarioGrid(tiny_scenario(), axes={"seed": [1, 1]})
+
+    def test_equal_values_of_mixed_types_are_duplicates(self):
+        # 1 == 1.0 for dict keys, so cell aggregation would merge them into
+        # one cell; the grid must reject them as duplicates up front.
+        with pytest.raises(ValueError, match="duplicate values"):
+            ScenarioGrid(tiny_scenario(), axes={"duration": [1, 1.0]})
+
+    def test_close_floats_are_distinct_values(self):
+        # Distinct values that %g-format identically must expand to distinct,
+        # uniquely named variants, not be rejected as duplicates.
+        grid = ScenarioGrid(
+            tiny_scenario(), axes={"duration": [10.0000001, 10.0000002]}
+        )
+        variants = grid.variants()
+        assert len(variants) == 2
+        names = {v.name for v in variants}
+        assert len(names) == 2
+        assert [v.scenario.duration for v in variants] == [10.0000001, 10.0000002]
+
+    def test_duplicate_axis_name_rejected(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1]})
+        with pytest.raises(ValueError, match="duplicate axis"):
+            grid.add_axis("seed", [2])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ScenarioGrid(tiny_scenario(), axes={"seed": []})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(KeyError, match="unknown axis"):
+            ScenarioGrid(tiny_scenario(), axes={"warp_factor": [9]})
+
+    def test_reserved_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            ScenarioGrid(tiny_scenario()).add_axis(
+                "crashed", [True], applier=lambda s, v: s
+            )
+        with pytest.raises(ValueError, match="reserved"):
+            register_axis("variant", lambda s, v: s)
+
+    def test_unhashable_axis_values_rejected_at_declaration(self):
+        # Cell aggregation groups on axis values; fail at add_axis, not
+        # after the whole campaign has flown.
+        with pytest.raises(TypeError, match="not hashable"):
+            ScenarioGrid(tiny_scenario()).add_axis(
+                "wind", [[1, 0], [0, 1]], applier=lambda s, v: s
+            )
+
+    def test_base_must_be_scenario(self):
+        with pytest.raises(TypeError):
+            ScenarioGrid("not-a-scenario", axes={"seed": [1]})
+
+
+class TestAxisAppliers:
+    def test_seed_axis(self):
+        variants = ScenarioGrid(tiny_scenario(), axes={"seed": [7, 8]}).variants()
+        assert [v.scenario.seed for v in variants] == [7, 8]
+
+    def test_integer_axes_reject_non_integral_values(self):
+        # int() truncation would merge "distinct" values (seeds 1 and 1.9
+        # both flying as seed 1), silently double-counting a replicate.
+        with pytest.raises(ValueError, match="not integral"):
+            ScenarioGrid(tiny_scenario(), axes={"seed": [1, 1.9]}).variants()
+        with pytest.raises(ValueError, match="not integral"):
+            ScenarioGrid(
+                tiny_scenario(), axes={"memguard_budget": [1500.2]}
+            ).variants()
+        # Integral floats and numpy ints are fine.
+        variants = ScenarioGrid(tiny_scenario(), axes={"seed": [2.0]}).variants()
+        assert variants[0].scenario.seed == 2
+
+    def test_memguard_budget_axis(self):
+        variants = ScenarioGrid(
+            tiny_scenario(), axes={"memguard_budget": [1111, 2222]}
+        ).variants()
+        budgets = [
+            v.scenario.config.memory.cce_budget_accesses_per_period for v in variants
+        ]
+        assert budgets == [1111, 2222]
+
+    def test_attack_start_axis_moves_all_attacks(self):
+        base = tiny_scenario(attacks=(
+            MemoryBandwidthAttack(start_time=5.0),
+            ControllerKillAttack(start_time=9.0),
+        ))
+        variant = ScenarioGrid(base, axes={"attack_start": [0.25]}).variants()[0]
+        assert all(a.start_time == 0.25 for a in variant.scenario.attacks)
+
+    def test_attack_start_requires_attacks(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"attack_start": [1.0]})
+        with pytest.raises(ValueError, match="requires a base scenario with attacks"):
+            grid.variants()
+
+    def test_controller_placement_axis(self):
+        variants = ScenarioGrid(
+            tiny_scenario(),
+            axes={"controller_placement": [
+                ControllerPlacement.CONTAINER, ControllerPlacement.HOST,
+            ]},
+        ).variants()
+        assert [v.scenario.controller_placement for v in variants] == [
+            "container", "host",
+        ]
+
+    def test_protection_toggle_axes(self):
+        variants = ScenarioGrid(
+            tiny_scenario(), axes={"memguard": [True, False], "monitor": [False]}
+        ).variants()
+        assert variants[0].scenario.config.memory.enabled is True
+        assert variants[1].scenario.config.memory.enabled is False
+        assert all(not v.scenario.config.monitor.enabled for v in variants)
+
+    def test_custom_applier_per_grid(self):
+        grid = ScenarioGrid(tiny_scenario()).add_axis(
+            "fence", [2.0, 4.0],
+            applier=lambda s, v: replace(s, geofence_radius=v),
+        )
+        assert [v.scenario.geofence_radius for v in grid.variants()] == [2.0, 4.0]
+
+    def test_registered_custom_axis(self, monkeypatch):
+        from repro.campaign import grid as grid_module
+
+        # Register on a copy so the process-wide registry stays pristine.
+        monkeypatch.setattr(
+            grid_module, "_AXIS_APPLIERS", dict(grid_module._AXIS_APPLIERS)
+        )
+        register_axis("tight_fence", lambda s, v: replace(s, geofence_radius=float(v)))
+        variant = ScenarioGrid(tiny_scenario(), axes={"tight_fence": [3.0]}).variants()[0]
+        assert variant.scenario.geofence_radius == 3.0
+
+    def test_register_axis_rejects_existing_names(self):
+        # Shadowing a built-in (or re-registering) would silently change the
+        # semantics of every later campaign in the process.
+        with pytest.raises(ValueError, match="already registered"):
+            register_axis("seed", lambda s, v: s)
+
+    def test_applier_must_return_scenario(self):
+        grid = ScenarioGrid(tiny_scenario()).add_axis(
+            "bad", [1], applier=lambda s, v: None
+        )
+        with pytest.raises(TypeError, match="expected FlightScenario"):
+            grid.variants()
+
+
+class TestCampaignRunner:
+    def test_serial_and_parallel_summaries_identical(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2], "monitor": [True, False]})
+        serial = CampaignRunner(mode="serial").run(grid)
+        parallel = CampaignRunner(mode="parallel", max_workers=2).run(grid)
+        assert len(serial) == len(parallel) == 4
+        assert serial.summaries() == parallel.summaries()
+        assert [o.name for o in serial] == [v.name for v in grid.variants()]
+
+    def test_failure_isolation(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2]}).add_axis(
+            "broken", [False, True], applier=_break_cpuset
+        )
+        result = CampaignRunner(mode="serial").run(grid)
+        assert len(result) == 4
+        failures = result.failures()
+        assert len(failures) == 2
+        assert all("cpuset must allow at least one core" in f.error for f in failures)
+        assert all(f.summary is None for f in failures)
+        # The healthy variants still completed normally.
+        assert len(result.successes()) == 2
+        assert all(o.summary is not None for o in result.successes())
+
+    def test_failure_isolation_in_parallel(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1]}).add_axis(
+            "broken", [True, False], applier=_break_cpuset
+        )
+        result = CampaignRunner(mode="parallel", max_workers=2).run(grid)
+        assert len(result.failures()) == 1
+        assert len(result.successes()) == 1
+
+    def test_accepts_plain_scenarios(self):
+        result = run_campaign(
+            [tiny_scenario(name="a"), tiny_scenario(name="b", seed=3)],
+            mode="serial",
+        )
+        assert [o.name for o in result] == ["a", "b"]
+        assert result["b"].seed == 3
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate variant name"):
+            run_campaign([tiny_scenario(), tiny_scenario()], mode="serial")
+
+    def test_handbuilt_variant_with_reserved_axis_rejected(self):
+        variant = GridVariant(
+            name="v", axes=(("crashed", "x"),), scenario=tiny_scenario()
+        )
+        with pytest.raises(ValueError, match="reserved axis name"):
+            run_campaign([variant], mode="serial")
+
+    def test_handbuilt_variant_with_mismatched_seed_axis_rejected(self):
+        variant = GridVariant(
+            name="v", axes=(("seed", 5),), scenario=tiny_scenario(seed=1)
+        )
+        with pytest.raises(ValueError, match="declares seed axis value"):
+            run_campaign([variant], mode="serial")
+
+    def test_handbuilt_variant_with_unhashable_axis_rejected(self):
+        variant = GridVariant(
+            name="v", axes=(("wind", [1, 0]),), scenario=tiny_scenario()
+        )
+        with pytest.raises(TypeError, match="not hashable"):
+            run_campaign([variant], mode="serial")
+
+    def test_numpy_axis_values_export_to_json(self):
+        import numpy as np
+
+        grid = ScenarioGrid(
+            tiny_scenario(), axes={"memguard_budget": np.arange(1000, 3000, 1000)}
+        )
+        result = CampaignRunner(mode="serial").run(grid)
+        data = json.loads(result.to_json())
+        assert [row["memguard_budget"] for row in data["rows"]] == [1000, 2000]
+
+    def test_single_worker_pool_degrades_to_serial(self):
+        # A one-worker pool is pure overhead; the runner must not use it.
+        runner = CampaignRunner(mode="parallel", max_workers=1)
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2]})
+        assert not runner._use_parallel(grid.variants())
+        result = runner.run(grid)
+        assert len(result.successes()) == 2
+
+    def test_all_failed_campaign_has_no_crash_rate(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2]}).add_axis(
+            "broken", [True], applier=_break_cpuset
+        )
+        result = CampaignRunner(mode="serial").run(grid)
+        assert len(result.failures()) == 2
+        # No completed flight -> no crash rate, not a misleading 0%.
+        assert result.crash_rate() is None
+        assert result.to_dict()["crash_rate"] is None
+        assert "crash rate n/a" in result.to_text()
+        # Same rationale per cell: an all-failed cell has no rates.
+        cell = result.cells()[0]
+        assert cell.failures == cell.runs == 2
+        assert cell.crash_rate is None
+        assert cell.recovery_rate is None
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            CampaignRunner(mode="threads")
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            CampaignRunner(max_workers=0)
+
+
+class TestCampaignResult:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={
+            "monitor": [True, False],
+            "seed": [1, 2],
+        })
+        return CampaignRunner(mode="serial").run(grid)
+
+    def test_cells_group_out_seeds(self, campaign):
+        cells = campaign.cells()
+        assert len(cells) == 2
+        assert all(cell.runs == 2 for cell in cells)
+        assert [dict(cell.axes)["monitor"] for cell in cells] == [True, False]
+
+    def test_cell_statistics_populated(self, campaign):
+        cell = campaign.cells()[0]
+        assert cell.failures == 0
+        assert 0.0 <= cell.crash_rate <= 1.0
+        assert cell.mean_max_deviation is not None
+        assert cell.worst_max_deviation >= cell.mean_max_deviation
+
+    def test_crash_rate_of_stable_hover_is_zero(self, campaign):
+        assert campaign.crash_rate() == 0.0
+
+    def test_lookup_by_name(self, campaign):
+        outcome = campaign["tiny/monitor=on/seed=2"]
+        assert outcome.seed == 2
+        with pytest.raises(KeyError):
+            campaign["nonexistent"]
+
+    def test_csv_export(self, campaign):
+        buffer = io.StringIO()
+        assert campaign.to_csv(buffer) == 4
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("variant,monitor,seed,error,crashed")
+
+    def test_json_export(self, campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        text = campaign.to_json(path)
+        data = json.loads(text)
+        assert data["variants"] == 4
+        assert data["failures"] == 0
+        assert len(data["rows"]) == 4
+        assert len(data["cells"]) == 2
+        assert json.loads(path.read_text()) == data
+
+    def test_markdown_and_text_tables(self, campaign):
+        markdown = campaign.to_markdown()
+        assert markdown.count("|") > 10
+        assert "monitor=True" in markdown
+        text = campaign.to_text()
+        assert "Campaign summary" in text
+
+    def test_rows_have_uniform_keys(self, campaign):
+        from repro.analysis import campaign_to_rows
+
+        rows = campaign_to_rows(campaign)
+        assert len({tuple(row.keys()) for row in rows}) == 1
+
+    def test_summaries_have_no_wall_times(self, campaign):
+        assert all("wall_time" not in row for row in campaign.summaries())
+        assert all(outcome.wall_time > 0.0 for outcome in campaign)
+
+
+class TestGridVariant:
+    def test_axis_dict(self):
+        variant = GridVariant(
+            name="v", axes=(("seed", 1), ("monitor", True)), scenario=tiny_scenario()
+        )
+        assert variant.axis_dict() == {"seed": 1, "monitor": True}

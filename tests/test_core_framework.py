@@ -64,6 +64,34 @@ class TestConfig:
         config = ContainerDroneConfig().without_iptables()
         assert not config.communication.iptables_enabled
 
+    def test_with_memguard_budget(self):
+        config = ContainerDroneConfig().with_memguard_budget(1234)
+        assert config.memory.cce_budget_accesses_per_period == 1234
+        assert config.memory.enabled
+        with pytest.raises(ValueError):
+            ContainerDroneConfig().with_memguard_budget(0)
+        # Fractional budgets must be rejected, not silently truncated.
+        with pytest.raises(ValueError):
+            ContainerDroneConfig().with_memguard_budget(0.5)
+        with pytest.raises(ValueError, match="integral"):
+            ContainerDroneConfig().with_memguard_budget(1500.7)
+        # Integral floats are fine.
+        assert (
+            ContainerDroneConfig().with_memguard_budget(2000.0)
+            .memory.cce_budget_accesses_per_period == 2000
+        )
+
+    def test_with_protections_toggles_individually(self):
+        config = ContainerDroneConfig().with_protections(memguard=False)
+        assert not config.memory.enabled
+        assert config.monitor.enabled
+        assert config.communication.iptables_enabled
+
+        config = config.with_protections(memguard=True, monitor=False, iptables=False)
+        assert config.memory.enabled
+        assert not config.monitor.enabled
+        assert not config.communication.iptables_enabled
+
     def test_table1_ports(self):
         communication = ContainerDroneConfig().communication
         assert communication.sensor_port == 14660

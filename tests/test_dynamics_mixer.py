@@ -24,6 +24,16 @@ class TestQuadGeometry:
         with pytest.raises(ValueError):
             QuadGeometry(spin_directions=(1, 1, -1, 0))
 
+    def test_spin_directions_accepts_list(self):
+        geometry = QuadGeometry(spin_directions=[1, 1, -1, -1])
+        assert geometry.spin_directions == (1, 1, -1, -1)
+        # The frozen geometry must stay hashable despite the list input.
+        hash(geometry)
+        force, torque = forces_and_torques(
+            np.full(4, 2.0), np.zeros(4), geometry
+        )
+        assert np.allclose(force, [0.0, 0.0, -8.0])
+
     def test_rotor_positions_symmetric(self, geometry):
         positions = geometry.rotor_positions
         assert positions.shape == (4, 3)

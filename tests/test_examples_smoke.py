@@ -36,6 +36,10 @@ def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
          ["Table I (reproduced)", "Motor Output"]),
         ("schedulability_analysis.py", [],
          ["Worst-case execution-time inflation", "safety-controller"]),
+        ("campaign_sweep.py",
+         ["--duration", "2", "--seeds", "1", "--budgets", "2000",
+          "--attack-starts", "1.0", "--serial"],
+         ["Campaign summary", "memguard_budget=2000"]),
     ],
 )
 def test_example_runs(name, args, expected_fragments):

@@ -1,0 +1,92 @@
+"""Golden-summary and determinism regressions for the paper scenarios.
+
+These tests pin the *verdicts* of the four figure experiments (crash /
+no-crash, Simplex switch, coarse deviation bounds) at shortened durations so
+refactors of ``sim/flight.py`` and the dynamics hot path cannot silently
+change the paper's results, and pin the bit-exact reproducibility guarantee
+the campaign engine relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import FlightScenario, run_scenario
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run each shortened figure scenario once and share across tests."""
+    scenarios = {
+        "figure4": FlightScenario.figure4(attack_start=3.0, duration=12.0),
+        "figure5": FlightScenario.figure5(attack_start=3.0, duration=12.0),
+        "figure6": FlightScenario.figure6(kill_time=3.0, duration=10.0),
+        "figure7": FlightScenario.figure7(attack_start=3.0, duration=10.0),
+    }
+    return {name: run_scenario(scenario) for name, scenario in scenarios.items()}
+
+
+class TestSeedDeterminism:
+    def test_same_seed_bit_identical(self):
+        first = run_scenario(FlightScenario.figure6(kill_time=2.0, duration=5.0))
+        second = run_scenario(FlightScenario.figure6(kill_time=2.0, duration=5.0))
+        # Bit-identical, not merely close: the trajectories must match exactly.
+        assert np.array_equal(first.recorder.positions(), second.recorder.positions())
+        assert np.array_equal(first.recorder.attitudes(), second.recorder.attitudes())
+        assert first.recorder.times().tolist() == second.recorder.times().tolist()
+        assert first.switch_time == second.switch_time
+        assert first.metrics == second.metrics
+
+    def test_different_seeds_differ(self):
+        base = FlightScenario.figure6(kill_time=2.0, duration=5.0)
+        first = run_scenario(base.with_seed(1))
+        second = run_scenario(base.with_seed(2))
+        assert not np.array_equal(
+            first.recorder.positions(), second.recorder.positions()
+        )
+
+
+class TestGoldenSummaries:
+    """Verdicts of the four figures (shortened attacks, same physics)."""
+
+    def test_figure4_crashes_without_memguard(self, results):
+        result = results["figure4"]
+        assert result.crashed
+        assert result.crash_time is not None
+        assert 3.0 < result.crash_time < 12.0
+        # No Simplex monitor in this configuration: nothing saves the drone.
+        assert result.switch_time is None
+        assert result.metrics.max_deviation > 0.5
+
+    def test_figure5_memguard_keeps_drone_up(self, results):
+        result = results["figure5"]
+        assert not result.crashed
+        # Bounded oscillation around the setpoint, no crash, no switch.
+        assert result.metrics.max_deviation < 0.5
+        assert result.metrics.max_deviation_after < 0.3
+        assert result.switch_time is None
+
+    def test_figure6_kill_triggers_switch_and_recovery(self, results):
+        result = results["figure6"]
+        assert not result.crashed
+        assert result.switch_time is not None
+        assert 3.0 < result.switch_time < 4.0
+        assert result.violations[0].rule == "receiving-interval"
+        assert result.metrics.max_deviation < 1.5
+        assert result.metrics.final_deviation < 0.6
+
+    def test_figure7_flood_triggers_switch_and_recovery(self, results):
+        result = results["figure7"]
+        assert not result.crashed
+        assert result.switch_time is not None
+        assert 3.0 < result.switch_time < 4.5
+        assert result.metrics.max_deviation < 1.5
+        assert result.metrics.final_deviation < 0.6
+
+    def test_only_figure4_crashes(self, results):
+        verdicts = {name: result.crashed for name, result in results.items()}
+        assert verdicts == {
+            "figure4": True,
+            "figure5": False,
+            "figure6": False,
+            "figure7": False,
+        }

@@ -149,11 +149,30 @@ class TestScenarios:
         with pytest.raises(ValueError):
             FlightScenario(controller_placement="cloud")
 
+    def test_validation_geofence_radius(self):
+        with pytest.raises(ValueError, match="geofence_radius must be positive"):
+            FlightScenario(geofence_radius=0.0)
+        with pytest.raises(ValueError, match="geofence_radius must be positive"):
+            FlightScenario(geofence_radius=-1.0)
+
+    def test_validation_initial_altitude(self):
+        with pytest.raises(ValueError, match="initial_altitude must be non-negative"):
+            FlightScenario(initial_altitude=-0.1)
+        # Zero altitude (on the ground) is allowed.
+        assert FlightScenario(initial_altitude=0.0).initial_altitude == 0.0
+
+    def test_validation_record_hz(self):
+        with pytest.raises(ValueError, match="record_hz must be positive"):
+            FlightScenario(record_hz=0.0)
+
     def test_with_helpers(self):
         scenario = FlightScenario.baseline().with_name("renamed")
         assert scenario.name == "renamed"
         scenario = scenario.with_attacks(ControllerKillAttack(start_time=3.0))
         assert scenario.attacks[0].start_time == 3.0
+        assert scenario.with_seed(42).seed == 42
+        shifted = scenario.with_attack_start(1.5)
+        assert shifted.attacks[0].start_time == 1.5
 
 
 class TestSystemSimulation:
