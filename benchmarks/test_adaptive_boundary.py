@@ -1,0 +1,93 @@
+"""Adaptive boundary search benchmark: the ISSUE 2 acceptance criterion.
+
+Localizes the MemGuard-budget crash boundary of a Figure-5-style scenario
+(memory-DoS attack, MemGuard on, tightened geofence standing in for the lab
+wall) to within a 50 MB/s tolerance, and checks that bracketing + batched
+bisection needs **at most half the flights of the equivalent dense grid**.
+
+Units: the simulator's MemGuard budget counts 64-byte DRAM line accesses per
+1 ms regulation period, so 1 budget unit = 64 kB/s and the 50 MB/s tolerance
+is 781 accesses/period.
+
+The verdict is monotone in the budget: MemGuard throttles the *attacker's*
+core, so a larger CCE budget hands the memory hog more bandwidth and
+strictly more disturbance — low budgets survive, high budgets crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.adaptive import BoundarySearch, crashed
+from repro.campaign import CampaignRunner
+from repro.sim import FlightScenario
+
+#: MemGuard budget units are 64-byte accesses per 1 ms period: 64 kB/s each.
+MBPS_PER_BUDGET_UNIT = 64e3 / 1e6
+
+#: The ISSUE's tolerance: 50 MB/s, in budget units.
+TOLERANCE_BUDGET = int(50.0 / MBPS_PER_BUDGET_UNIT)  # = 781
+
+FLIGHT_DURATION = 6.0
+ATTACK_START = 1.0
+#: Tightened geofence [m]: the sustained-attack deviation (~3.4 m) breaches
+#: it while the protected hover (<1 m) stays inside, which is what turns the
+#: budget sweep into a crash/no-crash threshold within a 6 s flight.
+GEOFENCE_RADIUS = 2.0
+
+BUDGET_LO = 2000
+BUDGET_HI = 32000
+BATCH = 3
+
+
+def boundary_scenario() -> FlightScenario:
+    scenario = FlightScenario.figure5(
+        attack_start=ATTACK_START, duration=FLIGHT_DURATION
+    )
+    return replace(scenario, geofence_radius=GEOFENCE_RADIUS).with_name(
+        "boundary-bench"
+    )
+
+
+def test_memguard_budget_boundary(report):
+    search = BoundarySearch(
+        scenario=boundary_scenario(),
+        axis="memguard_budget",
+        lo=BUDGET_LO,
+        hi=BUDGET_HI,
+        tolerance=TOLERANCE_BUDGET,
+        predicate=crashed,
+        batch=BATCH,
+    )
+    dense = search.dense_grid_size()
+    result = search.run(CampaignRunner())
+
+    # Tolerance guarantee: the final bracket is no wider than 50 MB/s.
+    assert result.width <= TOLERANCE_BUDGET
+    assert result.width * MBPS_PER_BUDGET_UNIT <= 50.0
+    # Orientation: the low-budget end survives, the high-budget end crashes.
+    assert result.lo_verdict is False
+    # The flip sits where the dense ablation sweep saw it (between the
+    # surviving 4000 and the first crashing probes).
+    assert 3000 <= result.lo < result.hi <= 9000
+
+    # Acceptance: at most half the flights of the equivalent dense grid.
+    assert result.flights <= dense // 2, (
+        f"boundary search flew {result.flights} flights; dense grid "
+        f"equivalent is {dense}"
+    )
+
+    boundary_mbps = result.boundary * MBPS_PER_BUDGET_UNIT
+    lines = [
+        result.to_text(),
+        "",
+        f"Boundary estimate: {result.boundary:.0f} accesses/period "
+        f"({boundary_mbps:.0f} MB/s at 64 B per access)",
+        f"Bracket width: {result.width:.0f} accesses/period "
+        f"({result.width * MBPS_PER_BUDGET_UNIT:.1f} MB/s; "
+        f"tolerance 50 MB/s = {TOLERANCE_BUDGET})",
+        f"Flights: {result.flights} adaptive vs {dense} dense-grid "
+        f"({result.flights / dense:.0%}), batch={BATCH}",
+        f"Search wall time: {result.wall_time:.1f} s",
+    ]
+    report("adaptive_boundary", "\n".join(lines))

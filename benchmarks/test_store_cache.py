@@ -1,0 +1,87 @@
+"""Warm-cache campaign benchmark: the ISSUE 2 acceptance criterion.
+
+Flies a small Figure-5 sweep grid cold (empty result store), re-runs it warm
+(every cell cached), and checks that the warm re-run completes **at least 5x
+faster** with **identical summaries** — the content-addressed store replaces
+re-flying with a couple of JSON reads per cell.
+
+When ``REPRO_CAMPAIGN_STORE`` is set (CI persists that directory via
+``actions/cache`` keyed on the store's version salt), the same grid also
+runs against the persistent store: on a cache-restored run it completes from
+cache, which is reported but not asserted (the first run of a new salt is
+legitimately cold).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.campaign import CampaignRunner, ScenarioGrid
+from repro.sim import FlightScenario
+from repro.store import CampaignStore
+
+FLIGHT_DURATION = 2.0
+SPEEDUP_TARGET = 5.0
+
+
+def cache_grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        FlightScenario.figure5(
+            attack_start=0.5, duration=FLIGHT_DURATION
+        ).with_name("cache-bench"),
+        axes={
+            "memguard_budget": [1500, 3000],
+            "seed": [101, 102, 103],
+        },
+    )
+
+
+def test_warm_cache_rerun_speedup(tmp_path, report):
+    grid = cache_grid()
+    cold = CampaignRunner(store=CampaignStore(tmp_path)).run(grid)
+    warm = CampaignRunner(store=CampaignStore(tmp_path)).run(grid)
+
+    assert cold.failures() == () and warm.failures() == ()
+    assert (cold.cache_hits, cold.cache_misses) == (0, len(grid))
+    assert (warm.cache_hits, warm.cache_misses) == (len(grid), 0)
+    # The cache must be invisible in the results...
+    assert warm.summaries() == cold.summaries()
+    # ...and decisive in the wall time.
+    speedup = cold.wall_time / warm.wall_time if warm.wall_time else float("inf")
+    assert speedup >= SPEEDUP_TARGET, (
+        f"warm re-run only {speedup:.1f}x faster than cold "
+        f"(target {SPEEDUP_TARGET}x)"
+    )
+
+    rows = [
+        ["cold (all flown)", f"{cold.wall_time:.2f} s", str(cold.cache_misses)],
+        ["warm (all cached)", f"{warm.wall_time:.2f} s", str(warm.cache_hits)],
+    ]
+    text = format_table(
+        ["Run", "Campaign wall time", "Cells flown/cached"],
+        rows,
+        title=(
+            f"Campaign store: {len(grid)} x {FLIGHT_DURATION:.0f} s flights, "
+            f"warm re-run {speedup:.0f}x faster"
+        ),
+    )
+    report("campaign_cache", text + "\n\n" + warm.to_text())
+
+
+def test_persistent_store_completes_from_cache(report):
+    store_dir = os.environ.get("REPRO_CAMPAIGN_STORE")
+    if not store_dir:
+        pytest.skip("REPRO_CAMPAIGN_STORE not set (CI-only persistence check)")
+    store = CampaignStore(Path(store_dir))
+    result = CampaignRunner(store=store).run(cache_grid())
+    assert result.failures() == ()
+    report(
+        "campaign_cache_persistent",
+        f"Persistent store {store_dir} (salt {store.salt}): "
+        f"{result.cache_hits} cached / {result.cache_misses} flown, "
+        f"wall time {result.wall_time:.2f} s",
+    )

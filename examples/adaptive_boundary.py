@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Adaptive crash-boundary search: where does the MemGuard budget fail?
+
+The Figure 4 vs Figure 5 comparison shows the two extremes of the memory-DoS
+experiment (no MemGuard: crash; default budget: survive).  This example
+localizes the *transition*: the CCE budget above which the Bandwidth
+attacker gets enough DRAM bandwidth to push the drone out of its geofence.
+Instead of a dense budget sweep it runs bracketing + bisection through the
+campaign engine (``repro.adaptive``), optionally caching every probe flight
+in a content-addressed result store so re-runs are free.
+
+Usage::
+
+    python examples/adaptive_boundary.py [--duration SECONDS]
+        [--attack-start SECONDS] [--geofence METERS]
+        [--lo BUDGET] [--hi BUDGET] [--tolerance-mbps MBPS]
+        [--batch N] [--store DIR] [--serial] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro import BoundarySearch, CampaignRunner, CampaignStore, FlightScenario
+from repro.adaptive import BoundaryBracketError, crashed
+
+#: One MemGuard budget unit is one 64-byte DRAM access per 1 ms period.
+MBPS_PER_BUDGET_UNIT = 64e3 / 1e6
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=6.0)
+    parser.add_argument("--attack-start", type=float, default=1.0)
+    parser.add_argument("--geofence", type=float, default=2.0,
+                        help="geofence radius [m] (the crash threshold)")
+    parser.add_argument("--lo", type=int, default=2000,
+                        help="low budget endpoint [accesses/period]")
+    parser.add_argument("--hi", type=int, default=32000,
+                        help="high budget endpoint [accesses/period]")
+    parser.add_argument("--tolerance-mbps", type=float, default=50.0,
+                        help="boundary localization tolerance [MB/s]")
+    parser.add_argument("--batch", type=int, default=3,
+                        help="probes per refinement round (pool saturation)")
+    parser.add_argument("--store", type=str, default=None,
+                        help="cache probe flights in this result-store directory")
+    parser.add_argument("--serial", action="store_true",
+                        help="force serial execution (default: process pool)")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the boundary result JSON to this file")
+    args = parser.parse_args()
+
+    scenario = FlightScenario.figure5(
+        attack_start=args.attack_start, duration=args.duration
+    )
+    scenario = replace(scenario, geofence_radius=args.geofence).with_name(
+        "memguard-boundary"
+    )
+    tolerance = max(1, int(args.tolerance_mbps / MBPS_PER_BUDGET_UNIT))
+    search = BoundarySearch(
+        scenario=scenario,
+        axis="memguard_budget",
+        lo=args.lo,
+        hi=args.hi,
+        tolerance=tolerance,
+        predicate=crashed,
+        batch=args.batch,
+    )
+    runner = CampaignRunner(
+        mode="serial" if args.serial else "auto",
+        store=CampaignStore(args.store) if args.store else None,
+    )
+
+    print(f"Bisecting the MemGuard crash boundary in [{args.lo}, {args.hi}] "
+          f"accesses/period (tolerance {tolerance} = "
+          f"{args.tolerance_mbps:g} MB/s, batch {args.batch}) — the dense "
+          f"equivalent would fly {search.dense_grid_size()} flights")
+    try:
+        result = search.run(runner)
+    except BoundaryBracketError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print()
+    print(result.to_text())
+    print()
+    print(f"Boundary estimate: {result.boundary:.0f} accesses/period "
+          f"({result.boundary * MBPS_PER_BUDGET_UNIT:.0f} MB/s), "
+          f"bracket width {result.width:.0f} "
+          f"({result.width * MBPS_PER_BUDGET_UNIT:.1f} MB/s)")
+    print(f"Flights: {result.flights} flown"
+          + (f" + {result.cache_hits} cached" if result.cache_hits else "")
+          + f" vs {search.dense_grid_size()} dense; "
+          f"wall time {result.wall_time:.1f} s")
+    if args.json:
+        result.to_json(args.json)
+        print(f"Wrote boundary JSON to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,9 @@ def main() -> None:
                         help="comma-separated attack start times [s]")
     parser.add_argument("--serial", action="store_true",
                         help="force serial execution (default: process pool)")
+    parser.add_argument("--store", type=str, default=None,
+                        help="cache flights in this result-store directory "
+                             "(re-runs fly only changed cells)")
     parser.add_argument("--csv", type=str, default=None,
                         help="write per-variant summaries to this CSV file")
     parser.add_argument("--json", type=str, default=None,
@@ -56,7 +59,15 @@ def main() -> None:
           f"{len(args.budgets)} budgets x {len(args.attack_starts)} attack starts "
           f"x {args.seeds} seeds = {len(grid)} flights ({mode} mode)")
 
-    result = CampaignRunner(mode=mode).run(grid)
+    store = None
+    if args.store:
+        from repro import CampaignStore
+
+        store = CampaignStore(args.store)
+    result = CampaignRunner(mode=mode, store=store).run(grid)
+    if store is not None:
+        print(f"Result store {args.store}: {result.cache_hits} cached, "
+              f"{result.cache_misses} flown")
 
     print()
     print(result.to_text())

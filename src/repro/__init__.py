@@ -13,6 +13,7 @@ Quick start::
     print(result.metrics.summary())
 """
 
+from .adaptive import BoundaryResult, BoundarySearch
 from .campaign import (
     CampaignResult,
     CampaignRunner,
@@ -36,12 +37,16 @@ from .sim import (
     SystemSimulation,
     run_scenario,
 )
+from .store import CampaignStore, cache_key
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BoundaryResult",
+    "BoundarySearch",
     "CampaignResult",
     "CampaignRunner",
+    "CampaignStore",
     "ComplexController",
     "ContainerDroneConfig",
     "ContainerDroneFramework",
@@ -59,6 +64,7 @@ __all__ = [
     "ScenarioGrid",
     "SecurityMonitor",
     "SystemSimulation",
+    "cache_key",
     "run_campaign",
     "run_scenario",
     "__version__",

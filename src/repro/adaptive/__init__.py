@@ -1,0 +1,39 @@
+"""Adaptive experiment engine: crash-boundary search over scenario axes.
+
+Instead of probing a survival threshold with a dense sweep grid,
+:class:`BoundarySearch` brackets and bisects the verdict flip along one
+scalar axis (MemGuard budget, flood rate, CPU-hog share, attack start time)
+to a requested tolerance in ``O(log n)`` flights.  Probes are ordinary
+campaign variants: they run through the
+:class:`~repro.campaign.runner.CampaignRunner` (batched rounds keep the
+process pool saturated) and are cached in the
+:class:`~repro.store.CampaignStore` like grid cells.  See
+``docs/adaptive.md``.
+"""
+
+from .predicates import (
+    VerdictError,
+    VerdictPredicate,
+    crashed,
+    geofence_breach,
+    not_recovered,
+    recovery_latency_exceeds,
+    resolve_predicate,
+    switched_to_safety,
+)
+from .search import BoundaryBracketError, BoundaryProbe, BoundaryResult, BoundarySearch
+
+__all__ = [
+    "BoundaryBracketError",
+    "BoundaryProbe",
+    "BoundaryResult",
+    "BoundarySearch",
+    "VerdictError",
+    "VerdictPredicate",
+    "crashed",
+    "geofence_breach",
+    "not_recovered",
+    "recovery_latency_exceeds",
+    "resolve_predicate",
+    "switched_to_safety",
+]

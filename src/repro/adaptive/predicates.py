@@ -1,0 +1,115 @@
+"""Verdict predicates: classify one flown variant as inside/outside a region.
+
+A verdict predicate maps a completed
+:class:`~repro.campaign.results.VariantOutcome` to a boolean — "did the
+flight fall on the failing side of the boundary?".  The boundary search
+assumes the verdict is *monotone* along the swept axis (e.g. a larger
+MemGuard budget lets the attacker do strictly more damage), so it can
+bracket and bisect the flip point.
+
+Predicates never guess on missing data: a variant that raised has no
+verdict, and :class:`VerdictError` aborts the search rather than silently
+steering the bisection with garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = [
+    "VerdictError",
+    "VerdictPredicate",
+    "crashed",
+    "geofence_breach",
+    "not_recovered",
+    "recovery_latency_exceeds",
+    "resolve_predicate",
+    "switched_to_safety",
+]
+
+#: A verdict predicate (``VariantOutcome -> bool``).
+VerdictPredicate = Callable[[Any], bool]
+
+
+class VerdictError(RuntimeError):
+    """A probe flight has no usable verdict (the variant raised)."""
+
+
+def _summary(outcome: Any) -> dict[str, Any]:
+    if outcome.error is not None or outcome.summary is None:
+        raise VerdictError(
+            f"probe variant {outcome.name!r} failed, no verdict available:\n"
+            f"{outcome.error}"
+        )
+    return outcome.summary
+
+
+def crashed(outcome: Any) -> bool:
+    """The flight crashed (left the geofence / hit the lab wall)."""
+    return bool(_summary(outcome)["crashed"])
+
+
+def geofence_breach(outcome: Any) -> bool:
+    """Alias of :func:`crashed`: a crash *is* the geofence breach (the
+    simulation declares a crash when the deviation exceeds
+    ``FlightScenario.geofence_radius``)."""
+    return crashed(outcome)
+
+
+def switched_to_safety(outcome: Any) -> bool:
+    """The security monitor engaged the Simplex safety controller."""
+    return bool(_summary(outcome)["switched_to_safety"])
+
+
+def not_recovered(outcome: Any) -> bool:
+    """The flight did not settle back to its setpoint by scenario end."""
+    return not _summary(outcome)["recovered"]
+
+
+def recovery_latency_exceeds(threshold: float) -> VerdictPredicate:
+    """Predicate factory: recovery took longer than ``threshold`` seconds.
+
+    A flight that never switched to safety (``recovery_latency`` is ``None``)
+    counts as exceeding every threshold — an unbounded latency is the worst
+    possible one, and treating it as "fast" would break monotonicity at the
+    exact flights where the defence failed hardest.
+    """
+    threshold = float(threshold)
+
+    def _exceeds(outcome: Any) -> bool:
+        latency = _summary(outcome)["recovery_latency"]
+        return latency is None or latency > threshold
+
+    _exceeds.__name__ = f"recovery_latency_exceeds_{threshold:g}"
+    return _exceeds
+
+
+#: Named predicates usable from CLI spec files.
+_PREDICATES: dict[str, VerdictPredicate] = {
+    "crashed": crashed,
+    "geofence_breach": geofence_breach,
+    "switched_to_safety": switched_to_safety,
+    "not_recovered": not_recovered,
+}
+
+
+def resolve_predicate(spec: str) -> VerdictPredicate:
+    """Look up a predicate by name.
+
+    Plain names resolve from the registry; the parameterised form
+    ``recovery_latency_exceeds:<seconds>`` builds the threshold predicate.
+    """
+    if spec in _PREDICATES:
+        return _PREDICATES[spec]
+    head, _, arg = spec.partition(":")
+    if head == "recovery_latency_exceeds" and arg:
+        try:
+            return recovery_latency_exceeds(float(arg))
+        except ValueError:
+            raise ValueError(
+                f"invalid threshold {arg!r} in predicate spec {spec!r}"
+            ) from None
+    raise KeyError(
+        f"unknown verdict predicate {spec!r} (available: "
+        f"{sorted(_PREDICATES)} or 'recovery_latency_exceeds:<seconds>')"
+    )

@@ -1,0 +1,355 @@
+"""Crash-boundary search: localize a threshold with O(log n) flights.
+
+The paper's claims are *threshold* claims — a MemGuard budget, a flood rate
+or an attack start time either keeps the drone inside its geofence or it
+does not.  A dense :class:`~repro.campaign.grid.ScenarioGrid` probes such a
+threshold with ``(hi - lo) / tolerance`` flights; :class:`BoundarySearch`
+localizes it by bracketing + bisection in ``O(log((hi - lo) / tolerance))``
+flights instead, while reusing the whole campaign machinery: probes are
+ordinary :class:`~repro.campaign.grid.GridVariant`s executed by a
+:class:`~repro.campaign.runner.CampaignRunner`, so they parallelise over the
+process pool (``batch > 1``) and hit the content-addressed result store like
+any grid cell.
+
+Semantics and guarantees
+------------------------
+
+* The verdict predicate is assumed **monotone** along the axis between
+  ``lo`` and ``hi`` (exactly one flip).  If the endpoints agree, there is no
+  bracket and the search refuses to run.  If the response is non-monotone,
+  the search converges to the *first* flip above ``lo``.
+* On return, ``hi - lo <= tolerance`` (for integral axes: ``<=
+  max(tolerance, 1)``), i.e. the boundary is pinned inside a bracket no
+  wider than the tolerance; the midpoint estimate is off by at most half of
+  it.
+* With ``batch = k`` each refinement round flies ``k`` evenly spaced
+  interior probes through the runner at once, shrinking the bracket by
+  ``k + 1`` per round — bisection that still saturates a ``k``-worker pool.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..campaign.grid import (
+    ATTACK_AXIS_PREFIX,
+    AxisApplier,
+    GridVariant,
+    _axis_labels,
+    resolve_applier,
+)
+from ..campaign.results import CampaignResult, VariantOutcome
+from ..campaign.runner import CampaignRunner
+from ..sim.scenario import FlightScenario
+from . import predicates as _predicates
+from .predicates import VerdictPredicate
+
+__all__ = ["BoundaryBracketError", "BoundaryProbe", "BoundaryResult", "BoundarySearch"]
+
+#: Built-in axes whose values are integer counts (probe values are rounded
+#: and deduplicated instead of bisected to fractional values).
+INTEGRAL_AXES = frozenset({"memguard_budget", "seed"})
+
+
+class BoundaryBracketError(ValueError):
+    """The endpoints of the search interval yield the same verdict."""
+
+
+@dataclass(frozen=True)
+class BoundaryProbe:
+    """One probed axis value and its verdict."""
+
+    value: float
+    verdict: bool
+    outcome: VariantOutcome
+
+
+@dataclass(frozen=True)
+class BoundaryResult:
+    """Outcome of one boundary search.
+
+    The final bracket ``[lo, hi]`` satisfies ``verdict(lo) == lo_verdict``
+    and ``verdict(hi) == (not lo_verdict)``; the boundary lies inside it.
+    """
+
+    axis: str
+    tolerance: float
+    initial_lo: float
+    initial_hi: float
+    lo: float
+    hi: float
+    lo_verdict: bool
+    probes: tuple[BoundaryProbe, ...]
+    #: Probes that actually flew (cache hits excluded).
+    flights: int
+    cache_hits: int
+    wall_time: float
+
+    @property
+    def boundary(self) -> float:
+        """Midpoint estimate of the threshold (error <= ``width / 2``)."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def width(self) -> float:
+        """Width of the final bracket."""
+        return self.hi - self.lo
+
+    def campaign(self) -> CampaignResult:
+        """All probe outcomes as a regular campaign result (probe order), so
+        boundary flights export through the same CSV/JSON/cell machinery as
+        grid cells."""
+        return CampaignResult(
+            outcomes=tuple(probe.outcome for probe in self.probes),
+            wall_time=self.wall_time,
+            cache_hits=self.cache_hits,
+            cache_misses=self.flights,
+        )
+
+    # -- export ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable summary (see ``repro.analysis.export``)."""
+        from ..analysis.export import boundary_to_dict
+
+        return boundary_to_dict(self)
+
+    def to_json(self, destination: Any = None, indent: int = 2) -> str:
+        """Serialise :meth:`to_dict` as JSON, optionally writing a file."""
+        import json
+        from pathlib import Path
+
+        from ..campaign.results import _json_default
+
+        text = json.dumps(self.to_dict(), indent=indent, default=_json_default)
+        if destination is not None:
+            Path(destination).write_text(text + "\n")
+        return text
+
+    def to_markdown(self) -> str:
+        """Markdown table of the probes and the localized boundary."""
+        from ..analysis.report import format_boundary_table
+
+        return format_boundary_table(self, markdown=True)
+
+    def to_text(self) -> str:
+        """Fixed-width text table of the probes and the localized boundary."""
+        from ..analysis.report import format_boundary_table
+
+        return format_boundary_table(self, markdown=False)
+
+
+@dataclass(frozen=True)
+class BoundarySearch:
+    """Bracketing + bisection over one scalar axis of a scenario template.
+
+    Attributes
+    ----------
+    scenario:
+        Template every probe starts from (the swept axis is applied on top).
+    axis:
+        Axis name — anything a grid accepts: built-ins like
+        ``memguard_budget`` or ``attack_start``, dynamic ``attack.<param>``
+        axes (e.g. ``attack.packets_per_second``), registered customs, or an
+        explicit ``applier``.
+    lo / hi:
+        Search interval; the verdicts at the two endpoints must differ.
+    predicate:
+        Verdict predicate (default: :func:`repro.adaptive.predicates.crashed`).
+    tolerance:
+        Requested maximal width of the final bracket (axis units).
+    batch:
+        Interior probes per refinement round (pool saturation knob).
+    integral:
+        Round probe values to integers; ``None`` auto-detects (built-in
+        integer axes, or ``attack.<param>`` whose template value is an int).
+    applier:
+        Explicit axis applier, overriding name resolution.
+    """
+
+    scenario: FlightScenario
+    axis: str
+    lo: float
+    hi: float
+    tolerance: float
+    predicate: VerdictPredicate = _predicates.crashed
+    batch: int = 1
+    integral: bool | None = None
+    applier: AxisApplier | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scenario, FlightScenario):
+            raise TypeError("scenario must be a FlightScenario")
+        if not self.lo < self.hi:
+            raise ValueError("search interval requires lo < hi")
+        if self.tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.batch < 1:
+            raise ValueError("batch must be at least 1")
+        if self.hi - self.lo <= self.tolerance:
+            raise ValueError(
+                "search interval is already narrower than the tolerance; "
+                "nothing to localize"
+            )
+
+    # -- public API --------------------------------------------------------------
+
+    def dense_grid_size(self) -> int:
+        """Flights of the equivalent dense sweep: probes every ``tolerance``
+        step across ``[lo, hi]`` (the cost the bisection replaces)."""
+        import math
+
+        return int(math.ceil((self.hi - self.lo) / self.tolerance)) + 1
+
+    def run(self, runner: CampaignRunner | None = None) -> BoundaryResult:
+        """Localize the boundary; probes fly through ``runner`` (its store
+        and backend apply)."""
+        runner = runner if runner is not None else CampaignRunner()
+        integral = self._integral()
+        applier = self.applier if self.applier is not None else resolve_applier(self.axis)
+        state = _SearchState(self, runner, applier, integral)
+        start = time.perf_counter()
+
+        lo, hi = float(self.lo), float(self.hi)
+        if integral:
+            lo, hi = float(round(lo)), float(round(hi))
+        floor = max(self.tolerance, 1.0) if integral else self.tolerance
+
+        lo_verdict, hi_verdict = state.evaluate([lo, hi])
+        if lo_verdict == hi_verdict:
+            raise BoundaryBracketError(
+                f"no boundary bracketed: axis {self.axis!r} yields verdict "
+                f"{lo_verdict} at both {lo:g} and {hi:g}; widen the interval "
+                "or check the predicate's monotonicity"
+            )
+
+        while hi - lo > floor:
+            values = self._interior_values(lo, hi, integral)
+            if not values:
+                break
+            verdicts = state.evaluate(values)
+            lo, hi, lo_verdict = self._shrink(
+                lo, hi, lo_verdict, values, verdicts
+            )
+
+        return BoundaryResult(
+            axis=self.axis,
+            tolerance=self.tolerance,
+            initial_lo=float(self.lo),
+            initial_hi=float(self.hi),
+            lo=lo,
+            hi=hi,
+            lo_verdict=lo_verdict,
+            probes=tuple(state.probes),
+            flights=state.flights,
+            cache_hits=state.cache_hits,
+            wall_time=time.perf_counter() - start,
+        )
+
+    # -- internal ----------------------------------------------------------------
+
+    def _integral(self) -> bool:
+        if self.integral is not None:
+            return self.integral
+        if self.axis in INTEGRAL_AXES:
+            return True
+        if self.axis.startswith(ATTACK_AXIS_PREFIX):
+            param = self.axis[len(ATTACK_AXIS_PREFIX):]
+            values = [
+                getattr(attack, param)
+                for attack in self.scenario.attacks
+                if attack.has_param(param)
+            ]
+            return bool(values) and all(
+                isinstance(value, int) and not isinstance(value, bool)
+                for value in values
+            )
+        return False
+
+    def _interior_values(self, lo: float, hi: float, integral: bool) -> list[float]:
+        step = (hi - lo) / (self.batch + 1)
+        values = [lo + step * index for index in range(1, self.batch + 1)]
+        if integral:
+            values = sorted({float(round(value)) for value in values})
+        # Keep strictly interior points only: a value that rounds (integrally
+        # or in floating point, once the bracket nears 1 ulp) onto an endpoint
+        # cannot shrink the bracket, and re-probing it would loop forever.
+        return [value for value in values if lo < value < hi]
+
+    @staticmethod
+    def _shrink(
+        lo: float,
+        hi: float,
+        lo_verdict: bool,
+        values: list[float],
+        verdicts: list[bool],
+    ) -> tuple[float, float, bool]:
+        """New bracket: the first adjacent pair whose verdicts differ."""
+        points = [(lo, lo_verdict)] + list(zip(values, verdicts))
+        points.append((hi, not lo_verdict))
+        for (left, left_verdict), (right, right_verdict) in zip(points, points[1:]):
+            if left_verdict != right_verdict:
+                return left, right, left_verdict
+        raise AssertionError("bracket invariant violated")  # pragma: no cover
+
+    def _make_variant(
+        self, value: float, label: str, applier: AxisApplier, integral: bool
+    ) -> GridVariant:
+        probe_value: float | int = value
+        if integral and float(value).is_integer():
+            probe_value = int(value)
+        scenario = applier(self.scenario, probe_value)
+        if not isinstance(scenario, FlightScenario):
+            raise TypeError(
+                f"applier for axis {self.axis!r} returned "
+                f"{type(scenario).__name__}, expected FlightScenario"
+            )
+        name = f"{self.scenario.name}/{self.axis}={label}"
+        return GridVariant(
+            name=name,
+            axes=((self.axis, probe_value),),
+            scenario=scenario.with_name(name),
+        )
+
+
+class _SearchState:
+    """Mutable bookkeeping of one :meth:`BoundarySearch.run` invocation."""
+
+    def __init__(
+        self,
+        search: BoundarySearch,
+        runner: CampaignRunner,
+        applier: AxisApplier,
+        integral: bool,
+    ) -> None:
+        self.search = search
+        self.runner = runner
+        self.applier = applier
+        self.integral = integral
+        self.probes: list[BoundaryProbe] = []
+        self.verdict_by_value: dict[float, bool] = {}
+        self.flights = 0
+        self.cache_hits = 0
+
+    def evaluate(self, values: list[float]) -> list[bool]:
+        """Fly the not-yet-probed values as one campaign batch; return the
+        verdicts of *all* requested values (memoised ones included)."""
+        fresh = [value for value in values if value not in self.verdict_by_value]
+        if fresh:
+            labels = _axis_labels(tuple(fresh))
+            variants = [
+                self.search._make_variant(value, label, self.applier, self.integral)
+                for value, label in zip(fresh, labels)
+            ]
+            result = self.runner.run(variants)
+            self.flights += len(variants) - result.cache_hits
+            self.cache_hits += result.cache_hits
+            for value, outcome in zip(fresh, result.outcomes):
+                verdict = bool(self.search.predicate(outcome))
+                self.verdict_by_value[value] = verdict
+                self.probes.append(BoundaryProbe(
+                    value=value, verdict=verdict, outcome=outcome,
+                ))
+        return [self.verdict_by_value[value] for value in values]

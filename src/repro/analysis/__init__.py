@@ -1,6 +1,7 @@
 """Analysis and reporting helpers for the reproduced experiments."""
 
 from .export import (
+    boundary_to_dict,
     campaign_to_dict,
     campaign_to_rows,
     compare_results,
@@ -10,6 +11,7 @@ from .export import (
     write_csv,
 )
 from .report import (
+    format_boundary_table,
     format_campaign_table,
     format_figure_summary,
     format_markdown_table,
@@ -21,10 +23,12 @@ from .trajectory import AxisSeries, ascii_plot, extract_axes, oscillation_amplit
 __all__ = [
     "AxisSeries",
     "ascii_plot",
+    "boundary_to_dict",
     "campaign_to_dict",
     "campaign_to_rows",
     "compare_results",
     "extract_axes",
+    "format_boundary_table",
     "format_campaign_table",
     "format_figure_summary",
     "format_markdown_table",

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -16,6 +17,7 @@ from ..sim.flight import FlightResult
 from ..sim.recorder import FlightRecorder
 
 if TYPE_CHECKING:
+    from ..adaptive.search import BoundaryResult
     from ..campaign.results import CampaignResult
 
 __all__ = [
@@ -26,6 +28,7 @@ __all__ = [
     "campaign_to_rows",
     "campaign_to_dict",
     "write_campaign_csv",
+    "boundary_to_dict",
 ]
 
 _FIELDS = [
@@ -144,6 +147,9 @@ def campaign_to_dict(campaign: "CampaignResult") -> dict[str, Any]:
         "failures": len(campaign.failures()),
         "crash_rate": campaign.crash_rate(),
         "wall_time": campaign.wall_time,
+        "cache_hits": campaign.cache_hits,
+        "cache_misses": campaign.cache_misses,
+        "executor_fallback": campaign.fallback_reason,
         "rows": campaign_to_rows(campaign),
         "cells": [
             {
@@ -159,6 +165,35 @@ def campaign_to_dict(campaign: "CampaignResult") -> dict[str, Any]:
             }
             for cell in campaign.cells()
         ],
+    }
+
+
+def boundary_to_dict(result: "BoundaryResult") -> dict[str, Any]:
+    """Summarise a boundary search as a JSON-serialisable dictionary.
+
+    ``probes`` rides along as regular campaign rows (one per probe, in
+    probe order, with the verdict added), so boundary flights feed the same
+    downstream tooling as grid sweeps.
+    """
+    campaign = result.campaign()
+    rows = campaign_to_rows(campaign)
+    for row, probe in zip(rows, result.probes):
+        row["verdict"] = probe.verdict
+    return {
+        "axis": result.axis,
+        "tolerance": result.tolerance,
+        "initial_interval": [result.initial_lo, result.initial_hi],
+        "bracket": [result.lo, result.hi],
+        "boundary": result.boundary,
+        "width": result.width,
+        "lo_verdict": result.lo_verdict,
+        "flights": result.flights,
+        "cache_hits": result.cache_hits,
+        "dense_grid_size": math.ceil(
+            (result.initial_hi - result.initial_lo) / result.tolerance
+        ) + 1,
+        "wall_time": result.wall_time,
+        "probes": rows,
     }
 
 

@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING
 from ..sim.metrics import FlightMetrics
 
 if TYPE_CHECKING:
+    from ..adaptive.search import BoundaryResult
     from ..campaign.results import CampaignResult
 
 __all__ = [
@@ -19,6 +20,7 @@ __all__ = [
     "format_markdown_table",
     "format_figure_summary",
     "format_overhead_table",
+    "format_boundary_table",
     "format_campaign_table",
 ]
 
@@ -82,10 +84,46 @@ def format_campaign_table(campaign: "CampaignResult", markdown: bool = False) ->
             _format_optional(cell.recovery_rate, "{:.0%}"),
         ])
     crash_rate = campaign.crash_rate()
+    extras = ""
+    if campaign.cache_hits:
+        extras += f", {campaign.cache_hits} from cache"
     title = (
         f"Campaign summary ({len(campaign)} flights, "
         f"{len(campaign.failures())} failed, crash rate "
-        f"{f'{crash_rate:.0%}' if crash_rate is not None else 'n/a'})"
+        f"{f'{crash_rate:.0%}' if crash_rate is not None else 'n/a'}{extras})"
+    )
+    renderer = format_markdown_table if markdown else format_table
+    table = renderer(headers, rows, title=title)
+    if campaign.fallback_reason is not None:
+        table += f"\n\nexecutor fell back to serial: {campaign.fallback_reason}"
+    return table
+
+
+def format_boundary_table(result: "BoundaryResult", markdown: bool = False) -> str:
+    """Render a boundary search: one row per probe (sorted by axis value)
+    plus the localized bracket in the title.
+
+    The verdict column shows which side of the boundary the probe landed on;
+    cached probes are marked so a resumed search is legible.
+    """
+    headers = [result.axis, "Verdict", "Crashed", "Max dev", "Latency", "Cached"]
+    rows = []
+    for probe in sorted(result.probes, key=lambda probe: probe.value):
+        summary = probe.outcome.summary or {}
+        rows.append([
+            f"{probe.value:g}",
+            "fail" if probe.verdict else "ok",
+            "yes" if summary.get("crashed") else "no",
+            _format_optional(summary.get("max_deviation"), "{:.2f} m"),
+            _format_optional(summary.get("recovery_latency"), "{:.2f} s"),
+            "yes" if probe.outcome.cached else "no",
+        ])
+    title = (
+        f"Boundary search on {result.axis!r}: boundary in "
+        f"[{result.lo:g}, {result.hi:g}] (estimate {result.boundary:g}, "
+        f"width {result.width:g} <= tolerance {result.tolerance:g}) after "
+        f"{result.flights} flight(s)"
+        + (f" + {result.cache_hits} cached" if result.cache_hits else "")
     )
     renderer = format_markdown_table if markdown else format_table
     return renderer(headers, rows, title=title)

@@ -45,6 +45,21 @@ class Attack:
 
     # -- parameterization hooks (used by campaign sweep grids) -------------------
 
+    @classmethod
+    def param_names(cls) -> tuple[str, ...]:
+        """Names of the attack's tunable parameters (its dataclass fields).
+
+        Sweep grids and the adaptive boundary search use this to resolve
+        ``attack.<param>`` axes (e.g. ``attack.packets_per_second`` for the
+        UDP flood rate, ``attack.threads`` for the CPU-hog share) without
+        hard-coding per-attack knowledge.
+        """
+        return tuple(spec.name for spec in fields(cls))
+
+    def has_param(self, name: str) -> bool:
+        """True when this attack declares a parameter called ``name``."""
+        return name in self.param_names()
+
     def with_start_time(self, start_time: float) -> "Attack":
         """Copy of the attack rescheduled to begin at ``start_time``."""
         return replace(self, start_time=float(start_time))

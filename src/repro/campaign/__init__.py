@@ -2,10 +2,21 @@
 
 The paper evaluates four hand-picked experiments one at a time; this package
 turns the single-shot ``FlightScenario -> run_scenario`` path into a fleet
-runner.  See ``docs/campaigns.md`` for the sweep-grid syntax and examples.
+runner.  Execution is delegated to pluggable
+:class:`~repro.campaign.backends.ExecutorBackend`s and results can be cached
+in a :class:`~repro.store.CampaignStore`.  See ``docs/campaigns.md`` for the
+sweep-grid syntax, caching/resume semantics and examples; campaigns are also
+runnable from spec files via ``python -m repro.campaign``.
 """
 
-from .grid import AxisApplier, GridVariant, ScenarioGrid, register_axis
+from .backends import (
+    DistributedBackend,
+    ExecutorBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+)
+from .grid import AxisApplier, GridVariant, ScenarioGrid, register_axis, resolve_applier
 from .results import CampaignCell, CampaignResult, VariantOutcome
 from .runner import CampaignRunner, run_campaign
 
@@ -14,9 +25,15 @@ __all__ = [
     "CampaignCell",
     "CampaignResult",
     "CampaignRunner",
+    "DistributedBackend",
+    "ExecutorBackend",
     "GridVariant",
+    "ProcessPoolBackend",
     "ScenarioGrid",
+    "SerialBackend",
     "VariantOutcome",
+    "get_backend",
     "register_axis",
+    "resolve_applier",
     "run_campaign",
 ]

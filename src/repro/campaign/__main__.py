@@ -1,0 +1,109 @@
+"""Run a campaign from a spec file: ``python -m repro.campaign spec.toml``.
+
+Loads a JSON/TOML campaign spec (see :mod:`repro.campaign.spec`), executes
+the sweep grid or adaptive boundary search it describes, and prints the
+markdown report (``--format text|json`` for other renderings).  Exit status:
+0 on success, 2 when any variant failed or no boundary could be bracketed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .spec import build_grid, build_runner, build_search, load_spec
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run a scenario campaign (sweep grid or adaptive "
+        "boundary search) from a JSON/TOML spec file.",
+    )
+    parser.add_argument("spec", help="path to the campaign spec (.json or .toml)")
+    parser.add_argument(
+        "--format", choices=("markdown", "text", "json"), default="markdown",
+        help="report rendering (default: markdown)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write per-flight summary rows to this CSV file",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, dest="json_path",
+        help="also write the full result JSON to this file",
+    )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="result-store directory (overrides the spec's runner.store)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true",
+        help="force serial execution (overrides the spec's runner.mode)",
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=None,
+        help="process-pool size (overrides the spec's runner.max_workers)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        spec = load_spec(args.spec)
+        runner = build_runner(
+            spec,
+            store_dir=args.store,
+            mode="serial" if args.serial else None,
+            max_workers=args.max_workers,
+        )
+        work = build_search(spec) if "adaptive" in spec else build_grid(spec)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if "adaptive" in spec:
+        from ..adaptive import BoundaryBracketError, VerdictError
+
+        try:
+            result = work.run(runner)
+        except (BoundaryBracketError, VerdictError, KeyError, ValueError) as exc:
+            # KeyError/ValueError: the swept axis resolves lazily inside
+            # run() (unknown axis name, attack.<param> on no attack) and
+            # must honour the CLI's "error: ..." + exit 2 contract too.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        campaign = result.campaign()
+    else:
+        try:
+            result = runner.run(work)
+        except ValueError as exc:
+            # Grid-expansion errors (bad axis value, attack_start without
+            # attacks) surface when the runner expands the grid.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        campaign = result
+
+    # Both result kinds expose the same report surface.
+    renderers = {"json": result.to_json, "text": result.to_text,
+                 "markdown": result.to_markdown}
+    print(renderers[args.format]())
+    if args.json_path:
+        result.to_json(args.json_path)
+    if args.csv:
+        campaign.to_csv(args.csv)
+
+    failures = campaign.failures()
+    if failures:
+        for outcome in failures:
+            tail = outcome.error.strip().splitlines()[-1] if outcome.error else "?"
+            print(f"FAILED: {outcome.name}: {tail}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Executor backends: how a campaign's variants are mapped to outcomes.
+
+:class:`~repro.campaign.runner.CampaignRunner` is policy (ordering, caching,
+fallback); an :class:`ExecutorBackend` is mechanism.  A backend maps a pure
+worker function over variants and yields the results **in input order** —
+nothing about grids, stores or summaries leaks into it, so alternative
+execution substrates (a cluster scheduler, a batch queue) only have to
+implement :meth:`ExecutorBackend.map`.
+
+Backends must yield results as they become available (lazily) rather than
+collecting them first: the runner's fallback logic keeps every outcome that
+was produced before a mid-campaign pool failure.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "DistributedBackend",
+    "get_backend",
+]
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """Maps a worker function over items, yielding results in input order."""
+
+    #: Short identifier used in reports and CLI specs.
+    name: str
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Sequence[Any]
+    ) -> Iterator[Any]:  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass(frozen=True)
+class SerialBackend:
+    """In-process, one-at-a-time execution (also the fallback substrate)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        for item in items:
+            yield fn(item)
+
+
+@dataclass(frozen=True)
+class ProcessPoolBackend:
+    """``concurrent.futures.ProcessPoolExecutor`` fan-out.
+
+    Attributes
+    ----------
+    max_workers:
+        Pool size; ``None`` uses the CPU count.  The effective size is
+        additionally capped at the number of items.
+    """
+
+    max_workers: int | None = None
+
+    name = "process-pool"
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        items = list(items)
+        if not items:
+            return
+        workers = min(self.max_workers or os.cpu_count() or 1, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            yield from pool.map(fn, items)
+
+
+@dataclass(frozen=True)
+class DistributedBackend:
+    """Reserved stub for a future multi-machine backend.
+
+    The name is registered so CLI specs and saved campaign configurations can
+    already refer to it; selecting it fails loudly at dispatch time (and the
+    runner then records the failure and finishes serially rather than losing
+    the campaign).
+    """
+
+    #: Coordinator endpoint the future implementation will connect to.
+    endpoint: str | None = None
+
+    name = "distributed"
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        raise NotImplementedError(
+            "the distributed executor backend is a stub; run with "
+            "'process-pool' or 'serial', or implement ExecutorBackend.map "
+            "against your cluster scheduler"
+        )
+        yield  # pragma: no cover - makes this a generator for protocol parity
+
+
+#: Registry of backend factories selectable by name (CLI / spec files).
+_BACKENDS: dict[str, Callable[..., ExecutorBackend]] = {
+    "serial": SerialBackend,
+    "process-pool": ProcessPoolBackend,
+    "distributed": DistributedBackend,
+}
+
+
+def get_backend(name: str, **options: Any) -> ExecutorBackend:
+    """Instantiate a backend by registry name.
+
+    ``options`` are passed to the backend constructor (e.g.
+    ``get_backend("process-pool", max_workers=4)``).
+    """
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor backend {name!r} (available: {sorted(_BACKENDS)})"
+        ) from None
+    return factory(**options)

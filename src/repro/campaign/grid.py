@@ -23,6 +23,13 @@ Built-in axes (value semantics):
 ``initial_altitude``
     Direct scenario-field overrides (float).
 
+``attack.<param>``
+    Sets parameter ``<param>`` on every attack of the base scenario that
+    declares it (resolved via :meth:`repro.attacks.Attack.param_names`
+    introspection, e.g. ``attack.packets_per_second`` for the UDP flood rate
+    or ``attack.access_rate`` for the memory hog).  Expansion fails if no
+    attack has the parameter.
+
 Axes not listed above need an explicit applier callable, registered globally
 with :func:`register_axis` or passed per-grid via ``add_axis(applier=...)``.
 """
@@ -36,7 +43,14 @@ from typing import Any, Callable, Mapping, Sequence
 from ..sim.scenario import FlightScenario
 from .results import SUMMARY_FIELDS
 
-__all__ = ["AxisApplier", "GridVariant", "ScenarioGrid", "register_axis"]
+__all__ = [
+    "ATTACK_AXIS_PREFIX",
+    "AxisApplier",
+    "GridVariant",
+    "ScenarioGrid",
+    "register_axis",
+    "resolve_applier",
+]
 
 #: Axis names that would collide with the per-variant summary columns
 #: (``seed`` is exempt: the seed axis and the summary's seed column agree by
@@ -115,6 +129,51 @@ _AXIS_APPLIERS: dict[str, AxisApplier] = {
 }
 
 
+#: Prefix of dynamically resolved attack-parameter axes.
+ATTACK_AXIS_PREFIX = "attack."
+
+
+def _make_attack_param_applier(param: str) -> AxisApplier:
+    """Applier for an ``attack.<param>`` axis: introspects the scenario's
+    attacks and rewrites the parameter on every attack that declares it."""
+
+    def _apply(scenario: FlightScenario, value: Any) -> FlightScenario:
+        if not scenario.attacks:
+            raise ValueError(
+                f"axis {ATTACK_AXIS_PREFIX + param!r} requires a base "
+                "scenario with attacks"
+            )
+        if not any(attack.has_param(param) for attack in scenario.attacks):
+            available = sorted(
+                {name for attack in scenario.attacks for name in attack.param_names()}
+            )
+            raise ValueError(
+                f"no attack of scenario {scenario.name!r} has parameter "
+                f"{param!r} (available: {available})"
+            )
+        return scenario.with_attacks(*(
+            attack.with_params(**{param: value}) if attack.has_param(param) else attack
+            for attack in scenario.attacks
+        ))
+
+    return _apply
+
+
+def resolve_applier(name: str) -> AxisApplier:
+    """Applier for a named axis: the global registry plus the dynamic
+    ``attack.<param>`` namespace."""
+    if name.startswith(ATTACK_AXIS_PREFIX):
+        return _make_attack_param_applier(name[len(ATTACK_AXIS_PREFIX):])
+    try:
+        return _AXIS_APPLIERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown axis {name!r}; register it with register_axis(), pass "
+            f"applier=..., or use an '{ATTACK_AXIS_PREFIX}<param>' axis "
+            f"(built-ins: {sorted(_AXIS_APPLIERS)})"
+        ) from None
+
+
 def register_axis(name: str, applier: AxisApplier) -> None:
     """Register a custom named axis usable by every grid.
 
@@ -135,6 +194,11 @@ def register_axis(name: str, applier: AxisApplier) -> None:
         raise ValueError(
             f"axis {name!r} is already registered; use add_axis(applier=...) "
             "for a per-grid override"
+        )
+    if name.startswith(ATTACK_AXIS_PREFIX):
+        raise ValueError(
+            f"axis names starting with {ATTACK_AXIS_PREFIX!r} are resolved "
+            "dynamically from attack parameters and cannot be registered"
         )
     _AXIS_APPLIERS[name] = applier
 
@@ -240,13 +304,7 @@ class ScenarioGrid:
                 "summary-export column)"
             )
         if applier is None:
-            try:
-                applier = _AXIS_APPLIERS[name]
-            except KeyError:
-                raise KeyError(
-                    f"unknown axis {name!r}; register it with register_axis() "
-                    f"or pass applier=... (built-ins: {sorted(_AXIS_APPLIERS)})"
-                ) from None
+            applier = resolve_applier(name)
         if any(existing == name for existing, _, _, _ in self._axes):
             raise ValueError(f"duplicate axis {name!r}")
         values = tuple(values)

@@ -55,6 +55,11 @@ class VariantOutcome:
     wall_time:
         Wall-clock execution time of the variant [s].  Excluded from
         summary comparisons — it is the only non-deterministic field.
+        For cached outcomes this is the wall time of the *original* flight.
+    cached:
+        ``True`` when the outcome was served from a
+        :class:`~repro.store.CampaignStore` instead of being flown.
+        Excluded from summaries: cold and warm runs must compare equal.
     """
 
     name: str
@@ -63,6 +68,7 @@ class VariantOutcome:
     summary: dict[str, Any] | None
     error: str | None
     wall_time: float
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -118,6 +124,13 @@ class CampaignResult:
     outcomes: tuple[VariantOutcome, ...]
     #: Wall-clock time of the whole campaign [s].
     wall_time: float = 0.0
+    #: Variants served from the result store without flying.
+    cache_hits: int = 0
+    #: Variants that had to fly (when a store was consulted; 0 otherwise).
+    cache_misses: int = 0
+    #: ``repr`` of the exception that forced the runner off its executor
+    #: backend onto serial execution; ``None`` when no fallback happened.
+    fallback_reason: str | None = None
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -134,6 +147,10 @@ class CampaignResult:
     def failures(self) -> tuple[VariantOutcome, ...]:
         """Outcomes whose variant raised."""
         return tuple(outcome for outcome in self.outcomes if not outcome.ok)
+
+    def cached_outcomes(self) -> tuple[VariantOutcome, ...]:
+        """Outcomes served from the result store."""
+        return tuple(outcome for outcome in self.outcomes if outcome.cached)
 
     def __getitem__(self, name: str) -> VariantOutcome:
         for outcome in self.outcomes:

@@ -7,11 +7,21 @@ every variant carries its full configuration (including its seed) in the
 pickled scenario, so results are identical whether the campaign runs serially
 or on a process pool, and independent of completion order.
 
-Failure isolation: a variant that raises is captured as an outcome with a
-``error`` traceback string; the rest of the campaign keeps running.  If the
-process pool itself cannot be used (no fork support, pickling failure, broken
-pool), the runner falls back to serial execution rather than failing the
-campaign.
+Three orthogonal concerns are layered here:
+
+* **Backends** — *how* variants are mapped to outcomes is delegated to an
+  :class:`~repro.campaign.backends.ExecutorBackend` (serial, process pool, or
+  a future distributed substrate).  ``mode``/``max_workers`` remain as the
+  convenient policy knobs that pick between the built-in backends.
+* **Caching** — with a :class:`~repro.store.CampaignStore` attached, every
+  variant's content hash is looked up first and only misses are dispatched;
+  completed flights are persisted as they arrive, so a killed campaign
+  resumes from disk.
+* **Fallback** — a variant that raises is captured as an outcome with an
+  ``error`` traceback string; the rest of the campaign keeps running.  If
+  the backend itself fails (no fork support, pickling failure, broken pool),
+  the runner finishes the remaining variants serially and records *why* in
+  :attr:`CampaignResult.fallback_reason` instead of silently degrading.
 """
 
 from __future__ import annotations
@@ -20,14 +30,17 @@ import os
 import time
 import traceback
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..sim.flight import FlightResult, run_scenario
 from ..sim.scenario import FlightScenario
+from .backends import ExecutorBackend, ProcessPoolBackend, SerialBackend
 from .grid import RESERVED_AXIS_NAMES, GridVariant, ScenarioGrid
 from .results import CampaignResult, VariantOutcome
+
+if TYPE_CHECKING:
+    from ..store import CampaignStore
 
 __all__ = ["CampaignRunner", "run_campaign"]
 
@@ -128,15 +141,24 @@ class CampaignRunner:
     ----------
     max_workers:
         Process-pool size; ``None`` uses the CPU count (capped at the number
-        of variants).
+        of variants).  Ignored when an explicit ``backend`` is given.
     mode:
         ``"auto"`` picks the process pool when the machine has more than one
-        core and the campaign more than one variant; ``"parallel"`` and
-        ``"serial"`` force the choice.
+        core and the campaign more than one uncached variant; ``"parallel"``
+        and ``"serial"`` force the choice.  Ignored when an explicit
+        ``backend`` is given.
+    backend:
+        Explicit :class:`~repro.campaign.backends.ExecutorBackend`; overrides
+        the ``mode``/``max_workers`` policy and is used unconditionally.
+    store:
+        Optional :class:`~repro.store.CampaignStore`.  When attached, cached
+        outcomes are served without flying and fresh outcomes are persisted.
     """
 
     max_workers: int | None = None
     mode: str = "auto"
+    backend: ExecutorBackend | None = None
+    store: "CampaignStore | None" = None
 
     _MODES = ("auto", "parallel", "serial")
 
@@ -152,20 +174,46 @@ class CampaignRunner:
         """Execute every variant and return the aggregated campaign result.
 
         Outcome order always matches variant (grid-expansion) order, never
-        completion order.
+        completion order — with or without cache hits interleaved.
         """
         variants = _as_variants(campaign)
         start = time.perf_counter()
-        if self._use_parallel(variants):
-            outcomes = self._run_parallel(variants)
-        else:
-            outcomes = [_execute_variant(variant) for variant in variants]
+
+        cached: dict[int, VariantOutcome] = {}
+        if self.store is not None:
+            for index, variant in enumerate(variants):
+                hit = self.store.get(variant)
+                if hit is not None:
+                    cached[index] = hit
+        to_run = [
+            variant for index, variant in enumerate(variants) if index not in cached
+        ]
+
+        flown, fallback_reason = self._execute(to_run)
+
+        # Merge cache hits and fresh flights back into expansion order.
+        merged: list[VariantOutcome] = []
+        fresh = iter(flown)
+        for index in range(len(variants)):
+            merged.append(cached[index] if index in cached else next(fresh))
+
         return CampaignResult(
-            outcomes=tuple(outcomes),
+            outcomes=tuple(merged),
             wall_time=time.perf_counter() - start,
+            cache_hits=len(cached),
+            cache_misses=len(to_run) if self.store is not None else 0,
+            fallback_reason=fallback_reason,
         )
 
     # ------------------------------------------------------------------ internal --
+
+    def select_backend(self, variants: Sequence[GridVariant]) -> ExecutorBackend:
+        """Backend that will execute ``variants`` (explicit one wins)."""
+        if self.backend is not None:
+            return self.backend
+        if self._use_parallel(variants):
+            return ProcessPoolBackend(max_workers=self.max_workers)
+        return SerialBackend()
 
     def _use_parallel(self, variants: Sequence[GridVariant]) -> bool:
         if self.mode == "serial" or len(variants) < 2:
@@ -177,34 +225,68 @@ class CampaignRunner:
             return True
         return (os.cpu_count() or 1) > 1
 
-    def _run_parallel(self, variants: Sequence[GridVariant]) -> list[VariantOutcome]:
-        workers = min(self.max_workers or os.cpu_count() or 1, len(variants))
+    def _execute(
+        self, variants: Sequence[GridVariant]
+    ) -> tuple[list[VariantOutcome], str | None]:
+        """Map the worker over ``variants``; on backend failure keep what
+        completed, finish serially and report why."""
+        if not variants:
+            return [], None
+        backend = self.select_backend(variants)
         outcomes: list[VariantOutcome] = []
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for outcome in pool.map(_execute_variant, variants):
-                    outcomes.append(outcome)
+            for outcome in backend.map(_execute_variant, variants):
+                outcomes.append(outcome)
+                # Persist as each flight arrives (not after the campaign):
+                # a campaign killed at flight 99/100 must resume from 99
+                # cells, and an interrupt between flights must lose nothing.
+                self._persist(variants[len(outcomes) - 1], outcome)
         except Exception as exc:
-            # Pool-level failure (fork unavailable, pickling, broken pool):
-            # keep what already completed, finish the rest serially, and tell
-            # the user the speedup is gone.
+            # Backend-level failure (fork unavailable, pickling, broken pool,
+            # unimplemented stub): keep what already completed, finish the
+            # rest serially, and record why the speedup is gone.
+            reason = repr(exc)
             warnings.warn(
-                f"campaign process pool failed after {len(outcomes)}/"
-                f"{len(variants)} variants ({type(exc).__name__}: {exc}); "
+                f"campaign executor backend {backend.name!r} failed after "
+                f"{len(outcomes)}/{len(variants)} variants ({reason}); "
                 "finishing the remaining variants serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            for variant in variants[len(outcomes):]:
+                outcome = _execute_variant(variant)
+                outcomes.append(outcome)
+                self._persist(variant, outcome)
+            return outcomes, reason
+        return outcomes, None
+
+    def _persist(self, variant: GridVariant, outcome: VariantOutcome) -> None:
+        """Best-effort store write: the store is a cache, never an authority,
+        so an unwritable directory must not cost the campaign its results."""
+        if self.store is None:
+            return
+        try:
+            self.store.put(variant, outcome)
+        except Exception as exc:
+            # Any write failure (read-only dir, serialisation, a broken
+            # custom store) is only a lost cache cell — it must neither be
+            # misread as a backend failure nor abort the campaign.
+            warnings.warn(
+                f"campaign store write failed for {variant.name!r} "
+                f"({exc!r}); continuing without caching this cell",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            outcomes.extend(
-                _execute_variant(variant) for variant in variants[len(outcomes):]
-            )
-        return outcomes
 
 
 def run_campaign(
     campaign: ScenarioGrid | Iterable[GridVariant | FlightScenario],
     max_workers: int | None = None,
     mode: str = "auto",
+    backend: ExecutorBackend | None = None,
+    store: "CampaignStore | None" = None,
 ) -> CampaignResult:
     """Convenience helper: run ``campaign`` with a fresh :class:`CampaignRunner`."""
-    return CampaignRunner(max_workers=max_workers, mode=mode).run(campaign)
+    return CampaignRunner(
+        max_workers=max_workers, mode=mode, backend=backend, store=store
+    ).run(campaign)

@@ -1,0 +1,213 @@
+"""Declarative campaign specs: JSON/TOML files describing a grid or search.
+
+A spec file makes a campaign runnable without writing a script (see
+``python -m repro.campaign``).  It has up to four tables:
+
+``[scenario]``
+    Base scenario.  ``figure`` picks a canonical constructor (``baseline``,
+    ``figure4`` ... ``figure7``); remaining keys are constructor arguments
+    (e.g. ``attack_start``) or direct ``FlightScenario`` field overrides
+    (``duration``, ``seed``, ``record_hz``, ``geofence_radius``, ...).
+
+``[axes]``
+    Grid sweep: axis name -> list of values (any axis a
+    :class:`~repro.campaign.grid.ScenarioGrid` accepts, including
+    ``attack.<param>``).  Mutually exclusive with ``[adaptive]``.
+
+``[adaptive]``
+    Boundary search: ``axis``, ``lo``, ``hi``, ``tolerance``, and optionally
+    ``predicate`` (a :func:`repro.adaptive.resolve_predicate` name, default
+    ``crashed``), ``batch`` and ``integral``.
+
+``[runner]``
+    Execution policy: ``mode``/``max_workers`` or an explicit ``backend``
+    registry name (plus ``backend_options``), and an optional ``store``
+    directory for cached results.
+
+Example (TOML)::
+
+    [scenario]
+    figure = "figure5"
+    duration = 12.0
+
+    [axes]
+    memguard_budget = [1000, 3000]
+    seed = [0, 1, 2]
+
+    [runner]
+    store = ".campaign-store"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..sim.scenario import FlightScenario
+from .backends import get_backend
+from .grid import ScenarioGrid
+from .runner import CampaignRunner
+
+__all__ = [
+    "build_grid",
+    "build_runner",
+    "build_scenario",
+    "build_search",
+    "load_spec",
+]
+
+_CONSTRUCTORS = {
+    "baseline": FlightScenario.baseline,
+    "figure4": FlightScenario.figure4,
+    "figure5": FlightScenario.figure5,
+    "figure6": FlightScenario.figure6,
+    "figure7": FlightScenario.figure7,
+}
+
+_SCENARIO_FIELDS = {spec.name for spec in dataclasses.fields(FlightScenario)}
+
+
+def load_spec(path: str | Path) -> dict[str, Any]:
+    """Load a campaign spec from a ``.json`` or ``.toml`` file."""
+    path = Path(path)
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        with open(path, "rb") as handle:
+            spec = tomllib.load(handle)
+    else:
+        spec = json.loads(path.read_text())
+    if not isinstance(spec, Mapping):
+        raise ValueError(f"spec {path} must contain a table/object at top level")
+    has_axes = "axes" in spec
+    has_adaptive = "adaptive" in spec
+    if has_axes == has_adaptive:
+        raise ValueError(
+            "spec must contain exactly one of 'axes' (grid sweep) or "
+            "'adaptive' (boundary search)"
+        )
+    return dict(spec)
+
+
+def build_scenario(section: Mapping[str, Any] | None) -> FlightScenario:
+    """Build the base scenario of a spec's ``[scenario]`` table."""
+    options = dict(section or {})
+    kind = options.pop("figure", None)
+    if kind is None:
+        constructor: Any = FlightScenario
+    else:
+        try:
+            constructor = _CONSTRUCTORS[kind]
+        except KeyError:
+            raise ValueError(
+                f"unknown scenario figure {kind!r} "
+                f"(available: {sorted(_CONSTRUCTORS)})"
+            ) from None
+    parameters = inspect.signature(constructor).parameters
+    constructor_kwargs = {
+        name: options.pop(name) for name in list(options) if name in parameters
+    }
+    scenario = constructor(**constructor_kwargs)
+
+    unknown = set(options) - _SCENARIO_FIELDS
+    if unknown:
+        raise ValueError(
+            f"unknown scenario option(s) {sorted(unknown)}; valid keys are "
+            f"'figure', constructor arguments and FlightScenario fields "
+            f"({sorted(_SCENARIO_FIELDS)})"
+        )
+    if "seed" in options:
+        options["seed"] = int(options["seed"])
+    if options:
+        scenario = dataclasses.replace(scenario, **options)
+    return scenario
+
+
+def build_grid(spec: Mapping[str, Any]) -> ScenarioGrid:
+    """Build the sweep grid of a grid spec."""
+    axes = spec.get("axes")
+    if not isinstance(axes, Mapping) or not axes:
+        raise ValueError("grid spec needs a non-empty 'axes' table")
+    return ScenarioGrid(build_scenario(spec.get("scenario")), axes=axes)
+
+
+def build_search(spec: Mapping[str, Any]) -> "Any":
+    """Build the boundary search of an adaptive spec."""
+    from ..adaptive import BoundarySearch, resolve_predicate
+
+    section = spec.get("adaptive")
+    if not isinstance(section, Mapping):
+        raise ValueError("adaptive spec needs an 'adaptive' table")
+    options = dict(section)
+    try:
+        axis = options.pop("axis")
+        lo = float(options.pop("lo"))
+        hi = float(options.pop("hi"))
+        tolerance = float(options.pop("tolerance"))
+    except KeyError as exc:
+        raise ValueError(f"adaptive spec is missing {exc.args[0]!r}") from None
+    predicate = resolve_predicate(options.pop("predicate", "crashed"))
+    batch = int(options.pop("batch", 1))
+    integral = options.pop("integral", None)
+    if options:
+        raise ValueError(f"unknown adaptive option(s) {sorted(options)}")
+    return BoundarySearch(
+        scenario=build_scenario(spec.get("scenario")),
+        axis=axis,
+        lo=lo,
+        hi=hi,
+        tolerance=tolerance,
+        predicate=predicate,
+        batch=batch,
+        integral=None if integral is None else bool(integral),
+    )
+
+
+def build_runner(
+    spec: Mapping[str, Any],
+    store_dir: str | Path | None = None,
+    mode: str | None = None,
+    max_workers: int | None = None,
+) -> CampaignRunner:
+    """Build the runner of a spec's ``[runner]`` table.
+
+    ``store_dir``/``mode``/``max_workers`` are command-line overrides that
+    win over the spec — including over an explicit ``backend``: an explicit
+    backend would be used unconditionally by the runner, so when the command
+    line forces an execution policy the spec's backend is dropped in favour
+    of the built-in ``mode``/``max_workers`` selection.
+    """
+    section = dict(spec.get("runner") or {})
+    backend = None
+    backend_name = section.pop("backend", None)
+    backend_options = section.pop("backend_options", {})
+    if backend_name is None and backend_options:
+        raise ValueError(
+            "runner option 'backend_options' requires a 'backend' name"
+        )
+    if backend_name is not None and mode is None and max_workers is None:
+        backend = get_backend(backend_name, **backend_options)
+    store = None
+    store_path = store_dir if store_dir is not None else section.pop("store", None)
+    section.pop("store", None)
+    if store_path is not None:
+        from ..store import CampaignStore
+
+        salt = section.pop("salt", None)
+        store = (
+            CampaignStore(Path(store_path))
+            if salt is None
+            else CampaignStore(Path(store_path), salt=salt)
+        )
+    runner_mode = mode if mode is not None else section.pop("mode", "auto")
+    workers = max_workers if max_workers is not None else section.pop("max_workers", None)
+    section.pop("mode", None)
+    section.pop("max_workers", None)
+    if section:
+        raise ValueError(f"unknown runner option(s) {sorted(section)}")
+    return CampaignRunner(
+        max_workers=workers, mode=runner_mode, backend=backend, store=store
+    )

@@ -1,5 +1,13 @@
 """Co-simulation engine, scenarios, telemetry recording and flight metrics."""
 
+#: Behavioural version of the simulation stack (dynamics, scheduler, sensor,
+#: network and protection models).  Bump it whenever a change makes previously
+#: recorded flight results stale — it salts every cache key of the campaign
+#: result store (:mod:`repro.store`), so bumping invalidates all cached
+#: flights at once.  Pure refactors that keep trajectories bit-identical
+#: (e.g. the PR 1 cross-product rewrite) must NOT bump it.
+SIM_VERSION = "1"
+
 from .engine import HostLoadConfig, SystemSimulation
 from .flight import FLIGHT_DRAM_PARAMETERS, FlightResult, FlightSimulation, run_scenario
 from .metrics import FlightMetrics, compute_metrics
@@ -7,6 +15,7 @@ from .recorder import FlightRecorder, FlightSample
 from .scenario import ControllerPlacement, FlightScenario
 
 __all__ = [
+    "SIM_VERSION",
     "ControllerPlacement",
     "FLIGHT_DRAM_PARAMETERS",
     "FlightMetrics",

@@ -1,0 +1,22 @@
+"""Content-addressed campaign result store.
+
+``repro.store`` persists per-flight campaign outcomes on disk, keyed by a
+stable content hash over (scenario, attack parameters, framework config,
+simulation version salt).  :class:`~repro.campaign.runner.CampaignRunner`
+consults the store before dispatching flights, so re-running a 100-variant
+grid with 3 changed cells flies only 3 flights, and a campaign killed
+mid-run resumes from what already completed.  See ``docs/campaigns.md``
+("Caching & resume").
+"""
+
+from .keys import VERSION_SALT, cache_key, canonical, scenario_fingerprint
+from .store import CampaignStore, StoreStats
+
+__all__ = [
+    "CampaignStore",
+    "StoreStats",
+    "VERSION_SALT",
+    "cache_key",
+    "canonical",
+    "scenario_fingerprint",
+]

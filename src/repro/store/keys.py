@@ -1,0 +1,123 @@
+"""Stable content hashing of flight scenarios.
+
+A campaign cell is identified by *what would be simulated*: the complete
+:class:`~repro.sim.scenario.FlightScenario` (mission, seed, attack
+descriptors with all their parameters, the full
+:class:`~repro.core.config.ContainerDroneConfig`) plus a version salt that
+tracks the behaviour of the simulation stack itself.  Two scenarios with the
+same key are guaranteed to fly the same flight; any change to any ingredient
+— a different seed, one attack parameter, one protection threshold, or a
+bumped :data:`~repro.sim.SIM_VERSION` — produces a different key.
+
+The hash is computed over a canonical JSON rendering, not over pickles:
+pickle bytes are not stable across Python versions or dataclass field
+reordering, while the canonical form below is deterministic by construction
+(sorted keys, explicit type tags, ``repr``-round-trip floats).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+from ..sim import SIM_VERSION
+from ..sim.scenario import FlightScenario
+
+__all__ = ["VERSION_SALT", "cache_key", "canonical", "scenario_fingerprint"]
+
+#: Default salt mixed into every cache key.  Derived from
+#: :data:`repro.sim.SIM_VERSION`, the behavioural version of the simulation
+#: stack: bumping that constant invalidates every previously stored flight.
+VERSION_SALT = f"sim-v{SIM_VERSION}"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic, JSON-serialisable structure.
+
+    Dataclasses become tagged dictionaries (the type name participates in the
+    hash, so two attack classes with identical fields do not collide), numpy
+    scalars/arrays become Python scalars/nested lists, sets are sorted, and
+    mappings get string keys.  Unsupported types raise ``TypeError`` rather
+    than falling back to ``repr`` — an unstable rendering would silently
+    produce keys that never hit.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        kind = type(value)
+        payload: dict[str, Any] = {
+            "__dataclass__": f"{kind.__module__}.{kind.__qualname__}"
+        }
+        for spec in fields(value):
+            payload[spec.name] = canonical(getattr(value, spec.name))
+        return payload
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr() round-trips doubles exactly; json.dumps uses it internally.
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        members = [canonical(item) for item in value]
+        return {"__set__": sorted(members, key=lambda item: json.dumps(
+            item, sort_keys=True, separators=(",", ":")))}
+    if isinstance(value, dict):
+        converted: dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"cannot canonicalise mapping key {key!r}: cache keys "
+                    "require string-keyed mappings"
+                )
+            converted[key] = canonical(item)
+        return converted
+    # numpy scalars and 0-d arrays unwrap to their Python value (np.int64(7)
+    # must hash like 7 — axis values frequently arrive via np.arange);
+    # proper arrays become tagged nested lists.
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "ndim", None) == 0:
+        return canonical(value.item())
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return {"__ndarray__": canonical(tolist()),
+                "dtype": str(getattr(value, "dtype", ""))}
+    if callable(item):
+        return canonical(item())
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__!r} for a cache key; "
+        "scenario ingredients must be dataclasses, numbers, strings, "
+        "containers or numpy values"
+    )
+
+
+def scenario_fingerprint(scenario: FlightScenario) -> str:
+    """Canonical JSON rendering of a scenario (the pre-image of its key).
+
+    The scenario's ``name`` is excluded: it labels reports and never
+    influences the flight, and hashing it would make every grid rename (or
+    a boundary probe revisiting a grid cell under a different variant name)
+    re-fly physically identical flights.
+    """
+    if not isinstance(scenario, FlightScenario):
+        raise TypeError(f"expected FlightScenario, got {type(scenario).__name__}")
+    payload = canonical(scenario)
+    del payload["name"]
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(scenario: FlightScenario, salt: str | None = None) -> str:
+    """Content-addressed key of one flight: sha256 over (scenario, salt).
+
+    ``salt`` defaults to :data:`VERSION_SALT`; pass an explicit value to
+    maintain several independent generations of results in one store.
+    """
+    blob = json.dumps(
+        {"salt": VERSION_SALT if salt is None else salt,
+         "scenario": scenario_fingerprint(scenario)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

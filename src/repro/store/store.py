@@ -1,0 +1,231 @@
+"""Content-addressed, directory-backed store of per-flight campaign results.
+
+Layout: one JSON document per flown scenario under
+``<root>/<key[:2]>/<key>.json`` (git-style fan-out so a directory never holds
+millions of entries), where ``key`` is :func:`~repro.store.keys.cache_key` of
+the scenario.  Optional bulky payloads (trajectory arrays) live next to the
+JSON cell as ``<key>.npz``.
+
+Only *successful* outcomes are persisted: a variant that raised may have
+failed for a transient reason (a broken pool, an out-of-memory kill), and a
+sticky cached failure would silently poison every later campaign.  Corrupt
+or unreadable entries are treated as misses, deleted, and re-flown — the
+store is a cache, never an authority.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from .keys import VERSION_SALT, cache_key
+
+if TYPE_CHECKING:
+    from ..campaign.grid import GridVariant
+
+__all__ = ["CampaignStore", "StoreStats"]
+
+#: Schema version of the stored JSON cells; bump on incompatible layout
+#: changes (old cells then read as corrupt and are re-flown).
+_FORMAT = 1
+
+
+@dataclass
+class StoreStats:
+    """Lookup/write accounting of one :class:`CampaignStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt, "writes": self.writes}
+
+
+@dataclass
+class CampaignStore:
+    """Persistent cache of :class:`~repro.campaign.results.VariantOutcome`s.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cells (created on first use).
+    salt:
+        Version salt mixed into every key; defaults to
+        :data:`~repro.store.keys.VERSION_SALT`.  Results stored under a
+        different salt are invisible — stale generations are simply never
+        hit, so a salt bump needs no explicit invalidation pass.
+    """
+
+    root: Path
+    salt: str = VERSION_SALT
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- keys and paths ----------------------------------------------------------
+
+    def key_for(self, variant: "GridVariant") -> str:
+        """Cache key of a variant (content hash of its scenario + salt)."""
+        return cache_key(variant.scenario, salt=self.salt)
+
+    def path_for(self, key: str) -> Path:
+        """Path of the JSON cell for ``key``."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- outcome cells -----------------------------------------------------------
+
+    def get(self, variant: "GridVariant") -> "Any | None":
+        """Cached outcome for ``variant``, or ``None`` on miss.
+
+        A hit is rebuilt around the *live* variant's name/axes (they are
+        grid-level metadata, not flight content — the key deliberately
+        excludes the scenario name, so a hit may come from a flight flown
+        under a different label), carrying the cached summary and the
+        original flight's wall time.  Corrupt cells count in
+        ``stats.corrupt``, are deleted and reported as misses.
+        """
+        from ..campaign.results import SUMMARY_FIELDS, VariantOutcome
+
+        key = self.key_for(variant)
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._drop_corrupt(path)
+            return None
+        if (
+            not isinstance(payload, Mapping)
+            or payload.get("format") != _FORMAT
+            or payload.get("key") != key
+            or not isinstance(payload.get("summary"), Mapping)
+            or not set(SUMMARY_FIELDS) <= set(payload["summary"])
+            or not isinstance(payload.get("wall_time", 0.0), (int, float))
+            or isinstance(payload.get("wall_time", 0.0), bool)
+        ):
+            self._drop_corrupt(path)
+            return None
+        self.stats.hits += 1
+        summary = dict(payload["summary"])
+        summary["scenario"] = variant.scenario.name
+        return VariantOutcome(
+            name=variant.name,
+            axes=variant.axes,
+            seed=variant.scenario.seed,
+            summary=summary,
+            error=None,
+            wall_time=float(payload.get("wall_time", 0.0)),
+            cached=True,
+        )
+
+    def put(self, variant: "GridVariant", outcome: "Any") -> bool:
+        """Persist a successful outcome; returns ``True`` when written.
+
+        Failed outcomes (``outcome.error`` set) and outcomes that were
+        themselves served from a store are skipped.
+        """
+        from ..campaign.results import _json_default
+
+        if outcome.error is not None or outcome.summary is None or outcome.cached:
+            return False
+        key = self.key_for(variant)
+        path = self.path_for(key)
+        payload = {
+            "format": _FORMAT,
+            "key": key,
+            "salt": self.salt,
+            "scenario": variant.scenario.name,
+            "summary": outcome.summary,
+            "wall_time": outcome.wall_time,
+        }
+        self._write_atomic(path, json.dumps(payload, indent=2, default=_json_default))
+        self.stats.writes += 1
+        return True
+
+    # -- trajectory arrays -------------------------------------------------------
+
+    def put_arrays(self, variant: "GridVariant", **arrays: Any) -> Path:
+        """Persist named numpy arrays (e.g. trajectory traces) for a variant.
+
+        The arrays ride alongside the JSON cell as ``<key>.npz``; they are
+        optional payload — :meth:`get` never requires them.
+        """
+        import numpy as np
+
+        path = self.path_for(self.key_for(variant)).with_suffix(".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(
+            dir=path.parent, suffix=".tmp", delete=False
+        ) as handle:
+            np.savez_compressed(handle, **arrays)
+            temp_name = handle.name
+        os.replace(temp_name, path)
+        return path
+
+    def get_arrays(self, variant: "GridVariant") -> dict[str, Any] | None:
+        """Load the arrays stored for a variant, or ``None`` when absent."""
+        import numpy as np
+
+        path = self.path_for(self.key_for(variant)).with_suffix(".npz")
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            self.stats.corrupt += 1
+            return None
+
+    # -- maintenance -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of stored JSON cells (all salts)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cell (and array payload); returns the cell count."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*"):
+            if path.suffix == ".json":
+                removed += 1
+            path.unlink()
+        return removed
+
+    # -- internal ----------------------------------------------------------------
+
+    def _drop_corrupt(self, path: Path) -> None:
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _write_atomic(path: Path, text: str) -> None:
+        """Write via rename so a killed campaign never leaves a torn cell
+        (a half-written JSON would read as corruption on resume, which is
+        safe but wastes a flight)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False
+        ) as handle:
+            handle.write(text)
+            handle.write("\n")
+            temp_name = handle.name
+        os.replace(temp_name, path)

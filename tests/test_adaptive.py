@@ -1,0 +1,361 @@
+"""Tests for the adaptive boundary search (repro.adaptive).
+
+Real flights cost seconds each, so the search logic is exercised through a
+synthetic :class:`~repro.campaign.backends.ExecutorBackend` that fabricates
+outcomes from the probed axis value — which doubles as a test that the
+backend protocol is a genuine substitution point.  The expensive end-to-end
+run against real flights lives in ``benchmarks/test_adaptive_boundary.py``.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.adaptive import (
+    BoundaryBracketError,
+    BoundarySearch,
+    VerdictError,
+    crashed,
+    not_recovered,
+    recovery_latency_exceeds,
+    resolve_predicate,
+    switched_to_safety,
+)
+from repro.attacks import CpuHogAttack, UdpFloodAttack
+from repro.campaign import CampaignRunner, ScenarioGrid
+from repro.campaign.results import SUMMARY_FIELDS, VariantOutcome
+from repro.sim import FlightScenario
+from repro.store import CampaignStore
+
+
+def tiny_scenario(**kwargs) -> FlightScenario:
+    defaults = dict(name="tiny", duration=0.5, record_hz=20.0)
+    defaults.update(kwargs)
+    return FlightScenario(**defaults)
+
+
+def fake_summary(name: str, crashed: bool) -> dict:
+    summary = {key: None for key in SUMMARY_FIELDS}
+    summary.update({
+        "scenario": name,
+        "crashed": crashed,
+        "switched_to_safety": crashed,
+        "max_deviation": 3.0 if crashed else 0.4,
+        "recovered": not crashed,
+    })
+    return summary
+
+
+@dataclass(frozen=True)
+class ThresholdBackend:
+    """Fabricates outcomes: the flight 'crashes' iff the probed value of
+    ``axis`` is >= ``threshold``.  Counts executions for flight accounting."""
+
+    axis: str = "memguard_budget"
+    threshold: float = 4242.0
+    flown: list = field(default_factory=list, compare=False)
+
+    name = "threshold-fake"
+
+    def map(self, fn, items):
+        for variant in items:
+            value = dict(variant.axes)[self.axis]
+            self.flown.append(value)
+            yield VariantOutcome(
+                name=variant.name,
+                axes=variant.axes,
+                seed=variant.scenario.seed,
+                summary=fake_summary(variant.name, float(value) >= self.threshold),
+                error=None,
+                wall_time=0.001,
+            )
+
+
+def make_search(**overrides) -> BoundarySearch:
+    options = dict(
+        scenario=tiny_scenario(),
+        axis="memguard_budget",
+        lo=2000,
+        hi=32000,
+        tolerance=781,
+        batch=1,
+    )
+    options.update(overrides)
+    return BoundarySearch(**options)
+
+
+def threshold_runner(threshold=4242.0, axis="memguard_budget") -> CampaignRunner:
+    return CampaignRunner(backend=ThresholdBackend(axis=axis, threshold=threshold))
+
+
+class TestBoundarySearch:
+    def test_localizes_within_tolerance(self):
+        search = make_search()
+        result = search.run(threshold_runner())
+        assert result.width <= search.tolerance
+        assert result.lo < 4242 <= result.hi
+        assert result.lo_verdict is False
+        assert abs(result.boundary - 4242) <= search.tolerance / 2 + 1
+
+    def test_logarithmic_flight_count(self):
+        search = make_search()
+        result = search.run(threshold_runner())
+        rounds = math.ceil(math.log2((search.hi - search.lo) / search.tolerance))
+        assert result.flights <= 2 + rounds
+        # Far fewer than the dense sweep the bisection replaces.
+        assert result.flights <= search.dense_grid_size() // 2
+
+    def test_batched_refinement(self):
+        search = make_search(batch=3)
+        result = search.run(threshold_runner())
+        assert result.width <= search.tolerance
+        assert result.lo < 4242 <= result.hi
+        rounds = math.ceil(math.log((search.hi - search.lo) / search.tolerance, 4))
+        assert result.flights <= 2 + 3 * rounds
+
+    def test_descending_verdict_direction(self):
+        # Verdict True at lo, False at hi (e.g. a protection that needs a
+        # minimum budget): the bracket still pins the flip.
+        runner = CampaignRunner(backend=ThresholdBackend(threshold=5000.0))
+        search = make_search(predicate=lambda outcome: not crashed(outcome))
+        result = search.run(runner)
+        assert result.lo_verdict is True
+        assert result.lo < 5000 <= result.hi
+        assert result.width <= search.tolerance
+
+    def test_integral_axis_probes_integers(self):
+        backend = ThresholdBackend()
+        result = make_search().run(CampaignRunner(backend=backend))
+        assert all(float(value) == int(value) for value in backend.flown)
+
+    def test_integral_axis_stops_at_adjacent_integers(self):
+        # Tolerance finer than 1 on an integer axis cannot refine forever.
+        search = make_search(lo=4240, hi=4250, tolerance=0.01)
+        result = search.run(threshold_runner())
+        assert result.hi - result.lo <= 1
+
+    def test_float_axis_not_snapped(self):
+        backend = ThresholdBackend(axis="attack_start", threshold=0.3)
+        search = BoundarySearch(
+            scenario=tiny_scenario(attacks=(UdpFloodAttack(start_time=0.1),)),
+            axis="attack_start", lo=0.1, hi=0.9, tolerance=0.05,
+        )
+        result = search.run(CampaignRunner(backend=backend))
+        assert result.width <= 0.05
+        assert any(float(value) != int(value) for value in backend.flown)
+
+    def test_no_bracket_raises(self):
+        with pytest.raises(BoundaryBracketError, match="no boundary bracketed"):
+            make_search().run(threshold_runner(threshold=1e9))
+
+    def test_failed_probe_raises_verdict_error(self):
+        @dataclass(frozen=True)
+        class BrokenBackend:
+            name = "broken"
+
+            def map(self, fn, items):
+                for variant in items:
+                    yield VariantOutcome(
+                        name=variant.name, axes=variant.axes,
+                        seed=variant.scenario.seed, summary=None,
+                        error="Traceback: boom", wall_time=0.001,
+                    )
+
+        with pytest.raises(VerdictError, match="no verdict"):
+            make_search().run(CampaignRunner(backend=BrokenBackend()))
+
+    def test_non_monotone_converges_to_first_flip(self):
+        @dataclass(frozen=True)
+        class BandBackend(ThresholdBackend):
+            """Crashes only inside [4242, 20000) — two flips."""
+
+            def map(self, fn, items):
+                for variant in items:
+                    value = float(dict(variant.axes)[self.axis])
+                    yield VariantOutcome(
+                        name=variant.name, axes=variant.axes,
+                        seed=variant.scenario.seed,
+                        summary=fake_summary(variant.name, 4242 <= value < 20000),
+                        error=None, wall_time=0.001,
+                    )
+
+        result = make_search(hi=16000).run(CampaignRunner(backend=BandBackend()))
+        assert result.lo < 4242 <= result.hi
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            make_search(lo=10, hi=10)
+        with pytest.raises(ValueError, match="tolerance"):
+            make_search(tolerance=0)
+        with pytest.raises(ValueError, match="batch"):
+            make_search(batch=0)
+        with pytest.raises(ValueError, match="narrower than the tolerance"):
+            make_search(lo=100, hi=200, tolerance=500)
+
+    def test_store_makes_repeat_search_free(self, tmp_path):
+        backend = ThresholdBackend()
+        store = CampaignStore(tmp_path)
+        cold = make_search().run(CampaignRunner(backend=backend, store=store))
+        assert cold.flights == len(backend.flown)
+        assert cold.cache_hits == 0
+
+        rerun_backend = ThresholdBackend()
+        warm = make_search().run(
+            CampaignRunner(backend=rerun_backend,
+                           store=CampaignStore(tmp_path))
+        )
+        assert warm.flights == 0
+        assert rerun_backend.flown == []
+        assert warm.cache_hits == cold.flights
+        assert (warm.lo, warm.hi) == (cold.lo, cold.hi)
+
+    def test_sub_ulp_tolerance_terminates(self):
+        # Once the bracket nears one float ulp, interior probe values round
+        # onto an endpoint; the search must stop refining, not spin forever.
+        backend = ThresholdBackend(axis="attack_start", threshold=1.0 + 2**-51)
+        search = BoundarySearch(
+            scenario=tiny_scenario(attacks=(UdpFloodAttack(start_time=0.1),)),
+            axis="attack_start", lo=1.0, hi=1.0 + 2**-50, tolerance=1e-18,
+        )
+        result = search.run(CampaignRunner(backend=backend))
+        # Best achievable bracket: adjacent floats (wider than the asked
+        # tolerance, which is unreachable).
+        assert result.lo < result.hi
+        assert len(backend.flown) < 60
+
+    def test_probe_values_never_repeat(self):
+        backend = ThresholdBackend()
+        make_search(batch=2).run(CampaignRunner(backend=backend))
+        assert len(backend.flown) == len(set(backend.flown))
+
+
+class TestBoundaryResultExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return make_search(batch=2).run(threshold_runner())
+
+    def test_to_dict(self, result):
+        data = result.to_dict()
+        assert data["axis"] == "memguard_budget"
+        assert data["bracket"] == [result.lo, result.hi]
+        assert data["flights"] == result.flights
+        assert data["dense_grid_size"] == 40
+        assert len(data["probes"]) == len(result.probes)
+        assert all("verdict" in row for row in data["probes"])
+
+    def test_to_json_roundtrip(self, result, tmp_path):
+        import json
+
+        path = tmp_path / "boundary.json"
+        text = result.to_json(path)
+        assert json.loads(path.read_text()) == json.loads(text)
+
+    def test_tables(self, result):
+        text = result.to_text()
+        assert "Boundary search on 'memguard_budget'" in text
+        assert "fail" in text and "ok" in text
+        markdown = result.to_markdown()
+        assert markdown.count("|") > 10
+
+    def test_campaign_view(self, result):
+        campaign = result.campaign()
+        assert len(campaign) == len(result.probes)
+        rows = campaign.summaries()
+        assert all(row["memguard_budget"] is not None for row in rows)
+        # Probes flow through the standard cell aggregation.
+        assert len(campaign.cells()) == len(result.probes)
+
+
+class TestAttackParamAxis:
+    def test_grid_axis_sets_parameter(self):
+        base = tiny_scenario(attacks=(UdpFloodAttack(start_time=0.1),))
+        grid = ScenarioGrid(base, axes={"attack.packets_per_second": [1000.0, 2000.0]})
+        rates = [
+            variant.scenario.attacks[0].packets_per_second
+            for variant in grid.variants()
+        ]
+        assert rates == [1000.0, 2000.0]
+
+    def test_only_declaring_attacks_are_touched(self):
+        base = tiny_scenario(
+            attacks=(UdpFloodAttack(start_time=0.1), CpuHogAttack(start_time=0.2))
+        )
+        variant = ScenarioGrid(
+            base, axes={"attack.packets_per_second": [123.0]}
+        ).variants()[0]
+        flood, hog = variant.scenario.attacks
+        assert flood.packets_per_second == 123.0
+        assert hog == CpuHogAttack(start_time=0.2)
+
+    def test_unknown_parameter_fails_at_expansion(self):
+        base = tiny_scenario(attacks=(UdpFloodAttack(start_time=0.1),))
+        grid = ScenarioGrid(base, axes={"attack.warp_factor": [1]})
+        with pytest.raises(ValueError, match="has parameter"):
+            grid.variants()
+
+    def test_requires_attacks(self):
+        grid = ScenarioGrid(tiny_scenario(), axes={"attack.packets_per_second": [1.0]})
+        with pytest.raises(ValueError, match="requires a base scenario with attacks"):
+            grid.variants()
+
+    def test_register_axis_rejects_attack_namespace(self):
+        from repro.campaign import register_axis
+
+        with pytest.raises(ValueError, match="resolved dynamically"):
+            register_axis("attack.custom", lambda s, v: s)
+
+    def test_integral_autodetection_from_attack_param(self):
+        base = tiny_scenario(attacks=(CpuHogAttack(start_time=0.1),))
+        search = BoundarySearch(
+            scenario=base, axis="attack.threads", lo=1, hi=16, tolerance=1,
+        )
+        assert search._integral() is True
+        flood = tiny_scenario(attacks=(UdpFloodAttack(start_time=0.1),))
+        float_search = BoundarySearch(
+            scenario=flood, axis="attack.packets_per_second",
+            lo=100.0, hi=50000.0, tolerance=100.0,
+        )
+        assert float_search._integral() is False
+
+
+class TestPredicates:
+    def outcome(self, **summary_overrides):
+        summary = fake_summary("x", False)
+        summary.update(summary_overrides)
+        return VariantOutcome(
+            name="x", axes=(), seed=1, summary=summary, error=None, wall_time=0.0
+        )
+
+    def test_basic_predicates(self):
+        assert crashed(self.outcome(crashed=True)) is True
+        assert crashed(self.outcome(crashed=False)) is False
+        assert switched_to_safety(self.outcome(switched_to_safety=True)) is True
+        assert not_recovered(self.outcome(recovered=False)) is True
+
+    def test_recovery_latency_exceeds(self):
+        fast = self.outcome(recovery_latency=0.2)
+        slow = self.outcome(recovery_latency=2.0)
+        never = self.outcome(recovery_latency=None)
+        predicate = recovery_latency_exceeds(0.5)
+        assert predicate(fast) is False
+        assert predicate(slow) is True
+        # Never switched == unbounded latency: worse than any threshold.
+        assert predicate(never) is True
+
+    def test_failed_outcome_has_no_verdict(self):
+        broken = VariantOutcome(
+            name="x", axes=(), seed=1, summary=None, error="boom", wall_time=0.0
+        )
+        with pytest.raises(VerdictError):
+            crashed(broken)
+
+    def test_resolve_predicate(self):
+        assert resolve_predicate("crashed") is crashed
+        assert resolve_predicate("recovery_latency_exceeds:1.5")(
+            self.outcome(recovery_latency=2.0)
+        ) is True
+        with pytest.raises(KeyError, match="unknown verdict predicate"):
+            resolve_predicate("nonsense")
+        with pytest.raises(ValueError, match="invalid threshold"):
+            resolve_predicate("recovery_latency_exceeds:abc")

@@ -401,6 +401,76 @@ class TestCampaignResult:
         assert all(outcome.wall_time > 0.0 for outcome in campaign)
 
 
+class TestExecutorBackends:
+    def test_explicit_backend_is_used(self):
+        from repro.campaign import SerialBackend
+
+        flown = []
+
+        class CountingBackend(SerialBackend):
+            def map(self, fn, items):
+                for item in items:
+                    flown.append(item.name)
+                    yield fn(item)
+
+        result = CampaignRunner(backend=CountingBackend()).run(
+            ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2]})
+        )
+        assert len(result.successes()) == 2
+        assert len(flown) == 2
+
+    def test_backend_failure_records_fallback_reason(self):
+        from repro.campaign import SerialBackend
+
+        class FlakyBackend(SerialBackend):
+            """Produces one outcome, then dies like a broken pool."""
+
+            def map(self, fn, items):
+                yield fn(items[0])
+                raise OSError("fork exhausted")
+
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2, 3]})
+        with pytest.warns(RuntimeWarning, match="finishing the remaining"):
+            result = CampaignRunner(backend=FlakyBackend()).run(grid)
+        # The campaign still completed, and the degradation is recorded
+        # instead of silently swallowed.
+        assert len(result.successes()) == 3
+        assert result.fallback_reason == "OSError('fork exhausted')"
+        assert result.to_dict()["executor_fallback"] == "OSError('fork exhausted')"
+        assert "executor fell back to serial" in result.to_text()
+
+    def test_no_fallback_reports_none(self):
+        result = CampaignRunner(mode="serial").run(
+            ScenarioGrid(tiny_scenario(), axes={"seed": [1]})
+        )
+        assert result.fallback_reason is None
+        assert result.to_dict()["executor_fallback"] is None
+        assert "fell back" not in result.to_text()
+
+    def test_distributed_stub_falls_back_serially(self):
+        from repro.campaign import DistributedBackend
+
+        grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2]})
+        with pytest.warns(RuntimeWarning, match="distributed"):
+            result = CampaignRunner(backend=DistributedBackend()).run(grid)
+        assert len(result.successes()) == 2
+        assert "NotImplementedError" in result.fallback_reason
+
+    def test_get_backend_registry(self):
+        from repro.campaign import (
+            ProcessPoolBackend,
+            SerialBackend,
+            get_backend,
+        )
+
+        assert isinstance(get_backend("serial"), SerialBackend)
+        pool = get_backend("process-pool", max_workers=2)
+        assert isinstance(pool, ProcessPoolBackend)
+        assert pool.max_workers == 2
+        with pytest.raises(KeyError, match="unknown executor backend"):
+            get_backend("quantum")
+
+
 class TestGridVariant:
     def test_axis_dict(self):
         variant = GridVariant(

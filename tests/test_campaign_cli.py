@@ -1,0 +1,237 @@
+"""Tests for the spec-file layer and the ``python -m repro.campaign`` CLI.
+
+The CLI entry point is exercised in-process via ``main(argv)`` (a subprocess
+would pay the interpreter + numpy import cost per test); spec parsing and
+scenario building are covered as plain functions.  Flights are tiny.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.__main__ import main
+from repro.campaign.spec import (
+    build_grid,
+    build_runner,
+    build_scenario,
+    build_search,
+    load_spec,
+)
+
+TINY_SCENARIO = {"name": "cli-tiny", "duration": 0.4, "record_hz": 20.0}
+
+
+def write_spec(path, spec, form="json"):
+    if form == "json":
+        path.write_text(json.dumps(spec))
+    else:
+        lines = []
+        for table, content in spec.items():
+            lines.append(f"[{table}]")
+            for key, value in content.items():
+                lines.append(f"{key} = {json.dumps(value)}")
+            lines.append("")
+        path.write_text("\n".join(lines))
+    return path
+
+
+class TestSpecLoading:
+    def test_json_and_toml_load_identically(self, tmp_path):
+        spec = {"scenario": dict(TINY_SCENARIO), "axes": {"seed": [1, 2]}}
+        from_json = load_spec(write_spec(tmp_path / "spec.json", spec))
+        from_toml = load_spec(write_spec(tmp_path / "spec.toml", spec, form="toml"))
+        assert from_json == from_toml
+
+    def test_spec_needs_exactly_one_of_axes_or_adaptive(self, tmp_path):
+        with pytest.raises(ValueError, match="exactly one of"):
+            load_spec(write_spec(tmp_path / "none.json", {"scenario": {}}))
+        both = {
+            "axes": {"seed": [1]},
+            "adaptive": {"axis": "seed", "lo": 0, "hi": 9, "tolerance": 1},
+        }
+        with pytest.raises(ValueError, match="exactly one of"):
+            load_spec(write_spec(tmp_path / "both.json", both))
+
+
+class TestBuildScenario:
+    def test_defaults_to_plain_scenario(self):
+        scenario = build_scenario(None)
+        assert scenario.name == "hover"
+
+    def test_figure_constructor_with_arguments(self):
+        scenario = build_scenario({"figure": "figure5", "attack_start": 3.0,
+                                   "duration": 8.0})
+        assert scenario.name == "fig5-memdos-with-memguard"
+        assert scenario.duration == 8.0
+        assert scenario.attacks[0].start_time == 3.0
+
+    def test_field_overrides_apply_on_top(self):
+        scenario = build_scenario({"figure": "figure5", "seed": 7,
+                                   "geofence_radius": 2.0, "name": "custom"})
+        assert scenario.seed == 7
+        assert scenario.geofence_radius == 2.0
+        assert scenario.name == "custom"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario figure"):
+            build_scenario({"figure": "figure99"})
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario option"):
+            build_scenario({"warp": 9})
+
+
+class TestBuildPieces:
+    def test_build_grid(self):
+        spec = {"scenario": dict(TINY_SCENARIO),
+                "axes": {"seed": [1, 2], "monitor": [True, False]}}
+        grid = build_grid(spec)
+        assert len(grid) == 4
+        assert grid.axis_names == ("seed", "monitor")
+
+    def test_build_search(self):
+        spec = {
+            "scenario": {"figure": "figure5", "duration": 6.0},
+            "adaptive": {"axis": "memguard_budget", "lo": 2000, "hi": 32000,
+                         "tolerance": 781, "batch": 3,
+                         "predicate": "crashed"},
+        }
+        search = build_search(spec)
+        assert search.axis == "memguard_budget"
+        assert (search.lo, search.hi) == (2000.0, 32000.0)
+        assert search.batch == 3
+        assert search.dense_grid_size() == 40
+
+    def test_build_search_missing_key(self):
+        with pytest.raises(ValueError, match="missing 'tolerance'"):
+            build_search({"adaptive": {"axis": "seed", "lo": 0, "hi": 9}})
+
+    def test_build_search_unknown_option(self):
+        with pytest.raises(ValueError, match="unknown adaptive option"):
+            build_search({"adaptive": {"axis": "seed", "lo": 0, "hi": 9,
+                                       "tolerance": 1, "fuzz": True}})
+
+    def test_build_runner_policy(self, tmp_path):
+        runner = build_runner({"runner": {"mode": "serial", "max_workers": 3}})
+        assert runner.mode == "serial"
+        assert runner.max_workers == 3
+        assert runner.store is None
+
+    def test_build_runner_backend_and_store(self, tmp_path):
+        from repro.campaign import ProcessPoolBackend
+
+        runner = build_runner({
+            "runner": {"backend": "process-pool",
+                       "backend_options": {"max_workers": 2},
+                       "store": str(tmp_path / "cells")},
+        })
+        assert isinstance(runner.backend, ProcessPoolBackend)
+        assert runner.backend.max_workers == 2
+        assert runner.store is not None
+
+    def test_cli_overrides_win(self, tmp_path):
+        runner = build_runner(
+            {"runner": {"mode": "parallel", "store": str(tmp_path / "a")}},
+            store_dir=tmp_path / "b", mode="serial", max_workers=1,
+        )
+        assert runner.mode == "serial"
+        assert runner.max_workers == 1
+        assert runner.store.root == tmp_path / "b"
+
+    def test_cli_policy_override_drops_spec_backend(self, tmp_path):
+        # An explicit backend would be used unconditionally by the runner,
+        # so a --serial/--max-workers override must displace it — otherwise
+        # "force serial execution" would silently keep the pool.
+        spec = {"runner": {"backend": "process-pool",
+                           "backend_options": {"max_workers": 8}}}
+        runner = build_runner(spec, mode="serial")
+        assert runner.backend is None
+        assert runner.mode == "serial"
+        runner = build_runner(spec, max_workers=2)
+        assert runner.backend is None
+        assert runner.max_workers == 2
+
+    def test_unknown_runner_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown runner option"):
+            build_runner({"runner": {"threads": 4}})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown executor backend"):
+            build_runner({"runner": {"backend": "quantum"}})
+
+    def test_orphan_backend_options_rejected(self):
+        # backend_options without a backend name would otherwise be
+        # silently discarded (unlike every other misplaced runner option).
+        with pytest.raises(ValueError, match="requires a 'backend' name"):
+            build_runner({"runner": {"backend_options": {"max_workers": 8}}})
+
+
+class TestCliEndToEnd:
+    def grid_spec(self, tmp_path, **runner):
+        spec = {"scenario": dict(TINY_SCENARIO), "axes": {"seed": [1, 2]},
+                "runner": {"mode": "serial", **runner}}
+        return write_spec(tmp_path / "spec.json", spec)
+
+    def test_markdown_report_by_default(self, tmp_path, capsys):
+        assert main([str(self.grid_spec(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "### Campaign summary" in out
+        assert "| Cell |" in out
+
+    def test_json_format_and_csv_export(self, tmp_path, capsys):
+        code = main([
+            str(self.grid_spec(tmp_path)), "--format", "json",
+            "--csv", str(tmp_path / "rows.csv"),
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["variants"] == 2
+        header = (tmp_path / "rows.csv").read_text().splitlines()[0]
+        assert header.startswith("variant,seed")
+
+    def test_store_caches_between_invocations(self, tmp_path, capsys):
+        spec = self.grid_spec(tmp_path, store=str(tmp_path / "cells"))
+        assert main([str(spec)]) == 0
+        capsys.readouterr()
+        assert main([str(spec), "--format", "text"]) == 0
+        assert "2 from cache" in capsys.readouterr().out
+
+    def test_toml_spec_runs(self, tmp_path, capsys):
+        spec = write_spec(
+            tmp_path / "spec.toml",
+            {"scenario": dict(TINY_SCENARIO), "axes": {"seed": [1]},
+             "runner": {"mode": "serial"}},
+            form="toml",
+        )
+        assert main([str(spec)]) == 0
+        assert "Campaign summary" in capsys.readouterr().out
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        path = write_spec(tmp_path / "bad.json", {"scenario": {}})
+        assert main([str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_adaptive_unknown_axis_exits_2(self, tmp_path, capsys):
+        # The axis resolves lazily inside the search run; a typo must still
+        # honour the "error: ..." + exit 2 contract, not dump a traceback.
+        spec = {"scenario": dict(TINY_SCENARIO),
+                "adaptive": {"axis": "memguard_bugdet", "lo": 2000,
+                             "hi": 32000, "tolerance": 781},
+                "runner": {"mode": "serial"}}
+        path = write_spec(tmp_path / "spec.json", spec)
+        assert main([str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.toml")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_failed_variants_exit_2(self, tmp_path, capsys):
+        # physics_dt > duration yields zero recorded samples: every variant
+        # fails inside the flight and is captured as an error outcome.
+        spec = {"scenario": {"name": "broken", "duration": 0.2,
+                             "physics_dt": 0.5, "record_hz": 20.0},
+                "axes": {"seed": [1]}, "runner": {"mode": "serial"}}
+        path = write_spec(tmp_path / "spec.json", spec)
+        assert main([str(path)]) == 2
+        assert "FAILED" in capsys.readouterr().err

@@ -40,6 +40,10 @@ def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
          ["--duration", "2", "--seeds", "1", "--budgets", "2000",
           "--attack-starts", "1.0", "--serial"],
          ["Campaign summary", "memguard_budget=2000"]),
+        ("adaptive_boundary.py",
+         ["--duration", "3", "--attack-start", "0.5", "--geofence", "1.0",
+          "--tolerance-mbps", "250", "--batch", "1", "--serial"],
+         ["Boundary search on 'memguard_budget'", "Boundary estimate"]),
     ],
 )
 def test_example_runs(name, args, expected_fragments):

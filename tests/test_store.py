@@ -1,0 +1,329 @@
+"""Tests for the content-addressed campaign result store (repro.store).
+
+Covers key stability and sensitivity (scenario, attack parameters, framework
+config, version salt), hit/miss/corruption accounting, runner integration
+(warm re-runs fly nothing, changed cells fly alone), killed-then-resumed
+campaigns, and the optional trajectory-array payload.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.attacks import MemoryBandwidthAttack, UdpFloodAttack
+from repro.campaign import CampaignRunner, GridVariant, ScenarioGrid
+from repro.sim import FlightScenario
+from repro.store import VERSION_SALT, CampaignStore, cache_key, scenario_fingerprint
+
+
+def tiny_scenario(**kwargs) -> FlightScenario:
+    defaults = dict(name="tiny", duration=0.5, record_hz=20.0)
+    defaults.update(kwargs)
+    return FlightScenario(**defaults)
+
+
+def tiny_grid(seeds=(1, 2), **kwargs) -> ScenarioGrid:
+    return ScenarioGrid(tiny_scenario(**kwargs), axes={"seed": list(seeds)})
+
+
+class TestCacheKey:
+    def test_key_is_stable_across_instances(self):
+        assert cache_key(tiny_scenario()) == cache_key(tiny_scenario())
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key(tiny_scenario())
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_scenario_fields_change_the_key(self):
+        base = tiny_scenario()
+        assert cache_key(base) != cache_key(base.with_seed(3))
+        assert cache_key(base) != cache_key(replace(base, duration=0.6))
+
+    def test_name_does_not_change_the_key(self):
+        # The name labels reports and never influences the flight; hashing
+        # it would re-fly physically identical flights after a grid rename.
+        base = tiny_scenario()
+        assert cache_key(base) == cache_key(base.with_name("other"))
+
+    def test_attack_parameters_change_the_key(self):
+        base = tiny_scenario(attacks=(MemoryBandwidthAttack(start_time=0.2),))
+        moved = base.with_attack_start(0.3)
+        tuned = base.with_attacks(
+            MemoryBandwidthAttack(start_time=0.2, access_rate=1.0e7)
+        )
+        keys = {cache_key(base), cache_key(moved), cache_key(tuned)}
+        assert len(keys) == 3
+
+    def test_attack_type_changes_the_key(self):
+        # Two attacks with coincidentally equal field values must not
+        # collide: the class name participates in the canonical form.
+        memory = tiny_scenario(attacks=(MemoryBandwidthAttack(start_time=0.2),))
+        flood = tiny_scenario(attacks=(UdpFloodAttack(start_time=0.2),))
+        assert cache_key(memory) != cache_key(flood)
+
+    def test_framework_config_changes_the_key(self):
+        base = tiny_scenario()
+        budget = base.with_config(base.config.with_memguard_budget(1234))
+        toggled = base.with_config(base.config.with_protections(monitor=False))
+        keys = {cache_key(base), cache_key(budget), cache_key(toggled)}
+        assert len(keys) == 3
+
+    def test_salt_changes_the_key(self):
+        base = tiny_scenario()
+        assert cache_key(base) != cache_key(base, salt="other-generation")
+        assert cache_key(base) == cache_key(base, salt=VERSION_SALT)
+
+    def test_numpy_values_hash_like_python_values(self):
+        # Axis values frequently arrive as numpy scalars (np.arange).
+        assert cache_key(tiny_scenario(seed=np.int64(7))) == cache_key(
+            tiny_scenario(seed=7)
+        )
+
+    def test_fingerprint_is_canonical_json(self):
+        payload = json.loads(scenario_fingerprint(tiny_scenario()))
+        assert payload["__dataclass__"].endswith("FlightScenario")
+        assert payload["seed"] == 2019
+
+    def test_unsupported_values_fail_loudly(self):
+        from repro.store import canonical
+
+        with pytest.raises(TypeError, match="canonicalise"):
+            canonical(object())
+
+
+class TestCampaignStoreCells:
+    def test_miss_then_hit_accounting(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        runner = CampaignRunner(mode="serial", store=store)
+        cold = runner.run(tiny_grid())
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        assert store.stats.as_dict() == {
+            "hits": 0, "misses": 2, "corrupt": 0, "writes": 2,
+        }
+        assert len(store) == 2
+
+        warm = CampaignRunner(mode="serial", store=CampaignStore(tmp_path)).run(
+            tiny_grid()
+        )
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert warm.summaries() == cold.summaries()
+        assert all(outcome.cached for outcome in warm)
+        assert not any(outcome.cached for outcome in cold)
+
+    def test_renamed_grid_reuses_cached_flights(self, tmp_path):
+        # Same physics under a different base name: every cell hits, and the
+        # served summaries carry the *new* scenario names.
+        store = CampaignStore(tmp_path)
+        CampaignRunner(mode="serial", store=store).run(tiny_grid())
+        renamed = ScenarioGrid(
+            tiny_scenario(name="renamed"), axes={"seed": [1, 2]}
+        )
+        warm = CampaignRunner(mode="serial", store=CampaignStore(tmp_path)).run(
+            renamed
+        )
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert [outcome.name for outcome in warm] == [
+            "renamed/seed=1", "renamed/seed=2",
+        ]
+        assert all(
+            outcome.summary["scenario"] == outcome.name for outcome in warm
+        )
+
+    def test_changed_cells_fly_alone(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        CampaignRunner(mode="serial", store=store).run(tiny_grid(seeds=(1, 2, 3)))
+        # One value changed, two kept: only the new seed flies.
+        rerun = CampaignRunner(mode="serial", store=store).run(
+            tiny_grid(seeds=(1, 2, 9))
+        )
+        assert (rerun.cache_hits, rerun.cache_misses) == (2, 1)
+
+    def test_corrupt_entry_falls_back_to_rerun(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        runner = CampaignRunner(mode="serial", store=store)
+        cold = runner.run(tiny_grid())
+        victim = next(tmp_path.glob("*/*.json"))
+        victim.write_text("{ not json at all")
+
+        fresh = CampaignStore(tmp_path)
+        warm = CampaignRunner(mode="serial", store=fresh).run(tiny_grid())
+        assert (warm.cache_hits, warm.cache_misses) == (1, 1)
+        assert fresh.stats.corrupt == 1
+        assert warm.summaries() == cold.summaries()
+        # The corrupt cell was replaced by a valid one.
+        assert CampaignStore(tmp_path).get(
+            tiny_grid().variants()[0]
+        ) is not None or CampaignStore(tmp_path).get(
+            tiny_grid().variants()[1]
+        ) is not None
+        assert len(CampaignStore(tmp_path)) == 2
+
+    def test_non_numeric_wall_time_reads_as_corruption(self, tmp_path):
+        # Valid JSON with a garbage wall_time must be a miss, not a crash
+        # inside the runner's cache-lookup loop.
+        store = CampaignStore(tmp_path)
+        CampaignRunner(mode="serial", store=store).run(tiny_grid(seeds=(1,)))
+        victim = next(tmp_path.glob("*/*.json"))
+        payload = json.loads(victim.read_text())
+        payload["wall_time"] = "fast"
+        victim.write_text(json.dumps(payload))
+        fresh = CampaignStore(tmp_path)
+        assert fresh.get(tiny_grid(seeds=(1,)).variants()[0]) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_schema_mismatch_reads_as_corruption(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        CampaignRunner(mode="serial", store=store).run(tiny_grid(seeds=(1,)))
+        victim = next(tmp_path.glob("*/*.json"))
+        payload = json.loads(victim.read_text())
+        payload["format"] = 999
+        victim.write_text(json.dumps(payload))
+        fresh = CampaignStore(tmp_path)
+        assert fresh.get(tiny_grid(seeds=(1,)).variants()[0]) is None
+        assert fresh.stats.corrupt == 1
+
+    def test_killed_campaign_resumes_from_cache(self, tmp_path):
+        # Reference: the full campaign, flown cold with no store.
+        reference = CampaignRunner(mode="serial").run(tiny_grid(seeds=(1, 2, 3, 4)))
+
+        # "Kill" a campaign halfway: only the first two variants completed
+        # (and were persisted) before the process died.
+        store = CampaignStore(tmp_path)
+        partial = tiny_grid(seeds=(1, 2, 3, 4)).variants()[:2]
+        CampaignRunner(mode="serial", store=store).run(partial)
+        assert len(store) == 2
+
+        # The resumed campaign completes, flying only what is missing, and
+        # its summaries equal the uninterrupted cold run.
+        resumed_store = CampaignStore(tmp_path)
+        resumed = CampaignRunner(mode="serial", store=resumed_store).run(
+            tiny_grid(seeds=(1, 2, 3, 4))
+        )
+        assert (resumed.cache_hits, resumed.cache_misses) == (2, 2)
+        assert resumed.summaries() == reference.summaries()
+
+    def test_failed_outcomes_are_not_cached(self, tmp_path):
+        def _break_cpuset(scenario, value):
+            if not value:
+                return scenario
+            config = scenario.config
+            return scenario.with_config(
+                replace(config, cpu=replace(config.cpu, cce_cores=frozenset()))
+            )
+
+        grid = ScenarioGrid(tiny_scenario()).add_axis(
+            "broken", [True], applier=_break_cpuset
+        )
+        store = CampaignStore(tmp_path)
+        first = CampaignRunner(mode="serial", store=store).run(grid)
+        assert len(first.failures()) == 1
+        assert len(store) == 0
+        # A transient failure is re-attempted, never served from cache.
+        second = CampaignRunner(mode="serial", store=store).run(grid)
+        assert (second.cache_hits, second.cache_misses) == (0, 1)
+
+    def test_cells_persist_as_flights_complete(self, tmp_path):
+        # The resume guarantee depends on writing each cell when its flight
+        # finishes, not when the campaign ends: a SIGKILL at flight N must
+        # leave N cells on disk.  The spy observes the store between yields.
+        from repro.campaign import SerialBackend
+
+        cells_after_each_flight = []
+
+        class SpyBackend(SerialBackend):
+            def map(self, fn, items):
+                for item in items:
+                    yield fn(item)
+                    cells_after_each_flight.append(len(CampaignStore(tmp_path)))
+
+        CampaignRunner(backend=SpyBackend(), store=CampaignStore(tmp_path)).run(
+            tiny_grid(seeds=(1, 2))
+        )
+        assert cells_after_each_flight == [1, 2]
+
+    def test_interrupt_mid_campaign_keeps_completed_cells(self, tmp_path):
+        # KeyboardInterrupt is not swallowed by the serial fallback, but the
+        # flights that completed before it must already be on disk.
+        from repro.campaign import SerialBackend
+
+        class InterruptingBackend(SerialBackend):
+            def map(self, fn, items):
+                yield fn(items[0])
+                raise KeyboardInterrupt
+
+        store = CampaignStore(tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(backend=InterruptingBackend(), store=store).run(
+                tiny_grid(seeds=(1, 2, 3))
+            )
+        assert len(store) == 1
+        # The resumed campaign serves that cell from cache.
+        resumed = CampaignRunner(mode="serial", store=CampaignStore(tmp_path)).run(
+            tiny_grid(seeds=(1, 2, 3))
+        )
+        assert (resumed.cache_hits, resumed.cache_misses) == (1, 2)
+
+    def test_unwritable_store_does_not_lose_the_campaign(self, tmp_path):
+        # The store is a cache, never an authority: a failing write warns
+        # and the campaign keeps its results.
+        class BrokenStore(CampaignStore):
+            def put(self, variant, outcome):
+                raise OSError("read-only file system")
+
+        with pytest.warns(RuntimeWarning, match="store write failed"):
+            result = CampaignRunner(
+                mode="serial", store=BrokenStore(tmp_path)
+            ).run(tiny_grid())
+        assert len(result.successes()) == 2
+
+    def test_store_salt_partitions_results(self, tmp_path):
+        old = CampaignStore(tmp_path, salt="gen-1")
+        CampaignRunner(mode="serial", store=old).run(tiny_grid())
+        new = CampaignStore(tmp_path, salt="gen-2")
+        rerun = CampaignRunner(mode="serial", store=new).run(tiny_grid())
+        # The other generation's cells are invisible, not corrupt.
+        assert (rerun.cache_hits, rerun.cache_misses) == (0, 2)
+        assert new.stats.corrupt == 0
+        assert len(new) == 4  # both generations share the directory
+
+    def test_parallel_run_populates_and_uses_store(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        cold = CampaignRunner(mode="parallel", max_workers=2, store=store).run(
+            tiny_grid()
+        )
+        warm = CampaignRunner(mode="parallel", max_workers=2,
+                              store=CampaignStore(tmp_path)).run(tiny_grid())
+        assert warm.cache_hits == 2
+        assert warm.summaries() == cold.summaries()
+
+    def test_clear(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        CampaignRunner(mode="serial", store=store).run(tiny_grid())
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestTrajectoryArrays:
+    def test_roundtrip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        variant = GridVariant(name="v", axes=(), scenario=tiny_scenario())
+        assert store.get_arrays(variant) is None
+        times = np.linspace(0.0, 1.0, 5)
+        positions = np.zeros((5, 3))
+        store.put_arrays(variant, time=times, position=positions)
+        loaded = store.get_arrays(variant)
+        assert set(loaded) == {"time", "position"}
+        np.testing.assert_array_equal(loaded["time"], times)
+
+    def test_corrupt_archive_is_dropped(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        variant = GridVariant(name="v", axes=(), scenario=tiny_scenario())
+        store.put_arrays(variant, time=np.zeros(3))
+        archive = store.path_for(store.key_for(variant)).with_suffix(".npz")
+        archive.write_bytes(b"garbage")
+        assert store.get_arrays(variant) is None
+        assert store.stats.corrupt == 1
+        assert not archive.exists()
