@@ -1,0 +1,89 @@
+"""Distributed-backend acceptance: the ISSUE's 12-variant grid, for real.
+
+Flies the acceptance grid (2 MemGuard budgets x 2 attack starts x 3 seeds)
+three ways and checks the tentpole guarantees end to end:
+
+* **serial reference** — no store, the ground truth;
+* **distributed cold** — 2 spawned worker processes over the file
+  work-queue, persisting summaries *and* trajectory arrays
+  (``record_arrays``): outcomes must be identical to serial;
+* **distributed warm** — the same grid again: everything is served from the
+  store (12 hits, zero flights) and every variant's trajectory arrays load.
+
+Flights are short (2 s) to keep the benchmark affordable; the figure-level
+physics is exercised by the dedicated fig4-7 benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.campaign import CampaignRunner, DistributedBackend, ScenarioGrid
+from repro.sim import FlightScenario
+from repro.store import CampaignStore
+
+FLIGHT_DURATION = 2.0
+
+
+def acceptance_grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        FlightScenario.figure5(duration=FLIGHT_DURATION).with_name("dist-bench"),
+        axes={
+            "memguard_budget": [1500, 3000],
+            "attack_start": [0.5, 1.0],
+            "seed": [201, 202, 203],
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def distributed_runs(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("distributed-store")
+    grid = acceptance_grid()
+    assert len(grid) == 12
+    serial = CampaignRunner(mode="serial").run(grid)
+    backend = DistributedBackend(workers=2, lease_timeout=120.0)
+    cold = CampaignRunner(
+        backend=backend, store=CampaignStore(store_dir), record_arrays=True
+    ).run(grid)
+    warm = CampaignRunner(
+        backend=backend, store=CampaignStore(store_dir), record_arrays=True
+    ).run(grid)
+    return store_dir, serial, cold, warm
+
+
+def test_distributed_matches_serial(distributed_runs, report):
+    _, serial, cold, warm = distributed_runs
+    assert cold.fallback_reason is None
+    assert cold.failures() == ()
+    assert cold.summaries() == serial.summaries()
+
+    rows = [
+        ["serial", f"{serial.wall_time:.1f} s", "-"],
+        ["distributed cold (2 workers)", f"{cold.wall_time:.1f} s",
+         f"{cold.cache_misses} flown"],
+        ["distributed warm", f"{warm.wall_time:.2f} s",
+         f"{warm.cache_hits} from store"],
+    ]
+    report("distributed_backend", format_table(
+        ["Run", "Wall time", "Cache"],
+        rows,
+        title=f"Distributed file-queue backend: 12 x {FLIGHT_DURATION:.0f} s flights",
+    ))
+
+
+def test_warm_run_serves_everything_from_store(distributed_runs):
+    _, serial, _, warm = distributed_runs
+    assert (warm.cache_hits, warm.cache_misses) == (12, 0)
+    assert warm.summaries() == serial.summaries()
+
+
+def test_warm_store_serves_trajectory_arrays(distributed_runs):
+    store_dir, _, _, _ = distributed_runs
+    store = CampaignStore(store_dir)
+    for variant in acceptance_grid().variants():
+        arrays = store.get_arrays(variant)
+        assert arrays is not None, f"no arrays for {variant.name}"
+        assert len(arrays["time"]) > 0
+        assert arrays["position"].shape == (len(arrays["time"]), 3)

@@ -10,7 +10,8 @@ Usage::
 
     python examples/campaign_sweep.py [--duration SECONDS] [--seeds N]
         [--budgets B1,B2,...] [--attack-starts T1,T2,...] [--serial]
-        [--csv PATH] [--json PATH]
+        [--backend serial|process-pool|distributed] [--workers N]
+        [--store DIR] [--record-arrays] [--csv PATH] [--json PATH]
 """
 
 from __future__ import annotations
@@ -37,16 +38,29 @@ def main() -> None:
                         help="comma-separated MemGuard budgets [accesses/period]")
     parser.add_argument("--attack-starts", type=_floats, default=[2.0, 4.0],
                         help="comma-separated attack start times [s]")
-    parser.add_argument("--serial", action="store_true",
+    policy = parser.add_mutually_exclusive_group()
+    policy.add_argument("--serial", action="store_true",
                         help="force serial execution (default: process pool)")
+    policy.add_argument("--backend", choices=("serial", "process-pool", "distributed"),
+                        default=None,
+                        help="explicit executor backend (distributed spawns "
+                             "local worker processes over a file work-queue)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --backend distributed "
+                             "(default: 2)")
     parser.add_argument("--store", type=str, default=None,
                         help="cache flights in this result-store directory "
                              "(re-runs fly only changed cells)")
+    parser.add_argument("--record-arrays", action="store_true",
+                        help="persist trajectory arrays alongside cached "
+                             "cells (requires --store)")
     parser.add_argument("--csv", type=str, default=None,
                         help="write per-variant summaries to this CSV file")
     parser.add_argument("--json", type=str, default=None,
                         help="write the full campaign summary to this JSON file")
     args = parser.parse_args()
+    if args.record_arrays and not args.store:
+        parser.error("--record-arrays requires --store")
 
     base = FlightScenario.figure5(duration=args.duration)
     grid = ScenarioGrid(base, axes={
@@ -54,17 +68,25 @@ def main() -> None:
         "attack_start": args.attack_starts,
         "seed": list(range(args.seeds)),
     })
+    backend = None
+    if args.backend is not None:
+        from repro.campaign import get_backend
+
+        options = {"workers": args.workers} if args.backend == "distributed" else {}
+        backend = get_backend(args.backend, **options)
     mode = "serial" if args.serial else "auto"
+    label = args.backend or f"{mode} mode"
     print(f"Expanding {base.name}: "
           f"{len(args.budgets)} budgets x {len(args.attack_starts)} attack starts "
-          f"x {args.seeds} seeds = {len(grid)} flights ({mode} mode)")
+          f"x {args.seeds} seeds = {len(grid)} flights ({label})")
 
     store = None
     if args.store:
         from repro import CampaignStore
 
         store = CampaignStore(args.store)
-    result = CampaignRunner(mode=mode, store=store).run(grid)
+    result = CampaignRunner(mode=mode, backend=backend, store=store,
+                            record_arrays=args.record_arrays).run(grid)
     if store is not None:
         print(f"Result store {args.store}: {result.cache_hits} cached, "
               f"{result.cache_misses} flown")

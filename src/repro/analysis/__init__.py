@@ -7,8 +7,10 @@ from .export import (
     compare_results,
     recorder_to_rows,
     result_to_dict,
+    trajectory_to_rows,
     write_campaign_csv,
     write_csv,
+    write_trajectory_csv,
 )
 from .report import (
     format_boundary_table,
@@ -37,6 +39,8 @@ __all__ = [
     "oscillation_amplitude",
     "recorder_to_rows",
     "result_to_dict",
+    "trajectory_to_rows",
     "write_campaign_csv",
     "write_csv",
+    "write_trajectory_csv",
 ]

@@ -29,6 +29,8 @@ __all__ = [
     "campaign_to_dict",
     "write_campaign_csv",
     "boundary_to_dict",
+    "trajectory_to_rows",
+    "write_trajectory_csv",
 ]
 
 _FIELDS = [
@@ -92,6 +94,55 @@ def write_csv(recorder: FlightRecorder, destination: str | Path | io.TextIOBase)
     ``destination`` may be a path or an open text file object.
     """
     return _write_rows(recorder_to_rows(recorder), _FIELDS, destination)
+
+
+def trajectory_to_rows(arrays: dict[str, Any]) -> list[dict[str, Any]]:
+    """Flatten stored trajectory arrays into telemetry rows.
+
+    Inverts :func:`repro.campaign.trajectory_arrays`: given the ``.npz``
+    payload a ``record_arrays`` campaign persisted
+    (``CampaignStore.get_arrays``), produce the same row schema as
+    :func:`recorder_to_rows` — so cached campaigns can be plotted or
+    post-processed without re-flying a single variant.
+    """
+    times = arrays["time"]
+    position = arrays["position"]
+    setpoint = arrays["setpoint"]
+    velocity = arrays["velocity"]
+    attitude = arrays["attitude"]
+    sources = arrays["active_source"]
+    crashed = arrays["crashed"]
+    rows = []
+    for i in range(len(times)):
+        rows.append({
+            "time": float(times[i]),
+            "x": float(position[i, 0]),
+            "y": float(position[i, 1]),
+            "z": float(position[i, 2]),
+            "x_setpoint": float(setpoint[i, 0]),
+            "y_setpoint": float(setpoint[i, 1]),
+            "z_setpoint": float(setpoint[i, 2]),
+            "vx": float(velocity[i, 0]),
+            "vy": float(velocity[i, 1]),
+            "vz": float(velocity[i, 2]),
+            "roll": float(attitude[i, 0]),
+            "pitch": float(attitude[i, 1]),
+            "yaw": float(attitude[i, 2]),
+            "active_source": str(sources[i]),
+            "crashed": bool(crashed[i]),
+        })
+    return rows
+
+
+def write_trajectory_csv(
+    arrays: dict[str, Any], destination: str | Path | io.TextIOBase
+) -> int:
+    """Write stored trajectory arrays as telemetry CSV; returns the row count.
+
+    The output is column-compatible with :func:`write_csv` of a live
+    recording.
+    """
+    return _write_rows(trajectory_to_rows(arrays), _FIELDS, destination)
 
 
 def result_to_dict(result: FlightResult) -> dict[str, Any]:

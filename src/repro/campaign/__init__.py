@@ -18,7 +18,8 @@ from .backends import (
 )
 from .grid import AxisApplier, GridVariant, ScenarioGrid, register_axis, resolve_applier
 from .results import CampaignCell, CampaignResult, VariantOutcome
-from .runner import CampaignRunner, run_campaign
+from .runner import CampaignRunner, run_campaign, trajectory_arrays
+from .workqueue import FileWorkQueue
 
 __all__ = [
     "AxisApplier",
@@ -27,6 +28,7 @@ __all__ = [
     "CampaignRunner",
     "DistributedBackend",
     "ExecutorBackend",
+    "FileWorkQueue",
     "GridVariant",
     "ProcessPoolBackend",
     "ScenarioGrid",
@@ -36,4 +38,5 @@ __all__ = [
     "register_axis",
     "resolve_applier",
     "run_campaign",
+    "trajectory_arrays",
 ]

@@ -39,13 +39,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--store", metavar="DIR", default=None,
         help="result-store directory (overrides the spec's runner.store)",
     )
-    parser.add_argument(
+    policy = parser.add_mutually_exclusive_group()
+    policy.add_argument(
         "--serial", action="store_true",
-        help="force serial execution (overrides the spec's runner.mode)",
+        help="force serial execution (overrides the spec's runner.mode; "
+        "drops an explicit spec backend with a warning)",
+    )
+    policy.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="executor backend registry name (serial, process-pool, "
+        "distributed); overrides the spec's runner.backend and keeps the "
+        "spec's backend_options only when it names the same backend",
     )
     parser.add_argument(
         "--max-workers", type=int, default=None,
-        help="process-pool size (overrides the spec's runner.max_workers)",
+        help="process-pool size (overrides the spec's runner.max_workers; "
+        "not combinable with --backend)",
+    )
+    parser.add_argument(
+        "--record-arrays", action="store_true",
+        help="persist each flight's trajectory arrays to the store "
+        "(requires a store; overrides the spec's runner.record_arrays)",
     )
     return parser
 
@@ -59,6 +73,8 @@ def main(argv: list[str] | None = None) -> int:
             store_dir=args.store,
             mode="serial" if args.serial else None,
             max_workers=args.max_workers,
+            backend=args.backend,
+            record_arrays=True if args.record_arrays else None,
         )
         work = build_search(spec) if "adaptive" in spec else build_grid(spec)
     except (OSError, ValueError, KeyError, TypeError) as exc:

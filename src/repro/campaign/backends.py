@@ -9,15 +9,28 @@ implement :meth:`ExecutorBackend.map`.
 
 Backends must yield results as they become available (lazily) rather than
 collecting them first: the runner's fallback logic keeps every outcome that
-was produced before a mid-campaign pool failure.
+was produced before a mid-campaign pool failure.  Backends whose ``map``
+additionally accepts an ``on_complete(index, result)`` keyword invoke it the
+moment each item finishes, **in completion order** — the runner uses it to
+persist flights that completed but cannot be yielded yet because an earlier
+item is still running, so a killed campaign loses nothing that finished.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from .workqueue import FileWorkQueue
 
 __all__ = [
     "ExecutorBackend",
@@ -26,6 +39,9 @@ __all__ = [
     "DistributedBackend",
     "get_backend",
 ]
+
+#: Completion-order callback: ``on_complete(input_index, result)``.
+CompletionCallback = Callable[[int, Any], None]
 
 
 @runtime_checkable
@@ -71,37 +87,216 @@ class ProcessPoolBackend:
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
 
-    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_complete: CompletionCallback | None = None,
+    ) -> Iterator[Any]:
         items = list(items)
         if not items:
             return
         workers = min(self.max_workers or os.cpu_count() or 1, len(items))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            yield from pool.map(fn, items)
+            if on_complete is None:
+                yield from pool.map(fn, items)
+                return
+            futures = [pool.submit(fn, item) for item in items]
+            index_of = {future: index for index, future in enumerate(futures)}
+            pending = set(futures)
+            next_index = 0
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                # Report completions immediately (completion order) so the
+                # caller can persist them; an interrupt between completions
+                # then loses nothing that already ran.
+                for future in sorted(done, key=index_of.__getitem__):
+                    on_complete(index_of[future], future.result())
+                while next_index < len(futures) and futures[next_index].done():
+                    yield futures[next_index].result()
+                    next_index += 1
+            while next_index < len(futures):
+                yield futures[next_index].result()
+                next_index += 1
 
 
 @dataclass(frozen=True)
 class DistributedBackend:
-    """Reserved stub for a future multi-machine backend.
+    """File work-queue executor: a coordinator plus N worker *processes*.
 
-    The name is registered so CLI specs and saved campaign configurations can
-    already refer to it; selecting it fails loudly at dispatch time (and the
-    runner then records the failure and finishes serially rather than losing
-    the campaign).
+    The coordinator serialises every item into a shared
+    :class:`~repro.campaign.workqueue.FileWorkQueue` directory, spawns
+    ``workers`` local worker processes (``python -m repro.campaign.worker``),
+    and polls for results.  Because the queue is just a directory, additional
+    workers may attach from anywhere that shares it (other shells,
+    containers, machines on a network filesystem) — pass ``queue_dir`` and
+    ``workers=0`` to bring your own fleet.
+
+    Fault tolerance: workers heartbeat their lease's mtime every quarter of
+    ``lease_timeout``; a worker that dies mid-task stops heartbeating, the
+    coordinator re-queues the task, and another worker picks it up.  Results
+    arrive out of order and are yielded in input order; ``on_complete`` fires
+    the moment each item finishes so the runner can persist it immediately.
+
+    Attributes
+    ----------
+    workers:
+        Local worker processes to spawn (``0`` = rely on external workers;
+        requires an explicit ``queue_dir``).
+    queue_dir:
+        Shared queue directory; ``None`` creates (and removes) a temporary
+        one, which confines the campaign to local spawned workers.
+    lease_timeout:
+        Seconds without a heartbeat before a claimed task is re-issued.
+        Must exceed the slowest single flight's heartbeat gap (the heartbeat
+        runs on a thread, so only a hard worker death stops it).
+    poll_interval:
+        Coordinator/worker filesystem polling period [s].
     """
 
-    #: Coordinator endpoint the future implementation will connect to.
-    endpoint: str | None = None
+    workers: int = 2
+    queue_dir: str | None = None
+    lease_timeout: float = 30.0
+    poll_interval: float = 0.05
 
     name = "distributed"
 
-    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
-        raise NotImplementedError(
-            "the distributed executor backend is a stub; run with "
-            "'process-pool' or 'serial', or implement ExecutorBackend.map "
-            "against your cluster scheduler"
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.workers == 0 and self.queue_dir is None:
+            raise ValueError(
+                "workers=0 requires an explicit queue_dir for external "
+                "workers to attach to"
+            )
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_complete: CompletionCallback | None = None,
+    ) -> Iterator[Any]:
+        items = list(items)
+        if not items:
+            return
+        owns_dir = self.queue_dir is None
+        root = (
+            Path(tempfile.mkdtemp(prefix="repro-campaign-queue-"))
+            if owns_dir
+            else Path(self.queue_dir)
         )
-        yield  # pragma: no cover - makes this a generator for protocol parity
+        # A per-run id namespaces this campaign's tasks and results: a
+        # worker of a previous killed run finishing late on a reused
+        # directory answers under the old id and is ignored by collect().
+        queue = FileWorkQueue(root, run_id=f"r{uuid.uuid4().hex[:12]}")
+        processes: list[subprocess.Popen] = []
+        try:
+            # A queue directory hosts one campaign at a time: purge stale
+            # tasks/results/stop from a previous run of an explicit
+            # queue_dir before enqueueing, or old result files would be
+            # collected as this campaign's outcomes.
+            queue.reset()
+            for index, item in enumerate(items):
+                queue.enqueue(index, (fn, item))
+            processes = [self._spawn_worker(root) for _ in range(self.workers)]
+            yield from self._drain(queue, len(items), processes, on_complete)
+        finally:
+            queue.request_stop()
+            self._reap(processes)
+            if owns_dir:
+                shutil.rmtree(root, ignore_errors=True)
+
+    # ------------------------------------------------------------------ internal --
+
+    def _spawn_worker(self, root: Path) -> subprocess.Popen:
+        env = dict(os.environ)
+        # Whatever is importable here must be importable in the worker: the
+        # task payloads reference functions by module path.
+        env["PYTHONPATH"] = os.pathsep.join(
+            entry for entry in sys.path if entry
+        )
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.campaign.worker",
+                str(root),
+                "--lease-timeout",
+                str(self.lease_timeout),
+                "--poll",
+                str(self.poll_interval),
+            ],
+            env=env,
+        )
+
+    def _drain(
+        self,
+        queue: FileWorkQueue,
+        total: int,
+        processes: list[subprocess.Popen],
+        on_complete: CompletionCallback | None,
+    ) -> Iterator[Any]:
+        seen: set[int] = set()
+        ready: dict[int, Any] = {}
+        next_index = 0
+        # Housekeeping (coordinator heartbeat, lease-expiry scan) has
+        # lease-timeout granularity; doing it every poll tick would hammer
+        # a network filesystem with metadata traffic for nothing.  Only
+        # result collection runs at the fast poll.
+        housekeeping_period = self.lease_timeout / 4.0
+        last_housekeeping = float("-inf")
+        while next_index < total:
+            now = time.monotonic()
+            if now - last_housekeeping >= housekeeping_period:
+                last_housekeeping = now
+                # Heartbeat for the workers' orphan detection: a coordinator
+                # killed without cleanup stops touching this, and idle
+                # workers exit on their own instead of polling forever.
+                queue.touch_coordinator()
+                queue.reclaim_expired(self.lease_timeout)
+            fresh = queue.collect(seen)
+            for index in sorted(fresh):
+                status, value = fresh[index]
+                seen.add(index)
+                if status != "ok":
+                    raise RuntimeError(
+                        f"distributed worker failed on item {index}:\n{value}"
+                    )
+                ready[index] = value
+                if on_complete is not None:
+                    on_complete(index, value)
+            while next_index in ready:
+                yield ready.pop(next_index)
+                next_index += 1
+            if next_index >= total:
+                return
+            if processes and all(proc.poll() is not None for proc in processes):
+                # Every worker this coordinator spawned is gone.  External
+                # workers could still drain an explicit queue_dir, but with
+                # spawned workers dead the far likelier outcome is a hang —
+                # fail loudly and let the runner fall back to serial.
+                raise RuntimeError(
+                    f"all {len(processes)} distributed workers exited with "
+                    f"{total - len(seen)} of {total} items outstanding"
+                )
+            time.sleep(self.poll_interval)
+
+    def _reap(self, processes: list[subprocess.Popen]) -> None:
+        deadline = time.time() + max(1.0, 4 * self.poll_interval)
+        for proc in processes:
+            try:
+                proc.wait(timeout=max(0.0, deadline - time.time()))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
 
 
 #: Registry of backend factories selectable by name (CLI / spec files).
@@ -116,7 +311,8 @@ def get_backend(name: str, **options: Any) -> ExecutorBackend:
     """Instantiate a backend by registry name.
 
     ``options`` are passed to the backend constructor (e.g.
-    ``get_backend("process-pool", max_workers=4)``).
+    ``get_backend("process-pool", max_workers=4)`` or
+    ``get_backend("distributed", workers=2)``).
     """
     try:
         factory = _BACKENDS[name]

@@ -11,21 +11,30 @@ Three orthogonal concerns are layered here:
 
 * **Backends** — *how* variants are mapped to outcomes is delegated to an
   :class:`~repro.campaign.backends.ExecutorBackend` (serial, process pool, or
-  a future distributed substrate).  ``mode``/``max_workers`` remain as the
-  convenient policy knobs that pick between the built-in backends.
+  the distributed file-queue substrate).  ``mode``/``max_workers`` remain as
+  the convenient policy knobs that pick between the built-in backends.
 * **Caching** — with a :class:`~repro.store.CampaignStore` attached, every
   variant's content hash is looked up first and only misses are dispatched;
-  completed flights are persisted as they arrive, so a killed campaign
-  resumes from disk.
+  completed flights are persisted as they complete — for backends that
+  report completions out of order (process pool, distributed) the moment
+  they finish, even when an earlier variant is still flying — so a killed
+  campaign resumes from disk with nothing lost.  ``record_arrays=True``
+  additionally captures each flight's trajectory and persists it via
+  :meth:`~repro.store.CampaignStore.put_arrays`; warm runs then serve the
+  arrays from the store without re-flying.
 * **Fallback** — a variant that raises is captured as an outcome with an
   ``error`` traceback string; the rest of the campaign keeps running.  If
-  the backend itself fails (no fork support, pickling failure, broken pool),
-  the runner finishes the remaining variants serially and records *why* in
+  the backend itself fails (no fork support, pickling failure, broken pool,
+  dead distributed workers), the runner finishes the remaining variants
+  serially — consulting the store first, so flights the failed backend
+  already persisted are not re-flown — and records *why* in
   :attr:`CampaignResult.fallback_reason` instead of silently degrading.
 """
 
 from __future__ import annotations
 
+import functools
+import inspect
 import os
 import time
 import traceback
@@ -42,7 +51,7 @@ from .results import CampaignResult, VariantOutcome
 if TYPE_CHECKING:
     from ..store import CampaignStore
 
-__all__ = ["CampaignRunner", "run_campaign"]
+__all__ = ["CampaignRunner", "run_campaign", "trajectory_arrays"]
 
 
 def _summarise(variant: GridVariant, result: FlightResult) -> dict[str, Any]:
@@ -64,18 +73,52 @@ def _summarise(variant: GridVariant, result: FlightResult) -> dict[str, Any]:
     return summary
 
 
-def _execute_variant(variant: GridVariant) -> VariantOutcome:
-    """Run one variant, capturing any failure as data (module-level so the
-    process pool can pickle it)."""
+def trajectory_arrays(result: FlightResult) -> dict[str, Any]:
+    """Named trajectory arrays of one flight, shaped for ``put_arrays``.
+
+    The keys mirror the telemetry CSV schema (see
+    :func:`repro.analysis.export.trajectory_to_rows`, which inverts this):
+    ``time`` (N,), ``position``/``setpoint``/``velocity`` (N, 3) NED [m],
+    ``attitude`` (N, 3) roll/pitch/yaw [rad], ``active_source`` (N,) str,
+    ``crashed`` (N,) bool.
+    """
+    import numpy as np
+
+    recorder = result.recorder
+    samples = recorder.samples
+    return {
+        "time": recorder.times(),
+        "position": recorder.positions(),
+        "setpoint": recorder.setpoints(),
+        "velocity": np.array([sample.velocity for sample in samples]),
+        "attitude": recorder.attitudes(),
+        "active_source": np.array(recorder.sources()),
+        "crashed": np.array([sample.crashed for sample in samples], dtype=bool),
+    }
+
+
+def _execute_variant(
+    variant: GridVariant, record_arrays: bool = False
+) -> VariantOutcome | tuple[VariantOutcome, dict[str, Any] | None]:
+    """Run one variant, capturing any failure as data (module-level so
+    process pools and queue workers can pickle it).
+
+    With ``record_arrays`` the return value is ``(outcome, arrays)`` —
+    trajectory arrays ride back to the parent alongside the summary so the
+    runner can persist them (``None`` for failed flights).
+    """
     start = time.perf_counter()
+    arrays = None
     try:
         result = run_scenario(variant.scenario)
         summary = _summarise(variant, result)
+        if record_arrays:
+            arrays = trajectory_arrays(result)
         error = None
     except Exception:
         summary = None
         error = traceback.format_exc()
-    return VariantOutcome(
+    outcome = VariantOutcome(
         name=variant.name,
         axes=variant.axes,
         seed=variant.scenario.seed,
@@ -83,6 +126,19 @@ def _execute_variant(variant: GridVariant) -> VariantOutcome:
         error=error,
         wall_time=time.perf_counter() - start,
     )
+    return (outcome, arrays) if record_arrays else outcome
+
+
+def _split_result(raw: Any) -> tuple[VariantOutcome, dict[str, Any] | None]:
+    """Normalise a backend result to ``(outcome, arrays)``.
+
+    Fake/test backends fabricate bare :class:`VariantOutcome`s without going
+    through the worker function, so both shapes must be accepted.
+    """
+    if isinstance(raw, tuple):
+        outcome, arrays = raw
+        return outcome, arrays
+    return raw, None
 
 
 def _as_variants(
@@ -153,12 +209,18 @@ class CampaignRunner:
     store:
         Optional :class:`~repro.store.CampaignStore`.  When attached, cached
         outcomes are served without flying and fresh outcomes are persisted.
+    record_arrays:
+        Capture each flight's trajectory arrays and persist them alongside
+        the summary cell (requires ``store``).  A cached summary whose
+        arrays are missing or corrupt is re-flown so the warm store always
+        serves both.
     """
 
     max_workers: int | None = None
     mode: str = "auto"
     backend: ExecutorBackend | None = None
     store: "CampaignStore | None" = None
+    record_arrays: bool = False
 
     _MODES = ("auto", "parallel", "serial")
 
@@ -167,6 +229,11 @@ class CampaignRunner:
             raise ValueError(f"mode must be one of {self._MODES}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if self.record_arrays and self.store is None:
+            raise ValueError(
+                "record_arrays requires a store: trajectory arrays are "
+                "persisted via CampaignStore.put_arrays"
+            )
 
     def run(
         self, campaign: ScenarioGrid | Iterable[GridVariant | FlightScenario]
@@ -182,7 +249,7 @@ class CampaignRunner:
         cached: dict[int, VariantOutcome] = {}
         if self.store is not None:
             for index, variant in enumerate(variants):
-                hit = self.store.get(variant)
+                hit = self._cached_outcome(variant)
                 if hit is not None:
                     cached[index] = hit
         to_run = [
@@ -197,15 +264,34 @@ class CampaignRunner:
         for index in range(len(variants)):
             merged.append(cached[index] if index in cached else next(fresh))
 
+        # Count hits from the outcomes, not the pre-dispatch lookup: the
+        # serial fallback may serve store cells the failed backend persisted.
+        hits = sum(1 for outcome in merged if outcome.cached)
         return CampaignResult(
             outcomes=tuple(merged),
             wall_time=time.perf_counter() - start,
-            cache_hits=len(cached),
-            cache_misses=len(to_run) if self.store is not None else 0,
+            cache_hits=hits,
+            cache_misses=len(variants) - hits if self.store is not None else 0,
             fallback_reason=fallback_reason,
         )
 
     # ------------------------------------------------------------------ internal --
+
+    def _cached_outcome(self, variant: GridVariant) -> VariantOutcome | None:
+        """Store lookup honouring the ``record_arrays`` policy: a summary
+        cell without (valid) trajectory arrays — flown before
+        ``record_arrays``, or a corrupt ``.npz`` — is treated as a miss and
+        re-flown to backfill, so the warm store always serves both."""
+        if self.store is None:
+            return None
+        hit = self.store.get(variant)
+        if (
+            hit is not None
+            and self.record_arrays
+            and not self.store.has_arrays(variant)
+        ):
+            return None
+        return hit
 
     def select_backend(self, variants: Sequence[GridVariant]) -> ExecutorBackend:
         """Backend that will execute ``variants`` (explicit one wins)."""
@@ -225,6 +311,19 @@ class CampaignRunner:
             return True
         return (os.cpu_count() or 1) > 1
 
+    def _worker_fn(self):
+        """The per-variant function shipped to the backend (picklable)."""
+        if self.record_arrays:
+            return functools.partial(_execute_variant, record_arrays=True)
+        return _execute_variant
+
+    @staticmethod
+    def _supports_on_complete(backend: ExecutorBackend) -> bool:
+        try:
+            return "on_complete" in inspect.signature(backend.map).parameters
+        except (TypeError, ValueError):
+            return False
+
     def _execute(
         self, variants: Sequence[GridVariant]
     ) -> tuple[list[VariantOutcome], str | None]:
@@ -233,18 +332,35 @@ class CampaignRunner:
         if not variants:
             return [], None
         backend = self.select_backend(variants)
+        fn = self._worker_fn()
         outcomes: list[VariantOutcome] = []
+        persisted: set[int] = set()
+
+        def _on_complete(index: int, raw: Any) -> None:
+            # Completion-order persistence: a flight that finished while an
+            # earlier variant is still flying reaches the store immediately,
+            # so an interrupt (or dead coordinator) loses nothing.
+            outcome, arrays = _split_result(raw)
+            self._persist(variants[index], outcome, arrays)
+            persisted.add(index)
+
+        if self._supports_on_complete(backend):
+            iterator = backend.map(fn, variants, on_complete=_on_complete)
+        else:
+            iterator = backend.map(fn, variants)
         try:
-            for outcome in backend.map(_execute_variant, variants):
+            for raw in iterator:
+                outcome, arrays = _split_result(raw)
                 outcomes.append(outcome)
-                # Persist as each flight arrives (not after the campaign):
-                # a campaign killed at flight 99/100 must resume from 99
-                # cells, and an interrupt between flights must lose nothing.
-                self._persist(variants[len(outcomes) - 1], outcome)
+                index = len(outcomes) - 1
+                if index not in persisted:
+                    self._persist(variants[index], outcome, arrays)
         except Exception as exc:
             # Backend-level failure (fork unavailable, pickling, broken pool,
-            # unimplemented stub): keep what already completed, finish the
-            # rest serially, and record why the speedup is gone.
+            # dead distributed workers): keep what already completed, finish
+            # the rest serially, and record why the speedup is gone.  The
+            # store is consulted first — completions the backend persisted
+            # out of order (or a previous coordinator wrote) are not re-flown.
             reason = repr(exc)
             warnings.warn(
                 f"campaign executor backend {backend.name!r} failed after "
@@ -253,20 +369,32 @@ class CampaignRunner:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            for variant in variants[len(outcomes):]:
-                outcome = _execute_variant(variant)
+            for index in range(len(outcomes), len(variants)):
+                variant = variants[index]
+                outcome = self._cached_outcome(variant)
+                arrays = None
+                if outcome is None:
+                    outcome, arrays = _split_result(fn(variant))
                 outcomes.append(outcome)
-                self._persist(variant, outcome)
+                if index not in persisted:
+                    self._persist(variant, outcome, arrays)
             return outcomes, reason
         return outcomes, None
 
-    def _persist(self, variant: GridVariant, outcome: VariantOutcome) -> None:
+    def _persist(
+        self,
+        variant: GridVariant,
+        outcome: VariantOutcome,
+        arrays: dict[str, Any] | None = None,
+    ) -> None:
         """Best-effort store write: the store is a cache, never an authority,
         so an unwritable directory must not cost the campaign its results."""
         if self.store is None:
             return
         try:
-            self.store.put(variant, outcome)
+            written = self.store.put(variant, outcome)
+            if written and arrays is not None:
+                self.store.put_arrays(variant, **arrays)
         except Exception as exc:
             # Any write failure (read-only dir, serialisation, a broken
             # custom store) is only a lost cache cell — it must neither be
@@ -285,8 +413,13 @@ def run_campaign(
     mode: str = "auto",
     backend: ExecutorBackend | None = None,
     store: "CampaignStore | None" = None,
+    record_arrays: bool = False,
 ) -> CampaignResult:
     """Convenience helper: run ``campaign`` with a fresh :class:`CampaignRunner`."""
     return CampaignRunner(
-        max_workers=max_workers, mode=mode, backend=backend, store=store
+        max_workers=max_workers,
+        mode=mode,
+        backend=backend,
+        store=store,
+        record_arrays=record_arrays,
     ).run(campaign)

@@ -21,8 +21,10 @@ A spec file makes a campaign runnable without writing a script (see
 
 ``[runner]``
     Execution policy: ``mode``/``max_workers`` or an explicit ``backend``
-    registry name (plus ``backend_options``), and an optional ``store``
-    directory for cached results.
+    registry name (plus ``backend_options``, e.g. ``{workers = 2}`` for the
+    distributed backend), an optional ``store`` directory for cached results
+    (with an optional generation ``salt``), and ``record_arrays`` to persist
+    trajectory arrays alongside the summary cells.
 
 Example (TOML)::
 
@@ -43,6 +45,7 @@ from __future__ import annotations
 import dataclasses
 import inspect
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -68,6 +71,21 @@ _CONSTRUCTORS = {
 }
 
 _SCENARIO_FIELDS = {spec.name for spec in dataclasses.fields(FlightScenario)}
+
+
+def _as_integral(label: str, value: Any) -> int:
+    """Coerce to int, rejecting values that truncation would silently change
+    (``3.0`` is fine, ``3.5`` is a spec error, not seed 3)."""
+    try:
+        coerced = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{label} value {value!r} is not an integer") from None
+    if coerced != value:
+        raise ValueError(
+            f"{label} value {value!r} is not integral (would be truncated "
+            f"to {coerced})"
+        )
+    return coerced
 
 
 def load_spec(path: str | Path) -> dict[str, Any]:
@@ -106,6 +124,12 @@ def build_scenario(section: Mapping[str, Any] | None) -> FlightScenario:
                 f"unknown scenario figure {kind!r} "
                 f"(available: {sorted(_CONSTRUCTORS)})"
             ) from None
+    if "seed" in options:
+        # Coerce before the constructor-kwarg split: a seed absorbed as a
+        # constructor argument must get the same integral coercion as one
+        # applied via dataclasses.replace, or a JSON spec's `"seed": 3.0`
+        # flies with a float seed and caches under a different key than 3.
+        options["seed"] = _as_integral("seed", options["seed"])
     parameters = inspect.signature(constructor).parameters
     constructor_kwargs = {
         name: options.pop(name) for name in list(options) if name in parameters
@@ -119,8 +143,6 @@ def build_scenario(section: Mapping[str, Any] | None) -> FlightScenario:
             f"'figure', constructor arguments and FlightScenario fields "
             f"({sorted(_SCENARIO_FIELDS)})"
         )
-    if "seed" in options:
-        options["seed"] = int(options["seed"])
     if options:
         scenario = dataclasses.replace(scenario, **options)
     return scenario
@@ -171,36 +193,84 @@ def build_runner(
     store_dir: str | Path | None = None,
     mode: str | None = None,
     max_workers: int | None = None,
+    backend: str | None = None,
+    record_arrays: bool | None = None,
 ) -> CampaignRunner:
     """Build the runner of a spec's ``[runner]`` table.
 
-    ``store_dir``/``mode``/``max_workers`` are command-line overrides that
-    win over the spec — including over an explicit ``backend``: an explicit
-    backend would be used unconditionally by the runner, so when the command
-    line forces an execution policy the spec's backend is dropped in favour
-    of the built-in ``mode``/``max_workers`` selection.
+    ``store_dir``/``mode``/``max_workers``/``backend``/``record_arrays`` are
+    command-line overrides that win over the spec.  ``mode``/``max_workers``
+    win over an explicit spec ``backend`` too: an explicit backend would be
+    used unconditionally by the runner, so when the command line forces an
+    execution policy the spec's backend is dropped (with a warning — the
+    override is deliberate, the silence would not be) in favour of the
+    built-in ``mode``/``max_workers`` selection.  A ``backend`` override
+    names a registry backend; it keeps the spec's ``backend_options`` only
+    when the spec configured the *same* backend (options for a different
+    backend would be meaningless or wrong).
     """
     section = dict(spec.get("runner") or {})
-    backend = None
-    backend_name = section.pop("backend", None)
-    backend_options = section.pop("backend_options", {})
-    if backend_name is None and backend_options:
+    spec_backend = section.pop("backend", None)
+    backend_options = dict(section.pop("backend_options", {}) or {})
+    if spec_backend is None and backend_options:
         raise ValueError(
             "runner option 'backend_options' requires a 'backend' name"
         )
-    if backend_name is not None and mode is None and max_workers is None:
-        backend = get_backend(backend_name, **backend_options)
-    store = None
+    chosen_backend = None
+    if backend is not None:
+        if mode is not None or max_workers is not None:
+            raise ValueError(
+                "an explicit backend override cannot be combined with "
+                "--serial/--max-workers; configure it via backend_options"
+            )
+        if backend_options and spec_backend != backend:
+            warnings.warn(
+                f"--backend {backend!r} discards the spec's backend_options "
+                f"(they configure backend {spec_backend!r})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        chosen_backend = get_backend(
+            backend, **(backend_options if spec_backend == backend else {})
+        )
+    elif spec_backend is not None:
+        if mode is not None or max_workers is not None:
+            warnings.warn(
+                f"command-line execution override (--serial/--max-workers) "
+                f"discards the spec's explicit backend {spec_backend!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            chosen_backend = get_backend(spec_backend, **backend_options)
+
+    # 'salt' and 'store' pop unconditionally: a salt without a store must be
+    # a clear error, not an "unknown runner option(s) ['salt']" tail-raise.
     store_path = store_dir if store_dir is not None else section.pop("store", None)
     section.pop("store", None)
+    salt = section.pop("salt", None)
+    store = None
     if store_path is not None:
         from ..store import CampaignStore
 
-        salt = section.pop("salt", None)
         store = (
             CampaignStore(Path(store_path))
             if salt is None
             else CampaignStore(Path(store_path), salt=salt)
+        )
+    elif salt is not None:
+        raise ValueError(
+            "runner option 'salt' requires a 'store' directory (the salt "
+            "partitions store generations and does nothing without one)"
+        )
+
+    arrays = section.pop("record_arrays", False)
+    if record_arrays is not None:
+        arrays = record_arrays
+    if arrays and store is None:
+        raise ValueError(
+            "runner option 'record_arrays' requires a 'store' directory "
+            "(trajectory arrays are persisted via the store)"
         )
     runner_mode = mode if mode is not None else section.pop("mode", "auto")
     workers = max_workers if max_workers is not None else section.pop("max_workers", None)
@@ -209,5 +279,9 @@ def build_runner(
     if section:
         raise ValueError(f"unknown runner option(s) {sorted(section)}")
     return CampaignRunner(
-        max_workers=workers, mode=runner_mode, backend=backend, store=store
+        max_workers=workers,
+        mode=runner_mode,
+        backend=chosen_backend,
+        store=store,
+        record_arrays=bool(arrays),
     )

@@ -1,0 +1,139 @@
+"""Campaign work-queue worker: ``python -m repro.campaign.worker QUEUE_DIR``.
+
+One worker process drains one :class:`~repro.campaign.workqueue.FileWorkQueue`:
+claim a task, heartbeat the lease while executing it, publish the result,
+repeat until the coordinator raises the stop sentinel.  Workers are
+stateless — any number may attach to the same queue directory (the
+:class:`~repro.campaign.backends.DistributedBackend` spawns local ones, but
+workers started by hand on any host sharing the directory join the same
+campaign), and a worker killed mid-task loses nothing: its lease expires and
+the task is re-issued.
+
+Task payloads are ``(fn, item)`` pairs; results are ``("ok", fn(item))`` or
+``("error", traceback_text)``.  ``fn`` must be importable on the worker
+(module-level or ``functools.partial`` of one) — the same constraint a
+process pool imposes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import time
+import traceback
+from pathlib import Path
+
+from .workqueue import FileWorkQueue
+
+__all__ = ["main", "run_worker"]
+
+
+class _Heartbeat:
+    """Background thread refreshing one lease's mtime while a task runs."""
+
+    def __init__(self, queue: FileWorkQueue, lease: Path, interval: float) -> None:
+        self._queue = queue
+        self._lease = lease
+        self._interval = max(interval, 0.01)
+        self._done = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._done.wait(self._interval):
+            self._queue.heartbeat(self._lease)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._done.set()
+        self._thread.join()
+
+
+def run_worker(
+    queue_dir: str | Path,
+    worker_id: str | None = None,
+    lease_timeout: float = 30.0,
+    poll_interval: float = 0.05,
+    max_tasks: int | None = None,
+    orphan_timeout: float | None = None,
+) -> int:
+    """Drain the queue until stop is requested; returns the tasks completed.
+
+    ``lease_timeout`` must match the coordinator's: the heartbeat refreshes
+    the lease every quarter of it.  ``max_tasks`` bounds the number of tasks
+    (``None`` = unbounded) — useful for tests and one-shot workers.
+
+    ``orphan_timeout`` (default ``4 * lease_timeout``) guards against an
+    abandoned queue: a coordinator killed without cleanup never raises the
+    stop sentinel, so an idle worker whose coordinator heartbeat is older
+    than this exits on its own instead of polling forever.  Queues that
+    never announced a coordinator (manually driven) are exempt.
+    """
+    queue = FileWorkQueue(queue_dir)
+    if worker_id is None:
+        worker_id = f"w{os.getpid()}"
+    if orphan_timeout is None:
+        orphan_timeout = 4.0 * lease_timeout
+    completed = 0
+    while max_tasks is None or completed < max_tasks:
+        # Stop is checked *before* claiming: an aborted campaign's leftover
+        # tasks must not be drained by the fleet — only the task already in
+        # hand is finished.
+        if queue.stop_requested():
+            break
+        claimed = queue.claim(worker_id)
+        if claimed is None:
+            age = queue.coordinator_age()
+            if age is not None and age > orphan_timeout:
+                break  # coordinator died without cleanup; don't poll forever
+            time.sleep(poll_interval)
+            continue
+        index, payload, lease = claimed
+        with _Heartbeat(queue, lease, lease_timeout / 4.0):
+            try:
+                fn, item = payload
+                result = ("ok", fn(item))
+            except Exception:
+                # The failure travels back as data; the coordinator decides
+                # whether to raise.  Worker-killing failures (os._exit, OOM)
+                # are the lease-expiry path instead.
+                result = ("error", traceback.format_exc())
+        queue.complete(index, result, lease)
+        completed += 1
+    return completed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign.worker",
+        description="Attach one campaign worker to a file work-queue directory.",
+    )
+    parser.add_argument("queue", help="work-queue directory shared with the coordinator")
+    parser.add_argument("--worker-id", default=None,
+                        help="lease label (default: w<pid>; no dots or path separators)")
+    parser.add_argument("--lease-timeout", type=float, default=30.0,
+                        help="coordinator's lease expiry [s] (default: 30)")
+    parser.add_argument("--poll", type=float, default=0.05, dest="poll_interval",
+                        help="idle polling interval [s] (default: 0.05)")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after completing this many tasks")
+    parser.add_argument("--orphan-timeout", type=float, default=None,
+                        help="exit when idle and the coordinator heartbeat "
+                        "is older than this [s] (default: 4x lease timeout)")
+    args = parser.parse_args(argv)
+    run_worker(
+        args.queue,
+        worker_id=args.worker_id,
+        lease_timeout=args.lease_timeout,
+        poll_interval=args.poll_interval,
+        max_tasks=args.max_tasks,
+        orphan_timeout=args.orphan_timeout,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

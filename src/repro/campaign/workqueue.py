@@ -1,0 +1,237 @@
+"""Directory-backed work queue with heartbeat leases.
+
+The substrate under :class:`~repro.campaign.backends.DistributedBackend`: a
+coordinator enqueues pickled work items into a shared directory, worker
+processes (``python -m repro.campaign.worker``) claim them by atomic rename,
+heartbeat while executing, and publish pickled results the same way.  All
+coordination happens through the filesystem, so "distributed" means anything
+that shares the directory — local subprocesses, containers with a bind
+mount, or machines on a network filesystem.
+
+Layout under the queue root (``<run>`` is the campaign's run id — results
+from another run, e.g. an in-flight worker of a killed previous campaign
+finishing late on a reused directory, are ignored)::
+
+    tasks/<index>.<run>.task              pending work (pickled payload)
+    claimed/<index>.<run>.<worker>.task   leased work; mtime is the heartbeat
+    results/<index>.<run>.result          completed work (pickled result)
+    stop                                  sentinel: workers exit when idle
+    coordinator                           coordinator heartbeat (orphan guard)
+
+Claiming renames the task file into ``claimed/`` — the rename is atomic, so
+exactly one claimer wins.  A worker that dies mid-task stops refreshing the
+lease's mtime; :meth:`FileWorkQueue.reclaim_expired` renames the stale lease
+back into ``tasks/`` and another worker picks it up.  A re-leased task may
+end up completed twice (the presumed-dead worker finishes after all); both
+results are valid renderings of a pure function, and the atomic result
+rename makes the last write win cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["FileWorkQueue", "WorkItem"]
+
+#: ``(index, payload, lease_path)`` of one claimed task.
+WorkItem = tuple[int, Any, Path]
+
+#: Run id used when none is given (manually driven queues).
+_DEFAULT_RUN = "run0"
+
+
+class FileWorkQueue:
+    """One work-queue directory, usable from coordinator and workers alike.
+
+    ``run_id`` namespaces task and result files: a coordinator's
+    :meth:`collect` only accepts results of its own run, so a worker of a
+    previous (killed) campaign finishing late on a reused directory cannot
+    smuggle its outcome into the next one.  Workers claim tasks of *any*
+    run and answer under the task's run id, so they never need to know it.
+    """
+
+    def __init__(self, root: str | Path, run_id: str | None = None) -> None:
+        if run_id is not None and ("." in run_id or os.sep in run_id):
+            raise ValueError(f"run id {run_id!r} must not contain '.' or path separators")
+        self.root = Path(root)
+        self.run_id = run_id or _DEFAULT_RUN
+        self.tasks_dir = self.root / "tasks"
+        self.claimed_dir = self.root / "claimed"
+        self.results_dir = self.root / "results"
+        self._stop_path = self.root / "stop"
+        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- coordinator side --------------------------------------------------------
+
+    def enqueue(self, index: int, payload: Any) -> Path:
+        """Publish one pickled work item as ``tasks/<index>.<run>.task``."""
+        path = self.tasks_dir / f"{index:08d}.{self.run_id}.task"
+        self._write_atomic(path, pickle.dumps(payload))
+        return path
+
+    def reset(self) -> None:
+        """Purge tasks, leases, results and the stop sentinel.
+
+        A queue directory hosts **one campaign at a time**: a coordinator
+        reusing an explicit directory must reset it first, or stale result
+        files from the previous campaign would be collected as this run's
+        outcomes and the leftover stop sentinel would send fresh workers
+        straight home.
+        """
+        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+            for path in self._entries(directory):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        try:
+            self._stop_path.unlink()
+        except OSError:
+            pass
+
+    def reclaim_expired(self, lease_timeout: float) -> list[int]:
+        """Re-queue claimed tasks whose heartbeat is older than the lease.
+
+        Returns the re-queued indices.  The rename back into ``tasks/`` is
+        atomic, so a worker that is merely slow (not dead) keeps running and
+        simply publishes a duplicate — equally valid — result.
+        """
+        reclaimed: list[int] = []
+        now = time.time()
+        for lease in self._entries(self.claimed_dir):
+            try:
+                age = now - lease.stat().st_mtime
+            except OSError:
+                continue  # completed (or reclaimed) under our feet
+            if age <= lease_timeout:
+                continue
+            index, run = self._index_and_run_of(lease)
+            try:
+                os.rename(lease, self.tasks_dir / f"{index:08d}.{run}.task")
+            except OSError:
+                continue
+            reclaimed.append(index)
+        return reclaimed
+
+    def collect(self, seen: Iterable[int] = ()) -> dict[int, Any]:
+        """Unpickle this run's result files not in ``seen``; corrupt files
+        are skipped (a torn read of a result being renamed is transient,
+        not fatal), other runs' results are ignored."""
+        known = set(seen)
+        collected: dict[int, Any] = {}
+        for path in self._entries(self.results_dir):
+            index, run = self._index_and_run_of(path)
+            if run != self.run_id or index in known:
+                continue
+            try:
+                collected[index] = pickle.loads(path.read_bytes())
+            except (OSError, pickle.UnpicklingError, EOFError):
+                continue
+        return collected
+
+    def pending_count(self) -> int:
+        """Tasks not yet claimed (cheap health probe for coordinators)."""
+        return sum(1 for _ in self._entries(self.tasks_dir))
+
+    def request_stop(self) -> None:
+        """Raise the stop sentinel: workers finish their current task and exit."""
+        self._stop_path.touch()
+
+    def touch_coordinator(self) -> None:
+        """Coordinator heartbeat: proof to workers that someone still reads
+        results.  A coordinator killed without cleanup stops touching this,
+        and idle workers eventually exit instead of polling forever."""
+        (self.root / "coordinator").touch()
+
+    def coordinator_age(self) -> float | None:
+        """Seconds since the coordinator heartbeat; ``None`` when a
+        coordinator never announced itself (manually driven queues)."""
+        try:
+            return time.time() - (self.root / "coordinator").stat().st_mtime
+        except OSError:
+            return None
+
+    # -- worker side -------------------------------------------------------------
+
+    def claim(self, worker_id: str) -> WorkItem | None:
+        """Lease the lowest-index pending task, or ``None`` when none pend.
+
+        The claim is an atomic rename into ``claimed/``; losing a race for
+        one task simply moves on to the next.
+        """
+        if os.sep in worker_id or "." in worker_id:
+            raise ValueError(f"worker id {worker_id!r} must not contain '.' or path separators")
+        for task in sorted(self._entries(self.tasks_dir)):
+            index, run = self._index_and_run_of(task)
+            lease = self.claimed_dir / f"{index:08d}.{run}.{worker_id}.task"
+            try:
+                os.rename(task, lease)
+            except OSError:
+                continue  # another claimer won this task
+            try:
+                payload = pickle.loads(lease.read_bytes())
+            except Exception as exc:
+                # Enqueue writes are atomic, so an unreadable payload is a
+                # poison pill, not a race — including unpickling errors that
+                # surface as ImportError/AttributeError when the payload's
+                # function is not importable here.  Ship it back as a failed
+                # result rather than crash-looping every worker over it.
+                self.complete(index, ("error", f"unreadable task payload: {exc!r}"), lease)
+                continue
+            return index, payload, lease
+
+    def heartbeat(self, lease_path: Path) -> None:
+        """Refresh the lease so the coordinator knows the worker is alive."""
+        try:
+            os.utime(lease_path)
+        except OSError:
+            pass  # lease was reclaimed; the result will still be accepted
+
+    def complete(self, index: int, result: Any, lease_path: Path | None = None) -> None:
+        """Publish the pickled result and release the lease.
+
+        The result answers under the *task's* run id (from the lease name)
+        so workers serve any coordinator; without a lease (coordinator-side
+        injection) this queue's own run id is used.
+        """
+        run = self._index_and_run_of(lease_path)[1] if lease_path else self.run_id
+        self._write_atomic(
+            self.results_dir / f"{index:08d}.{run}.result", pickle.dumps(result)
+        )
+        if lease_path is not None:
+            try:
+                lease_path.unlink()
+            except OSError:
+                pass  # reclaimed while we ran; nothing left to release
+
+    def stop_requested(self) -> bool:
+        return self._stop_path.exists()
+
+    # -- internal ----------------------------------------------------------------
+
+    @staticmethod
+    def _entries(directory: Path) -> list[Path]:
+        try:
+            return [path for path in directory.iterdir() if not path.name.endswith(".tmp")]
+        except FileNotFoundError:
+            return []
+
+    @staticmethod
+    def _index_and_run_of(path: Path) -> tuple[int, str]:
+        tokens = path.name.split(".")
+        return int(tokens[0]), tokens[1]
+
+    @staticmethod
+    def _write_atomic(path: Path, blob: bytes) -> None:
+        with tempfile.NamedTemporaryFile(
+            dir=path.parent, suffix=".tmp", delete=False
+        ) as handle:
+            handle.write(blob)
+            temp_name = handle.name
+        os.replace(temp_name, path)

@@ -55,7 +55,10 @@ def canonical(value: Any) -> Any:
         return value
     if isinstance(value, float):
         # repr() round-trips doubles exactly; json.dumps uses it internally.
-        return value
+        # IEEE negative zero compares equal to 0.0 and flies the same flight,
+        # but renders as "-0.0" — normalise it or physically identical
+        # scenarios hash to different keys and re-fly.
+        return 0.0 if value == 0.0 else value
     if isinstance(value, bytes):
         return {"__bytes__": value.hex()}
     if isinstance(value, (list, tuple)):

@@ -172,6 +172,27 @@ class CampaignStore:
         os.replace(temp_name, path)
         return path
 
+    def has_arrays(self, variant: "GridVariant") -> bool:
+        """Cheap validity probe for a variant's array payload.
+
+        Opens the archive and lists its members without decompressing the
+        payload (``np.load`` is lazy), so warm-run validation of a large
+        campaign does not re-read every trajectory.  An archive that fails
+        to open is dropped and counted like :meth:`get_arrays` would.
+        """
+        import numpy as np
+
+        path = self.path_for(self.key_for(variant)).with_suffix(".npz")
+        if not path.exists():
+            return False
+        try:
+            with np.load(path) as archive:
+                return len(archive.files) > 0
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            self.stats.corrupt += 1
+            return False
+
     def get_arrays(self, variant: "GridVariant") -> dict[str, Any] | None:
         """Load the arrays stored for a variant, or ``None`` when absent."""
         import numpy as np
@@ -196,14 +217,30 @@ class CampaignStore:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def clear(self) -> int:
-        """Delete every cell (and array payload); returns the cell count."""
+        """Delete every cell (and array payload); returns the cell count.
+
+        The fan-out subdirectories are removed too once empty — a cleared
+        store leaves no skeleton of hundreds of two-character directories
+        behind (foreign files someone parked in the tree are kept, and
+        their directories with them).
+        """
         removed = 0
         if not self.root.exists():
             return removed
         for path in self.root.glob("*/*"):
+            # Only delete what the store writes: cells (.json), array
+            # payloads (.npz) and torn temp files from killed writes.
+            if path.is_dir() or path.suffix not in (".json", ".npz", ".tmp"):
+                continue
             if path.suffix == ".json":
                 removed += 1
             path.unlink()
+        for subdir in self.root.iterdir():
+            if subdir.is_dir():
+                try:
+                    subdir.rmdir()
+                except OSError:
+                    pass  # holds something we did not create
         return removed
 
     # -- internal ----------------------------------------------------------------

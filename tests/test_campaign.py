@@ -447,14 +447,18 @@ class TestExecutorBackends:
         assert result.to_dict()["executor_fallback"] is None
         assert "fell back" not in result.to_text()
 
-    def test_distributed_stub_falls_back_serially(self):
+    def test_distributed_backend_matches_serial(self):
+        # The file-queue backend flies real (tiny) flights in spawned worker
+        # processes; execution substrate must not leak into the results.
         from repro.campaign import DistributedBackend
 
         grid = ScenarioGrid(tiny_scenario(), axes={"seed": [1, 2]})
-        with pytest.warns(RuntimeWarning, match="distributed"):
-            result = CampaignRunner(backend=DistributedBackend()).run(grid)
-        assert len(result.successes()) == 2
-        assert "NotImplementedError" in result.fallback_reason
+        serial = CampaignRunner(mode="serial").run(grid)
+        distributed = CampaignRunner(
+            backend=DistributedBackend(workers=2, lease_timeout=120.0)
+        ).run(grid)
+        assert distributed.fallback_reason is None
+        assert distributed.summaries() == serial.summaries()
 
     def test_get_backend_registry(self):
         from repro.campaign import (

@@ -141,13 +141,17 @@ class TestBuildPieces:
     def test_cli_policy_override_drops_spec_backend(self, tmp_path):
         # An explicit backend would be used unconditionally by the runner,
         # so a --serial/--max-workers override must displace it — otherwise
-        # "force serial execution" would silently keep the pool.
+        # "force serial execution" would silently keep the pool.  The drop
+        # is announced: discarding a spec's explicit backend silently would
+        # be the same trap in the other direction.
         spec = {"runner": {"backend": "process-pool",
                            "backend_options": {"max_workers": 8}}}
-        runner = build_runner(spec, mode="serial")
+        with pytest.warns(RuntimeWarning, match="discards the spec's explicit"):
+            runner = build_runner(spec, mode="serial")
         assert runner.backend is None
         assert runner.mode == "serial"
-        runner = build_runner(spec, max_workers=2)
+        with pytest.warns(RuntimeWarning, match="discards the spec's explicit"):
+            runner = build_runner(spec, max_workers=2)
         assert runner.backend is None
         assert runner.max_workers == 2
 

@@ -82,6 +82,17 @@ class TestCacheKey:
             tiny_scenario(seed=7)
         )
 
+    def test_negative_zero_hashes_like_zero(self):
+        # -0.0 == 0.0 flies the same flight but repr()s as "-0.0"; the
+        # canonical form must normalise it or identical scenarios re-fly.
+        from repro.store import canonical
+
+        assert json.dumps(canonical(-0.0)) == "0.0"
+        assert json.dumps(canonical(np.float64(-0.0))) == "0.0"
+        plus = tiny_scenario(attacks=(UdpFloodAttack(start_time=0.0),))
+        minus = tiny_scenario(attacks=(UdpFloodAttack(start_time=-0.0),))
+        assert cache_key(plus) == cache_key(minus)
+
     def test_fingerprint_is_canonical_json(self):
         payload = json.loads(scenario_fingerprint(tiny_scenario()))
         assert payload["__dataclass__"].endswith("FlightScenario")
@@ -305,6 +316,27 @@ class TestCampaignStoreCells:
         assert store.clear() == 2
         assert len(store) == 0
 
+    def test_clear_removes_empty_fanout_directories(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        CampaignRunner(mode="serial", store=store).run(tiny_grid())
+        assert any(path.is_dir() for path in tmp_path.iterdir())
+        store.clear()
+        # No skeleton of two-character fan-out directories left behind.
+        assert [path for path in tmp_path.iterdir()] == []
+
+    def test_clear_keeps_foreign_files_and_directories(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        CampaignRunner(mode="serial", store=store).run(tiny_grid())
+        fanout = next(path for path in tmp_path.iterdir() if path.is_dir())
+        (fanout / "notes.txt").write_text("parked next to the cells")
+        foreign = tmp_path / "ab" / "nested"
+        foreign.mkdir(parents=True)
+        (foreign / "keep.txt").write_text("not ours")
+        store.clear()
+        assert (fanout / "notes.txt").exists()
+        assert (foreign / "keep.txt").exists()
+        assert len(store) == 0
+
 
 class TestTrajectoryArrays:
     def test_roundtrip(self, tmp_path):
@@ -317,6 +349,18 @@ class TestTrajectoryArrays:
         loaded = store.get_arrays(variant)
         assert set(loaded) == {"time", "position"}
         np.testing.assert_array_equal(loaded["time"], times)
+
+    def test_has_arrays_probe(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        variant = GridVariant(name="v", axes=(), scenario=tiny_scenario())
+        assert store.has_arrays(variant) is False
+        store.put_arrays(variant, time=np.zeros(3))
+        assert store.has_arrays(variant) is True
+        archive = store.path_for(store.key_for(variant)).with_suffix(".npz")
+        archive.write_bytes(b"garbage")
+        assert store.has_arrays(variant) is False  # dropped and counted
+        assert store.stats.corrupt == 1
+        assert not archive.exists()
 
     def test_corrupt_archive_is_dropped(self, tmp_path):
         store = CampaignStore(tmp_path)
