@@ -1,14 +1,18 @@
 """Distributed-backend acceptance: the ISSUE's 12-variant grid, for real.
 
 Flies the acceptance grid (2 MemGuard budgets x 2 attack starts x 3 seeds)
-three ways and checks the tentpole guarantees end to end:
+several ways and checks the tentpole guarantees end to end:
 
 * **serial reference** — no store, the ground truth;
 * **distributed cold** — 2 spawned worker processes over the file
   work-queue, persisting summaries *and* trajectory arrays
   (``record_arrays``): outcomes must be identical to serial;
 * **distributed warm** — the same grid again: everything is served from the
-  store (12 hits, zero flights) and every variant's trajectory arrays load.
+  store (12 hits, zero flights) and every variant's trajectory arrays load;
+* **socket cold/warm** — the same guarantees over the TCP transport
+  (``transport="socket"``, its own store): 2 workers connected to the
+  coordinator's JSON-lines server match serial bit-for-bit, and the warm
+  re-run serves 12/12 from the store.
 
 Flights are short (2 s) to keep the benchmark affordable; the figure-level
 physics is exercised by the dedicated fig4-7 benchmarks.
@@ -53,24 +57,67 @@ def distributed_runs(tmp_path_factory):
     return store_dir, serial, cold, warm
 
 
-def test_distributed_matches_serial(distributed_runs, report):
+@pytest.fixture(scope="module")
+def socket_runs(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("socket-store")
+    grid = acceptance_grid()
+    backend = DistributedBackend(
+        workers=2, lease_timeout=120.0, transport="socket"
+    )
+    cold = CampaignRunner(
+        backend=backend, store=CampaignStore(store_dir), record_arrays=True
+    ).run(grid)
+    warm = CampaignRunner(
+        backend=backend, store=CampaignStore(store_dir), record_arrays=True
+    ).run(grid)
+    return store_dir, cold, warm
+
+
+def test_distributed_matches_serial(distributed_runs, socket_runs, report):
     _, serial, cold, warm = distributed_runs
     assert cold.fallback_reason is None
     assert cold.failures() == ()
     assert cold.summaries() == serial.summaries()
 
+    _, socket_cold, socket_warm = socket_runs
     rows = [
         ["serial", f"{serial.wall_time:.1f} s", "-"],
-        ["distributed cold (2 workers)", f"{cold.wall_time:.1f} s",
+        ["distributed cold (2 workers, file)", f"{cold.wall_time:.1f} s",
          f"{cold.cache_misses} flown"],
-        ["distributed warm", f"{warm.wall_time:.2f} s",
+        ["distributed warm (file)", f"{warm.wall_time:.2f} s",
          f"{warm.cache_hits} from store"],
+        ["distributed cold (2 workers, socket)",
+         f"{socket_cold.wall_time:.1f} s", f"{socket_cold.cache_misses} flown"],
+        ["distributed warm (socket)", f"{socket_warm.wall_time:.2f} s",
+         f"{socket_warm.cache_hits} from store"],
     ]
     report("distributed_backend", format_table(
         ["Run", "Wall time", "Cache"],
         rows,
-        title=f"Distributed file-queue backend: 12 x {FLIGHT_DURATION:.0f} s flights",
+        title=f"Distributed work-queue backend: 12 x {FLIGHT_DURATION:.0f} s flights",
     ))
+
+
+def test_socket_transport_matches_serial_bit_for_bit(
+    distributed_runs, socket_runs
+):
+    _, serial, _, _ = distributed_runs
+    _, cold, _ = socket_runs
+    assert cold.fallback_reason is None
+    assert cold.failures() == ()
+    assert cold.summaries() == serial.summaries()
+
+
+def test_socket_warm_run_serves_everything_from_store(
+    distributed_runs, socket_runs
+):
+    _, serial, _, _ = distributed_runs
+    store_dir, _, warm = socket_runs
+    assert (warm.cache_hits, warm.cache_misses) == (12, 0)
+    assert warm.summaries() == serial.summaries()
+    store = CampaignStore(store_dir)
+    for variant in acceptance_grid().variants():
+        assert store.get_arrays(variant) is not None
 
 
 def test_warm_run_serves_everything_from_store(distributed_runs):

@@ -11,6 +11,7 @@ Usage::
     python examples/campaign_sweep.py [--duration SECONDS] [--seeds N]
         [--budgets B1,B2,...] [--attack-starts T1,T2,...] [--serial]
         [--backend serial|process-pool|distributed] [--workers N]
+        [--transport file|socket] [--max-workers N]
         [--store DIR] [--record-arrays] [--csv PATH] [--json PATH]
 """
 
@@ -48,6 +49,14 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes for --backend distributed "
                              "(default: 2)")
+    parser.add_argument("--transport", choices=("file", "socket"), default="file",
+                        help="work-queue transport for --backend distributed: "
+                             "a shared directory or the coordinator's TCP "
+                             "server (default: file)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="autoscale ceiling for --backend distributed: "
+                             "grow the fleet up to this many workers on "
+                             "backlog, retire idle ones (default: off)")
     parser.add_argument("--store", type=str, default=None,
                         help="cache flights in this result-store directory "
                              "(re-runs fly only changed cells)")
@@ -72,7 +81,10 @@ def main() -> None:
     if args.backend is not None:
         from repro.campaign import get_backend
 
-        options = {"workers": args.workers} if args.backend == "distributed" else {}
+        options = {}
+        if args.backend == "distributed":
+            options = {"workers": args.workers, "transport": args.transport,
+                       "max_workers": args.max_workers}
         backend = get_backend(args.backend, **options)
     mode = "serial" if args.serial else "auto"
     label = args.backend or f"{mode} mode"
@@ -90,6 +102,9 @@ def main() -> None:
     if store is not None:
         print(f"Result store {args.store}: {result.cache_hits} cached, "
               f"{result.cache_misses} flown")
+    for event in result.scale_events:
+        print(f"Autoscaler {event['event']}: {event['workers']} worker(s), "
+              f"backlog {event['backlog']} (t={event['elapsed']:.1f}s)")
 
     print()
     print(result.to_text())

@@ -201,6 +201,7 @@ def campaign_to_dict(campaign: "CampaignResult") -> dict[str, Any]:
         "cache_hits": campaign.cache_hits,
         "cache_misses": campaign.cache_misses,
         "executor_fallback": campaign.fallback_reason,
+        "scale_events": [dict(event) for event in campaign.scale_events],
         "rows": campaign_to_rows(campaign),
         "cells": [
             {

@@ -19,7 +19,8 @@ from .backends import (
 from .grid import AxisApplier, GridVariant, ScenarioGrid, register_axis, resolve_applier
 from .results import CampaignCell, CampaignResult, VariantOutcome
 from .runner import CampaignRunner, run_campaign, trajectory_arrays
-from .workqueue import FileWorkQueue
+from .transport import SocketWorkQueue, SocketWorkQueueClient
+from .workqueue import FileWorkQueue, WorkQueue
 
 __all__ = [
     "AxisApplier",
@@ -33,7 +34,10 @@ __all__ = [
     "ProcessPoolBackend",
     "ScenarioGrid",
     "SerialBackend",
+    "SocketWorkQueue",
+    "SocketWorkQueueClient",
     "VariantOutcome",
+    "WorkQueue",
     "get_backend",
     "register_axis",
     "resolve_applier",

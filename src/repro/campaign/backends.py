@@ -18,6 +18,7 @@ item is still running, so a killed campaign loses nothing that finished.
 
 from __future__ import annotations
 
+import logging
 import os
 import shutil
 import subprocess
@@ -26,11 +27,13 @@ import tempfile
 import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
 
-from .workqueue import FileWorkQueue
+from .workqueue import FileWorkQueue, WorkQueue
+
+logger = logging.getLogger("repro.campaign")
 
 __all__ = [
     "ExecutorBackend",
@@ -122,53 +125,134 @@ class ProcessPoolBackend:
 
 @dataclass(frozen=True)
 class DistributedBackend:
-    """File work-queue executor: a coordinator plus N worker *processes*.
+    """Work-queue executor: a coordinator plus N worker *processes*.
 
-    The coordinator serialises every item into a shared
-    :class:`~repro.campaign.workqueue.FileWorkQueue` directory, spawns
-    ``workers`` local worker processes (``python -m repro.campaign.worker``),
-    and polls for results.  Because the queue is just a directory, additional
-    workers may attach from anywhere that shares it (other shells,
-    containers, machines on a network filesystem) — pass ``queue_dir`` and
-    ``workers=0`` to bring your own fleet.
+    The coordinator serialises every item into a
+    :class:`~repro.campaign.workqueue.WorkQueue`, spawns ``workers`` local
+    worker processes (``python -m repro.campaign.worker``), and polls for
+    results.  Two transports implement the queue protocol:
 
-    Fault tolerance: workers heartbeat their lease's mtime every quarter of
+    * ``transport="file"`` — a shared
+      :class:`~repro.campaign.workqueue.FileWorkQueue` directory; additional
+      workers may attach from anywhere that shares it (other shells,
+      containers, machines on a network filesystem) — pass ``queue_dir`` and
+      ``workers=0`` to bring your own fleet.
+    * ``transport="socket"`` — a coordinator-hosted
+      :class:`~repro.campaign.transport.SocketWorkQueue` TCP server (JSON
+      lines, see :mod:`repro.campaign.transport`); workers attach with
+      ``--connect host:port`` from any host that can reach the port, no
+      shared filesystem required.
+
+    Fault tolerance: workers heartbeat their lease every quarter of
     ``lease_timeout``; a worker that dies mid-task stops heartbeating, the
     coordinator re-queues the task, and another worker picks it up.  Results
     arrive out of order and are yielded in input order; ``on_complete`` fires
     the moment each item finishes so the runner can persist it immediately.
 
+    Autoscaling: with ``max_workers`` set, the coordinator watches the queue
+    backlog and grows the local fleet from ``workers`` up to ``max_workers``
+    processes while tasks are pending, then issues *retire credits* so idle
+    workers exit once the backlog drains.  Scale decisions are appended to
+    :attr:`scale_events` (surfaced on
+    :attr:`~repro.campaign.results.CampaignResult.scale_events`) and logged
+    on the ``repro.campaign`` logger.
+
     Attributes
     ----------
     workers:
-        Local worker processes to spawn (``0`` = rely on external workers;
-        requires an explicit ``queue_dir``).
+        Local worker processes to spawn up front (``0`` = start none; then
+        either autoscaling spawns them on backlog, or an external fleet
+        attaches via ``queue_dir``/``port``).
     queue_dir:
-        Shared queue directory; ``None`` creates (and removes) a temporary
-        one, which confines the campaign to local spawned workers.
+        File transport only: shared queue directory; ``None`` creates (and
+        removes) a temporary one, which confines the campaign to local
+        spawned workers.
     lease_timeout:
         Seconds without a heartbeat before a claimed task is re-issued.
         Must exceed the slowest single flight's heartbeat gap (the heartbeat
         runs on a thread, so only a hard worker death stops it).
     poll_interval:
-        Coordinator/worker filesystem polling period [s].
+        Coordinator/worker polling period [s].
+    transport:
+        ``"file"`` or ``"socket"``.
+    host / port:
+        Socket transport only: server bind address.  ``port=0`` picks an
+        ephemeral port (fine for spawned workers, who are told the real
+        port; an external fleet needs a fixed one).
+    max_workers:
+        Autoscale ceiling for locally spawned workers; ``None`` disables
+        autoscaling (the fleet stays at ``workers``).
     """
 
     workers: int = 2
     queue_dir: str | None = None
     lease_timeout: float = 30.0
     poll_interval: float = 0.05
+    transport: str = "file"
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_workers: int | None = None
+    #: Scale decisions of the most recent ``map`` call, in order: dicts with
+    #: ``event`` ("scale-up" / "scale-down"), ``workers`` (alive after),
+    #: ``backlog`` and ``elapsed`` [s] since the campaign started.
+    scale_events: list = field(default_factory=list, compare=False, repr=False)
 
     name = "distributed"
+
+    _TRANSPORTS = ("file", "socket")
 
     def __post_init__(self) -> None:
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
-        if self.workers == 0 and self.queue_dir is None:
+        if self.transport not in self._TRANSPORTS:
             raise ValueError(
-                "workers=0 requires an explicit queue_dir for external "
-                "workers to attach to"
+                f"transport must be one of {self._TRANSPORTS}, "
+                f"got {self.transport!r}"
             )
+        if self.transport == "socket" and self.queue_dir is not None:
+            raise ValueError(
+                "queue_dir applies to the file transport only; the socket "
+                "transport shares nothing but the coordinator's host:port"
+            )
+        if self.transport == "file" and self.port != 0:
+            raise ValueError("port applies to the socket transport only")
+        if self.max_workers is not None:
+            if self.max_workers < 1:
+                raise ValueError("max_workers must be at least 1")
+            if self.max_workers < self.workers:
+                raise ValueError("max_workers must be >= workers")
+            # Autoscaling sizes a fleet the coordinator can *count* — its
+            # own spawns.  With an attachment point for external workers
+            # the arithmetic breaks: retire credits derived from the local
+            # surplus would be consumed by (and permanently dismiss)
+            # external workers the coordinator cannot respawn.
+            if self.queue_dir is not None:
+                raise ValueError(
+                    "autoscaling (max_workers) manages coordinator-spawned "
+                    "workers and cannot be combined with an external-fleet "
+                    "queue_dir (retire credits would dismiss external "
+                    "workers)"
+                )
+            if self.port != 0:
+                raise ValueError(
+                    "autoscaling (max_workers) manages coordinator-spawned "
+                    "workers and cannot be combined with a fixed port "
+                    "(externally attached workers would consume its retire "
+                    "credits)"
+                )
+        elif self.workers == 0:
+            # Nothing would ever execute: no initial fleet, no autoscaler.
+            if self.transport == "file" and self.queue_dir is None:
+                raise ValueError(
+                    "workers=0 requires an explicit queue_dir for external "
+                    "workers to attach to (or max_workers for autoscaling)"
+                )
+            if self.transport == "socket" and self.port == 0:
+                raise ValueError(
+                    "workers=0 on the socket transport requires a fixed "
+                    "port for external workers to connect to (or "
+                    "max_workers for autoscaling)"
+                )
         if self.lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
         if self.poll_interval <= 0:
@@ -183,16 +267,32 @@ class DistributedBackend:
         items = list(items)
         if not items:
             return
+        del self.scale_events[:]  # events describe the current map call only
+        # A per-run id namespaces this campaign's tasks and results: a
+        # worker of a previous killed run finishing late (on a reused
+        # directory or port) answers under the old id and is ignored by
+        # collect().
+        run_id = f"r{uuid.uuid4().hex[:12]}"
+        if self.transport == "socket":
+            yield from self._map_socket(fn, items, on_complete, run_id)
+        else:
+            yield from self._map_file(fn, items, on_complete, run_id)
+
+    def _map_file(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        on_complete: CompletionCallback | None,
+        run_id: str,
+    ) -> Iterator[Any]:
         owns_dir = self.queue_dir is None
         root = (
             Path(tempfile.mkdtemp(prefix="repro-campaign-queue-"))
             if owns_dir
             else Path(self.queue_dir)
         )
-        # A per-run id namespaces this campaign's tasks and results: a
-        # worker of a previous killed run finishing late on a reused
-        # directory answers under the old id and is ignored by collect().
-        queue = FileWorkQueue(root, run_id=f"r{uuid.uuid4().hex[:12]}")
+        queue = FileWorkQueue(root, run_id=run_id)
+        worker_args = [str(root)]
         processes: list[subprocess.Popen] = []
         try:
             # A queue directory hosts one campaign at a time: purge stale
@@ -202,17 +302,64 @@ class DistributedBackend:
             queue.reset()
             for index, item in enumerate(items):
                 queue.enqueue(index, (fn, item))
-            processes = [self._spawn_worker(root) for _ in range(self.workers)]
-            yield from self._drain(queue, len(items), processes, on_complete)
+            processes = [
+                self._spawn_worker(worker_args) for _ in range(self.workers)
+            ]
+            yield from self._drain(
+                queue, len(items), processes, on_complete, worker_args
+            )
         finally:
             queue.request_stop()
             self._reap(processes)
             if owns_dir:
                 shutil.rmtree(root, ignore_errors=True)
 
+    def _map_socket(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        on_complete: CompletionCallback | None,
+        run_id: str,
+    ) -> Iterator[Any]:
+        from .transport import SocketWorkQueue
+
+        queue = SocketWorkQueue(self.host, self.port, run_id=run_id)
+        bound_host, bound_port = queue.address
+        # Workers must *connect* to the address the server *bound*; a
+        # wildcard bind is reachable locally via loopback.
+        connect_host = (
+            "127.0.0.1" if bound_host in ("", "0.0.0.0", "::") else bound_host
+        )
+        worker_args = ["--connect", f"{connect_host}:{bound_port}"]
+        processes: list[subprocess.Popen] = []
+        try:
+            for index, item in enumerate(items):
+                queue.enqueue(index, (fn, item))
+            processes = [
+                self._spawn_worker(worker_args) for _ in range(self.workers)
+            ]
+            yield from self._drain(
+                queue, len(items), processes, on_complete, worker_args
+            )
+        finally:
+            queue.request_stop()
+            # Reap *before* closing the server: spawned workers poll the
+            # stop sentinel over TCP and exit cleanly while it still answers.
+            self._reap(processes)
+            if self.port != 0:
+                # A fixed port means an external fleet may be attached, and
+                # the server is the only place it can observe the stop
+                # sentinel (unlike a stop *file*, which persists).  Linger
+                # so idle workers poll it and exit now, not via the much
+                # longer orphan timeout.  External workers choose their own
+                # --poll, so the window is generous; one polling slower
+                # than ~2 s still has the orphan timeout as backstop.
+                time.sleep(max(2.0, 4 * self.poll_interval))
+            queue.close()
+
     # ------------------------------------------------------------------ internal --
 
-    def _spawn_worker(self, root: Path) -> subprocess.Popen:
+    def _spawn_worker(self, worker_args: list[str]) -> subprocess.Popen:
         env = dict(os.environ)
         # Whatever is importable here must be importable in the worker: the
         # task payloads reference functions by module path.
@@ -224,7 +371,7 @@ class DistributedBackend:
                 sys.executable,
                 "-m",
                 "repro.campaign.worker",
-                str(root),
+                *worker_args,
                 "--lease-timeout",
                 str(self.lease_timeout),
                 "--poll",
@@ -233,22 +380,82 @@ class DistributedBackend:
             env=env,
         )
 
+    def _record_scale(
+        self, event: str, workers: int, backlog: int, elapsed: float
+    ) -> None:
+        entry = {
+            "event": event,
+            "workers": workers,
+            "backlog": backlog,
+            "elapsed": round(elapsed, 3),
+        }
+        self.scale_events.append(entry)
+        logger.info(
+            "distributed autoscaler %s: %d worker(s), backlog %d (t=%.1fs)",
+            event, workers, backlog, elapsed,
+        )
+
+    def _autoscale(
+        self,
+        queue: WorkQueue,
+        processes: list[subprocess.Popen],
+        outstanding: int,
+        worker_args: list[str],
+        elapsed: float,
+        alive_now: int,
+        alive_reported: int | None,
+    ) -> int:
+        """One autoscaler tick; returns the live worker count after it.
+
+        Scale up: while tasks are pending and the fleet is below
+        ``max_workers``, spawn one worker per pending task.  Scale down:
+        grant exactly as many retire credits as there are workers beyond
+        the number of not-yet-finished items — only *idle* workers consume
+        a credit, so a worker mid-flight is never dismissed.  A shrink
+        (retired *or* crashed workers) is recorded against the count the
+        previous tick reported.
+        """
+        alive = alive_now
+        backlog = queue.pending_count()
+        ceiling = self.max_workers or 0
+        if backlog > 0 and alive < ceiling:
+            for _ in range(min(backlog, ceiling - alive)):
+                processes.append(self._spawn_worker(worker_args))
+                alive += 1
+            self._record_scale("scale-up", alive, backlog, elapsed)
+        if alive_reported is not None and alive < alive_reported:
+            self._record_scale("scale-down", alive, backlog, elapsed)
+        queue.set_retire_credits(max(0, alive - outstanding))
+        return alive
+
     def _drain(
         self,
-        queue: FileWorkQueue,
+        queue: WorkQueue,
         total: int,
         processes: list[subprocess.Popen],
         on_complete: CompletionCallback | None,
+        worker_args: list[str],
     ) -> Iterator[Any]:
         seen: set[int] = set()
         ready: dict[int, Any] = {}
         next_index = 0
+        start = time.monotonic()
         # Housekeeping (coordinator heartbeat, lease-expiry scan) has
         # lease-timeout granularity; doing it every poll tick would hammer
         # a network filesystem with metadata traffic for nothing.  Only
-        # result collection runs at the fast poll.
+        # result collection runs at the fast poll.  The autoscaler runs on
+        # its own, faster cadence — it is a handful of cheap probes and
+        # scale-up latency is user-visible.
         housekeeping_period = self.lease_timeout / 4.0
+        autoscale_period = max(self.poll_interval, min(housekeeping_period, 0.5))
         last_housekeeping = float("-inf")
+        last_autoscale = float("-inf")
+        alive: int | None = None
+        # Crash-loop guard for the autoscaler: respawn waves that start from
+        # an all-dead fleet must make progress, or we are re-spawning
+        # workers into the same fatal condition forever.
+        dead_waves = 0
+        seen_at_last_wave = -1
         while next_index < total:
             now = time.monotonic()
             if now - last_housekeeping >= housekeeping_period:
@@ -258,6 +465,33 @@ class DistributedBackend:
                 # workers exit on their own instead of polling forever.
                 queue.touch_coordinator()
                 queue.reclaim_expired(self.lease_timeout)
+            if self.max_workers is not None and now - last_autoscale >= autoscale_period:
+                last_autoscale = now
+                # Aliveness is sampled *before* the tick: a wave is "the
+                # fleet was entirely dead and we spawned into that", which
+                # must be visible in the same tick the death is noticed.
+                alive_now = sum(
+                    1 for proc in processes if proc.poll() is None
+                )
+                new_alive = self._autoscale(
+                    queue, processes, total - len(seen), worker_args,
+                    now - start, alive_now, alive,
+                )
+                was_dead = alive_now == 0
+                alive = new_alive
+                if was_dead and alive > 0:
+                    if len(seen) == seen_at_last_wave:
+                        dead_waves += 1
+                    else:
+                        dead_waves = 1
+                        seen_at_last_wave = len(seen)
+                    if dead_waves > 3:
+                        raise RuntimeError(
+                            "distributed autoscaler respawned an all-dead "
+                            f"fleet {dead_waves} times without progress "
+                            f"({total - len(seen)} of {total} items "
+                            "outstanding)"
+                        )
             fresh = queue.collect(seen)
             for index in sorted(fresh):
                 status, value = fresh[index]
@@ -274,11 +508,17 @@ class DistributedBackend:
                 next_index += 1
             if next_index >= total:
                 return
-            if processes and all(proc.poll() is not None for proc in processes):
+            if (
+                self.max_workers is None
+                and processes
+                and all(proc.poll() is not None for proc in processes)
+            ):
                 # Every worker this coordinator spawned is gone.  External
-                # workers could still drain an explicit queue_dir, but with
-                # spawned workers dead the far likelier outcome is a hang —
-                # fail loudly and let the runner fall back to serial.
+                # workers could still drain the queue, but with spawned
+                # workers dead the far likelier outcome is a hang — fail
+                # loudly and let the runner fall back to serial.  (With
+                # autoscaling the fleet is respawned instead, guarded by
+                # the crash-loop counter above.)
                 raise RuntimeError(
                     f"all {len(processes)} distributed workers exited with "
                     f"{total - len(seen)} of {total} items outstanding"

@@ -131,6 +131,12 @@ class CampaignResult:
     #: ``repr`` of the exception that forced the runner off its executor
     #: backend onto serial execution; ``None`` when no fallback happened.
     fallback_reason: str | None = None
+    #: Autoscaling decisions the executor backend recorded while the
+    #: campaign ran (``DistributedBackend(max_workers=...)``): dicts with
+    #: ``event``/``workers``/``backlog``/``elapsed``.  Empty for fixed-size
+    #: backends.  Excluded from summaries — like wall times, fleet sizing is
+    #: execution metadata, not a flight outcome.
+    scale_events: tuple[dict[str, Any], ...] = ()
 
     def __len__(self) -> int:
         return len(self.outcomes)

@@ -256,7 +256,7 @@ class CampaignRunner:
             variant for index, variant in enumerate(variants) if index not in cached
         ]
 
-        flown, fallback_reason = self._execute(to_run)
+        flown, fallback_reason, scale_events = self._execute(to_run)
 
         # Merge cache hits and fresh flights back into expansion order.
         merged: list[VariantOutcome] = []
@@ -273,6 +273,7 @@ class CampaignRunner:
             cache_hits=hits,
             cache_misses=len(variants) - hits if self.store is not None else 0,
             fallback_reason=fallback_reason,
+            scale_events=scale_events,
         )
 
     # ------------------------------------------------------------------ internal --
@@ -326,11 +327,12 @@ class CampaignRunner:
 
     def _execute(
         self, variants: Sequence[GridVariant]
-    ) -> tuple[list[VariantOutcome], str | None]:
+    ) -> tuple[list[VariantOutcome], str | None, tuple[dict[str, Any], ...]]:
         """Map the worker over ``variants``; on backend failure keep what
-        completed, finish serially and report why."""
+        completed, finish serially and report why.  The third element is the
+        backend's autoscaling record (empty for fixed-size backends)."""
         if not variants:
-            return [], None
+            return [], None, ()
         backend = self.select_backend(variants)
         fn = self._worker_fn()
         outcomes: list[VariantOutcome] = []
@@ -378,8 +380,16 @@ class CampaignRunner:
                 outcomes.append(outcome)
                 if index not in persisted:
                     self._persist(variant, outcome, arrays)
-            return outcomes, reason
-        return outcomes, None
+            return outcomes, reason, self._scale_events(backend)
+        return outcomes, None, self._scale_events(backend)
+
+    @staticmethod
+    def _scale_events(backend: ExecutorBackend) -> tuple[dict[str, Any], ...]:
+        """Autoscaling decisions the backend recorded during this run, if
+        it records any (see ``DistributedBackend.scale_events``)."""
+        return tuple(
+            dict(event) for event in getattr(backend, "scale_events", ()) or ()
+        )
 
     def _persist(
         self,

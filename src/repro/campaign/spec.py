@@ -21,10 +21,12 @@ A spec file makes a campaign runnable without writing a script (see
 
 ``[runner]``
     Execution policy: ``mode``/``max_workers`` or an explicit ``backend``
-    registry name (plus ``backend_options``, e.g. ``{workers = 2}`` for the
-    distributed backend), an optional ``store`` directory for cached results
-    (with an optional generation ``salt``), and ``record_arrays`` to persist
-    trajectory arrays alongside the summary cells.
+    registry name plus ``backend_options`` — e.g. ``{workers = 2}``,
+    ``{transport = "socket"}`` or ``{workers = 0, max_workers = 4}``
+    (autoscaling) for the distributed backend, see
+    ``docs/distributed.md`` — an optional ``store`` directory for cached
+    results (with an optional generation ``salt``), and ``record_arrays``
+    to persist trajectory arrays alongside the summary cells.
 
 Example (TOML)::
 

@@ -1,0 +1,486 @@
+"""JSON-lines-over-TCP work-queue transport for hosts that share no filesystem.
+
+The :class:`~repro.campaign.workqueue.FileWorkQueue` makes "distributed" mean
+"anything that shares a directory".  This module removes the shared-directory
+requirement: :class:`SocketWorkQueue` is a coordinator-hosted TCP server whose
+in-memory state implements the same
+:class:`~repro.campaign.workqueue.WorkQueue` protocol, and
+:class:`SocketWorkQueueClient` is the worker side used by
+``python -m repro.campaign.worker --connect host:port``.
+
+Wire protocol: one request per connection, one JSON object per line; task
+payloads and results are pickled and base64-encoded inside the JSON (the same
+trust model as the file queue — only run workers you would also hand a pickle
+file to).  Operations mirror the queue protocol::
+
+    {"op": "claim", "worker": "w123"}
+        -> {"ok": true, "index": 3, "run": "r...", "payload": "<b64>",
+            "lease": "<token>"}
+        -> {"ok": true, "index": null}           # nothing pending
+    {"op": "heartbeat", "lease": "<token>"}      -> {"ok": true}
+    {"op": "complete", "index": 3, "run": "r...",
+     "lease": "<token>", "result": "<b64>"}      -> {"ok": true}
+    {"op": "stop"}                               -> {"ok": true, "stop": false}
+    {"op": "retire"}                             -> {"ok": true, "retire": false}
+    {"op": "ping"}                               -> {"ok": true}
+
+Fault semantics match the file transport exactly:
+
+* **Heartbeat leases** — the server timestamps every heartbeat;
+  ``reclaim_expired`` moves stale claims back into the pending set and the
+  task is re-issued.  A worker whose TCP connection dies mid-task simply
+  stops heartbeating — the disconnect *is* the missed heartbeat.
+* **Run namespacing** — ``complete`` messages carry the run id the task was
+  claimed under; a server ignores results of other runs, so a worker of a
+  killed previous campaign finishing late cannot smuggle its outcome into a
+  new run listening on the same port.
+* **Orphan detection** — there is no coordinator heartbeat file; server
+  *reachability* is the heartbeat.  The client tracks its last successful
+  round trip and reports the elapsed time as ``coordinator_age()``, so the
+  worker's standard orphan timeout applies unchanged.  Transient
+  unreachability (a coordinator restarting) merely degrades: ``claim``
+  returns ``None``, ``stop_requested`` returns ``False``, and the worker
+  keeps polling until the server is back or the orphan timeout expires.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import socketserver
+import threading
+import time
+import uuid
+from typing import Any, Iterable, NamedTuple
+
+from .workqueue import _DEFAULT_RUN, validate_run_id
+
+__all__ = ["SocketWorkQueue", "SocketWorkQueueClient", "parse_address"]
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Split ``host:port`` (IPv6 hosts may be bracketed: ``[::1]:9000``)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {text!r} must be host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"address {text!r} has a non-numeric port") from None
+    return host.strip("[]"), port
+
+
+def _encode(value: Any) -> str:
+    return base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def _decode(blob: str) -> Any:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+class _Lease(NamedTuple):
+    """Client-side lease handle: opaque to the worker loop, it carries the
+    token plus the run id the task must be answered under."""
+
+    token: str
+    run: str
+    index: int
+
+
+class _Claim:
+    """Server-side record of one leased task."""
+
+    __slots__ = ("index", "payload", "worker_id", "last_beat")
+
+    def __init__(self, index: int, payload: bytes, worker_id: str) -> None:
+        self.index = index
+        self.payload = payload
+        self.worker_id = worker_id
+        self.last_beat = time.time()
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via the client
+        line = self.rfile.readline()
+        if not line:
+            return
+        try:
+            request = json.loads(line)
+            response = self.server.work_queue._handle(request)
+        except Exception as exc:
+            response = {"ok": False, "error": repr(exc)}
+        try:
+            self.wfile.write((json.dumps(response) + "\n").encode("ascii"))
+        except OSError:
+            pass  # client went away mid-response; its next poll retries
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    work_queue: "SocketWorkQueue"
+
+
+class SocketWorkQueue:
+    """Coordinator-hosted TCP work queue (server side of the transport).
+
+    Constructing the queue binds and starts the server — ``port=0`` picks an
+    ephemeral port, published via :attr:`address`.  The object itself is a
+    full :class:`~repro.campaign.workqueue.WorkQueue`: the coordinator calls
+    the same ``enqueue``/``collect``/``reclaim_expired`` methods it would on
+    a :class:`~repro.campaign.workqueue.FileWorkQueue`, while remote workers
+    reach the worker-side half through :class:`SocketWorkQueueClient`.
+
+    Task payloads are pickled at :meth:`enqueue` time (like the file
+    transport, so an unpicklable payload fails loudly in the coordinator,
+    not silently on a worker) and kept in memory; nothing touches disk.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        run_id: str | None = None,
+    ) -> None:
+        if run_id is not None:
+            validate_run_id(run_id)
+        self.run_id = run_id or _DEFAULT_RUN
+        self._lock = threading.Lock()
+        self._pending: dict[int, bytes] = {}
+        self._claims: dict[str, _Claim] = {}
+        self._results: dict[int, Any] = {}
+        self._stop = False
+        self._retire_credits = 0
+        self._server = _Server((host, port), _Handler)
+        self._server.work_queue = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"socket-workqueue-{self.run_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the server is listening on."""
+        host, port = self._server.server_address[:2]
+        return host, port
+
+    def close(self) -> None:
+        """Stop serving.  Workers observe connection failures from here on
+        and retire via their orphan timeout."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "SocketWorkQueue":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- coordinator side --------------------------------------------------------
+
+    def enqueue(self, index: int, payload: Any) -> None:
+        blob = pickle.dumps(payload)
+        with self._lock:
+            self._pending[index] = blob
+
+    def reset(self) -> None:
+        with self._lock:
+            self._pending.clear()
+            self._claims.clear()
+            self._results.clear()
+            self._stop = False
+            self._retire_credits = 0
+
+    def reclaim_expired(self, lease_timeout: float) -> list[int]:
+        now = time.time()
+        reclaimed: list[int] = []
+        with self._lock:
+            for token, claim in list(self._claims.items()):
+                if now - claim.last_beat <= lease_timeout:
+                    continue
+                del self._claims[token]
+                self._pending[claim.index] = claim.payload
+                reclaimed.append(claim.index)
+        return reclaimed
+
+    def collect(self, seen: Iterable[int] = ()) -> dict[int, Any]:
+        known = set(seen)
+        with self._lock:
+            return {
+                index: result
+                for index, result in self._results.items()
+                if index not in known
+            }
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def request_stop(self) -> None:
+        with self._lock:
+            self._stop = True
+
+    def touch_coordinator(self) -> None:
+        """No-op: over TCP, server reachability *is* the coordinator
+        heartbeat (see the module docstring)."""
+
+    def set_retire_credits(self, count: int) -> None:
+        with self._lock:
+            self._retire_credits = max(0, count)
+
+    # -- worker side (also served over the wire via _handle) ---------------------
+
+    def claim(self, worker_id: str) -> tuple[int, Any, Any] | None:
+        claimed = self._claim_blob(worker_id)
+        if claimed is None:
+            return None
+        index, blob, token = claimed
+        return index, pickle.loads(blob), _Lease(token, self.run_id, index)
+
+    def heartbeat(self, lease: Any) -> None:
+        token = lease.token if isinstance(lease, _Lease) else lease
+        with self._lock:
+            claim = self._claims.get(token)
+            if claim is not None:
+                claim.last_beat = time.time()
+
+    def complete(self, index: int, result: Any, lease: Any | None = None) -> None:
+        run = lease.run if isinstance(lease, _Lease) else self.run_id
+        token = lease.token if isinstance(lease, _Lease) else None
+        self._complete(index, run, result, token)
+
+    def stop_requested(self) -> bool:
+        with self._lock:
+            return self._stop
+
+    def coordinator_age(self) -> float | None:
+        return 0.0  # in-process callers share the coordinator's fate
+
+    def try_retire(self) -> bool:
+        with self._lock:
+            if self._retire_credits > 0:
+                self._retire_credits -= 1
+                return True
+        return False
+
+    # -- internal ----------------------------------------------------------------
+
+    def _claim_blob(self, worker_id: str) -> tuple[int, bytes, str] | None:
+        with self._lock:
+            if not self._pending:
+                return None
+            index = min(self._pending)  # lowest pending index first
+            blob = self._pending.pop(index)
+            token = uuid.uuid4().hex
+            self._claims[token] = _Claim(index, blob, worker_id)
+        return index, blob, token
+
+    def _requeue(self, token: Any) -> None:
+        """Return a claimed task to the pending set (failed hand-back).
+
+        A ``None``/unknown token is a no-op: the lease was already
+        reclaimed, so the task is pending (or completed by its re-claimer)
+        already.
+        """
+        with self._lock:
+            claim = self._claims.pop(token, None) if token else None
+            if claim is not None:
+                self._pending[claim.index] = claim.payload
+
+    def _complete(
+        self, index: int, run: str, result: Any, token: str | None
+    ) -> None:
+        with self._lock:
+            if token is not None:
+                self._claims.pop(token, None)
+            if run == self.run_id:
+                self._results[index] = result
+            # else: a late answer from another (killed) run — lease released,
+            # result ignored, matching FileWorkQueue.collect's run filter.
+
+    def _handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Serve one wire request (called from server handler threads)."""
+        op = request.get("op")
+        if op == "claim":
+            claimed = self._claim_blob(str(request.get("worker", "?")))
+            if claimed is None:
+                # A claim that finds nothing proves the worker is idle at
+                # this very moment — the only state in which a retire
+                # credit may dismiss it.  Answering the retire question
+                # here saves the worker a dedicated round trip per poll.
+                return {"ok": True, "index": None, "retire": self.try_retire()}
+            index, blob, token = claimed
+            return {
+                "ok": True,
+                "index": index,
+                "run": self.run_id,
+                "payload": base64.b64encode(blob).decode("ascii"),
+                "lease": token,
+            }
+        if op == "heartbeat":
+            self.heartbeat(str(request.get("lease", "")))
+            return {"ok": True}
+        if op == "complete":
+            try:
+                result = _decode(request["result"])
+            except Exception as exc:
+                # A result the coordinator cannot decode is dropped, but
+                # the task must not be lost with it: put the claimed
+                # payload straight back into the pending set (releasing
+                # the lease alone would strand the task — reclaim only
+                # scans live claims) so another worker re-flies it.
+                self._requeue(request.get("lease"))
+                return {"ok": False, "error": f"undecodable result: {exc!r}"}
+            self._complete(
+                int(request["index"]),
+                str(request.get("run", "")),
+                result,
+                request.get("lease"),
+            )
+            return {"ok": True}
+        if op == "stop":
+            return {"ok": True, "stop": self.stop_requested()}
+        if op == "retire":
+            return {"ok": True, "retire": self.try_retire()}
+        if op == "ping":
+            return {"ok": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class SocketWorkQueueClient:
+    """Worker-side :class:`~repro.campaign.workqueue.WorkQueue` over TCP.
+
+    Every operation is one short-lived connection, so a worker holds no
+    state the coordinator could leak: a dropped connection mid-task only
+    stops the heartbeat, and the lease expires like any other death.  A
+    temporarily unreachable coordinator degrades instead of raising —
+    ``claim`` returns ``None``, ``stop_requested`` returns ``False`` — so a
+    worker survives a coordinator *restart* on the same address and resumes
+    claiming from the new run; :meth:`coordinator_age` grows from the last
+    successful round trip so the standard orphan timeout eventually ends a
+    worker whose coordinator never comes back.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._address = (host, port)
+        self._timeout = timeout
+        self._last_contact = time.time()
+        self._retire_answer: bool | None = None
+
+    # -- worker side -------------------------------------------------------------
+
+    def claim(self, worker_id: str) -> tuple[int, Any, Any] | None:
+        response = self._request({"op": "claim", "worker": worker_id})
+        if response is None:
+            return None
+        if response.get("index") is None:
+            # An idle claim carries the retire answer (see the server);
+            # cache it for the try_retire call that follows in the worker
+            # loop, sparing it a connection per poll tick.
+            self._retire_answer = bool(response.get("retire"))
+            return None
+        index = int(response["index"])
+        lease = _Lease(str(response["lease"]), str(response["run"]), index)
+        try:
+            payload = _decode(response["payload"])
+        except Exception as exc:
+            # Same poison-pill rule as the file transport: a payload whose
+            # function is not importable here must come back as a failed
+            # result, not crash-loop every worker that claims it.
+            self.complete(
+                index, ("error", f"unreadable task payload: {exc!r}"), lease
+            )
+            return None
+        return index, payload, lease
+
+    def heartbeat(self, lease: Any) -> None:
+        self._request({"op": "heartbeat", "lease": lease.token})
+
+    def complete(self, index: int, result: Any, lease: Any | None = None) -> None:
+        message = {
+            "op": "complete",
+            "index": index,
+            "run": lease.run if isinstance(lease, _Lease) else "",
+            "result": _encode(result),
+        }
+        if isinstance(lease, _Lease):
+            message["lease"] = lease.token
+        # Best effort: if the coordinator is gone the result is lost, the
+        # lease expires on whatever coordinator replaces it, and the task is
+        # re-issued — exactly the crashed-worker path.
+        self._request(message)
+
+    def stop_requested(self) -> bool:
+        response = self._request({"op": "stop"})
+        return bool(response and response.get("stop"))
+
+    def coordinator_age(self) -> float | None:
+        age = max(0.0, time.time() - self._last_contact)
+        if age < self._timeout:
+            # The stop/claim polls of the current worker tick already
+            # probed reachability and refreshed the contact time; a
+            # dedicated ping here would be a wasted connection per tick.
+            return age
+        if self._request({"op": "ping"}) is not None:
+            return 0.0
+        return max(0.0, time.time() - self._last_contact)
+
+    def try_retire(self) -> bool:
+        answer, self._retire_answer = self._retire_answer, None
+        if answer is not None:
+            return answer  # piggybacked on the preceding idle claim
+        response = self._request({"op": "retire"})
+        return bool(response and response.get("retire"))
+
+    # -- coordinator-side protocol methods (a client is worker-only) -------------
+
+    def enqueue(self, index: int, payload: Any) -> None:
+        raise NotImplementedError("enqueue tasks on the coordinator's SocketWorkQueue")
+
+    def reset(self) -> None:
+        raise NotImplementedError("reset happens on the coordinator's SocketWorkQueue")
+
+    def reclaim_expired(self, lease_timeout: float) -> list[int]:
+        raise NotImplementedError("leases are reclaimed by the coordinator")
+
+    def collect(self, seen: Iterable[int] = ()) -> dict[int, Any]:
+        raise NotImplementedError("results are collected by the coordinator")
+
+    def pending_count(self) -> int:
+        raise NotImplementedError("pending counts live on the coordinator")
+
+    def request_stop(self) -> None:
+        raise NotImplementedError("stop is requested by the coordinator")
+
+    def touch_coordinator(self) -> None:
+        raise NotImplementedError("only the coordinator heartbeats itself")
+
+    def set_retire_credits(self, count: int) -> None:
+        raise NotImplementedError("retire credits are granted by the coordinator")
+
+    # -- internal ----------------------------------------------------------------
+
+    def _request(self, message: dict[str, Any]) -> dict[str, Any] | None:
+        """One request/response round trip; ``None`` on any failure."""
+        try:
+            with socket.create_connection(
+                self._address, timeout=self._timeout
+            ) as connection:
+                connection.sendall((json.dumps(message) + "\n").encode("ascii"))
+                with connection.makefile("rb") as reader:
+                    line = reader.readline()
+            response = json.loads(line) if line else None
+        except (OSError, ValueError):
+            return None
+        if not response or not response.get("ok"):
+            return None
+        self._last_contact = time.time()
+        return response

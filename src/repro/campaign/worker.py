@@ -1,13 +1,18 @@
-"""Campaign work-queue worker: ``python -m repro.campaign.worker QUEUE_DIR``.
+"""Campaign work-queue worker: ``python -m repro.campaign.worker QUEUE_DIR``
+(file transport) or ``python -m repro.campaign.worker --connect host:port``
+(TCP transport).
 
-One worker process drains one :class:`~repro.campaign.workqueue.FileWorkQueue`:
+One worker process drains one :class:`~repro.campaign.workqueue.WorkQueue`:
 claim a task, heartbeat the lease while executing it, publish the result,
 repeat until the coordinator raises the stop sentinel.  Workers are
-stateless — any number may attach to the same queue directory (the
+stateless — any number may attach to the same queue (the
 :class:`~repro.campaign.backends.DistributedBackend` spawns local ones, but
-workers started by hand on any host sharing the directory join the same
-campaign), and a worker killed mid-task loses nothing: its lease expires and
-the task is re-issued.
+workers started by hand on any host sharing the directory — or able to
+reach the coordinator's TCP port — join the same campaign), and a worker
+killed mid-task loses nothing: its lease expires and the task is re-issued.
+An idle worker also exits when the coordinator grants it a *retire credit*
+(autoscaling scale-down) or when the coordinator has been unreachable/silent
+for the orphan timeout.
 
 Task payloads are ``(fn, item)`` pairs; results are ``("ok", fn(item))`` or
 ``("error", traceback_text)``.  ``fn`` must be importable on the worker
@@ -23,16 +28,17 @@ import threading
 import time
 import traceback
 from pathlib import Path
+from typing import Any
 
-from .workqueue import FileWorkQueue
+from .workqueue import FileWorkQueue, WorkQueue
 
 __all__ = ["main", "run_worker"]
 
 
 class _Heartbeat:
-    """Background thread refreshing one lease's mtime while a task runs."""
+    """Background thread refreshing one lease while a task runs."""
 
-    def __init__(self, queue: FileWorkQueue, lease: Path, interval: float) -> None:
+    def __init__(self, queue: WorkQueue, lease: Any, interval: float) -> None:
         self._queue = queue
         self._lease = lease
         self._interval = max(interval, 0.01)
@@ -53,14 +59,20 @@ class _Heartbeat:
 
 
 def run_worker(
-    queue_dir: str | Path,
+    queue_dir: str | Path | None = None,
     worker_id: str | None = None,
     lease_timeout: float = 30.0,
     poll_interval: float = 0.05,
     max_tasks: int | None = None,
     orphan_timeout: float | None = None,
+    connect: str | None = None,
+    queue: WorkQueue | None = None,
 ) -> int:
     """Drain the queue until stop is requested; returns the tasks completed.
+
+    The queue is given as exactly one of ``queue_dir`` (file transport),
+    ``connect="host:port"`` (TCP transport) or ``queue`` (an explicit
+    :class:`~repro.campaign.workqueue.WorkQueue`, mainly for tests).
 
     ``lease_timeout`` must match the coordinator's: the heartbeat refreshes
     the lease every quarter of it.  ``max_tasks`` bounds the number of tasks
@@ -69,10 +81,22 @@ def run_worker(
     ``orphan_timeout`` (default ``4 * lease_timeout``) guards against an
     abandoned queue: a coordinator killed without cleanup never raises the
     stop sentinel, so an idle worker whose coordinator heartbeat is older
-    than this exits on its own instead of polling forever.  Queues that
-    never announced a coordinator (manually driven) are exempt.
+    than this — for the TCP transport: whose coordinator has been
+    *unreachable* this long — exits on its own instead of polling forever.
+    File queues that never announced a coordinator (manually driven) are
+    exempt.
     """
-    queue = FileWorkQueue(queue_dir)
+    if sum(source is not None for source in (queue_dir, connect, queue)) != 1:
+        raise ValueError(
+            "exactly one of queue_dir, connect or queue must be given"
+        )
+    if queue is None:
+        if connect is not None:
+            from .transport import SocketWorkQueueClient, parse_address
+
+            queue = SocketWorkQueueClient(*parse_address(connect))
+        else:
+            queue = FileWorkQueue(queue_dir)
     if worker_id is None:
         worker_id = f"w{os.getpid()}"
     if orphan_timeout is None:
@@ -86,6 +110,8 @@ def run_worker(
             break
         claimed = queue.claim(worker_id)
         if claimed is None:
+            if queue.try_retire():
+                break  # the autoscaler dismissed this (idle) worker
             age = queue.coordinator_age()
             if age is not None and age > orphan_timeout:
                 break  # coordinator died without cleanup; don't poll forever
@@ -106,12 +132,19 @@ def run_worker(
     return completed
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign.worker",
-        description="Attach one campaign worker to a file work-queue directory.",
+        description="Attach one campaign worker to a work queue: a shared "
+        "directory (file transport) or a coordinator's TCP server "
+        "(--connect).",
     )
-    parser.add_argument("queue", help="work-queue directory shared with the coordinator")
+    parser.add_argument("queue", nargs="?", default=None,
+                        help="work-queue directory shared with the coordinator "
+                        "(omit when using --connect)")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="connect to a coordinator's socket work queue "
+                        "instead of a shared directory")
     parser.add_argument("--worker-id", default=None,
                         help="lease label (default: w<pid>; no dots or path separators)")
     parser.add_argument("--lease-timeout", type=float, default=30.0,
@@ -123,7 +156,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--orphan-timeout", type=float, default=None,
                         help="exit when idle and the coordinator heartbeat "
                         "is older than this [s] (default: 4x lease timeout)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
+    if (args.queue is None) == (args.connect is None):
+        parser.error("give exactly one of a queue directory or --connect")
     run_worker(
         args.queue,
         worker_id=args.worker_id,
@@ -131,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
         poll_interval=args.poll_interval,
         max_tasks=args.max_tasks,
         orphan_timeout=args.orphan_timeout,
+        connect=args.connect,
     )
     return 0
 

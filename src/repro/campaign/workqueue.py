@@ -15,6 +15,7 @@ finishing late on a reused directory, are ignored)::
     tasks/<index>.<run>.task              pending work (pickled payload)
     claimed/<index>.<run>.<worker>.task   leased work; mtime is the heartbeat
     results/<index>.<run>.result          completed work (pickled result)
+    retire/<token>.retire                 one credit = one idle worker may exit
     stop                                  sentinel: workers exit when idle
     coordinator                           coordinator heartbeat (orphan guard)
 
@@ -25,6 +26,14 @@ back into ``tasks/`` and another worker picks it up.  A re-leased task may
 end up completed twice (the presumed-dead worker finishes after all); both
 results are valid renderings of a pure function, and the atomic result
 rename makes the last write win cleanly.
+
+The claim/complete/heartbeat/stop semantics are transport-independent:
+:class:`WorkQueue` is the protocol both this directory transport and the
+TCP transport (:mod:`repro.campaign.transport`) implement, and everything
+above the queue (the :class:`~repro.campaign.backends.DistributedBackend`
+coordinator loop, ``python -m repro.campaign.worker``) is written against
+it.  Lease handles are opaque to the worker: a :class:`~pathlib.Path` here,
+a token over TCP.
 """
 
 from __future__ import annotations
@@ -33,16 +42,88 @@ import os
 import pickle
 import tempfile
 import time
+import uuid
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Protocol, runtime_checkable
 
-__all__ = ["FileWorkQueue", "WorkItem"]
+__all__ = ["FileWorkQueue", "WorkItem", "WorkQueue"]
 
-#: ``(index, payload, lease_path)`` of one claimed task.
-WorkItem = tuple[int, Any, Path]
+#: ``(index, payload, lease)`` of one claimed task.  The lease handle is
+#: transport-specific and opaque to the worker loop: it is only ever passed
+#: back to :meth:`WorkQueue.heartbeat` / :meth:`WorkQueue.complete`.
+WorkItem = tuple[int, Any, Any]
+
+
+@runtime_checkable
+class WorkQueue(Protocol):
+    """Transport-agnostic campaign work queue.
+
+    One object per campaign run, usable from both sides: the **coordinator**
+    enqueues tasks, re-issues expired leases, collects results and raises the
+    stop sentinel; **workers** claim tasks, heartbeat their lease while
+    executing, and publish results.  Implementations:
+    :class:`FileWorkQueue` (shared directory) and
+    :class:`~repro.campaign.transport.SocketWorkQueue` /
+    :class:`~repro.campaign.transport.SocketWorkQueueClient` (JSON lines
+    over TCP).
+
+    Contract highlights every implementation must preserve:
+
+    * exactly one claimer wins a task; claims hand out the lowest pending
+      index first;
+    * a lease whose heartbeat is older than ``lease_timeout`` may be
+      re-issued; the original claimer completing late publishes a duplicate
+      — equally valid — result;
+    * results are namespaced by run id: a coordinator only collects its own
+      run's results;
+    * :meth:`set_retire_credits` / :meth:`try_retire` let the coordinator
+      shrink the fleet: one credit allows exactly one *idle* worker to exit.
+    """
+
+    # -- coordinator side ----------------------------------------------------
+
+    def enqueue(self, index: int, payload: Any) -> Any: ...
+
+    def reset(self) -> None: ...
+
+    def reclaim_expired(self, lease_timeout: float) -> list[int]: ...
+
+    def collect(self, seen: Iterable[int] = ()) -> dict[int, Any]: ...
+
+    def pending_count(self) -> int: ...
+
+    def request_stop(self) -> None: ...
+
+    def touch_coordinator(self) -> None: ...
+
+    def set_retire_credits(self, count: int) -> None: ...
+
+    # -- worker side ---------------------------------------------------------
+
+    def claim(self, worker_id: str) -> WorkItem | None: ...
+
+    def heartbeat(self, lease: Any) -> None: ...
+
+    def complete(self, index: int, result: Any, lease: Any | None = None) -> None: ...
+
+    def stop_requested(self) -> bool: ...
+
+    def coordinator_age(self) -> float | None: ...
+
+    def try_retire(self) -> bool: ...
 
 #: Run id used when none is given (manually driven queues).
 _DEFAULT_RUN = "run0"
+
+
+def validate_run_id(run_id: str) -> None:
+    """Run ids embed in queue file names ('.'-separated fields) and wire
+    messages; both transports enforce the same character rule so a run id
+    valid on one cannot corrupt namespacing on the other."""
+    if "." in run_id or os.sep in run_id:
+        raise ValueError(
+            f"run id {run_id!r} must not contain '.' or path separators"
+        )
 
 
 class FileWorkQueue:
@@ -56,15 +137,18 @@ class FileWorkQueue:
     """
 
     def __init__(self, root: str | Path, run_id: str | None = None) -> None:
-        if run_id is not None and ("." in run_id or os.sep in run_id):
-            raise ValueError(f"run id {run_id!r} must not contain '.' or path separators")
+        if run_id is not None:
+            validate_run_id(run_id)
         self.root = Path(root)
         self.run_id = run_id or _DEFAULT_RUN
         self.tasks_dir = self.root / "tasks"
         self.claimed_dir = self.root / "claimed"
         self.results_dir = self.root / "results"
+        self.retire_dir = self.root / "retire"
         self._stop_path = self.root / "stop"
-        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+        for directory in (
+            self.tasks_dir, self.claimed_dir, self.results_dir, self.retire_dir
+        ):
             directory.mkdir(parents=True, exist_ok=True)
 
     # -- coordinator side --------------------------------------------------------
@@ -84,7 +168,9 @@ class FileWorkQueue:
         outcomes and the leftover stop sentinel would send fresh workers
         straight home.
         """
-        for directory in (self.tasks_dir, self.claimed_dir, self.results_dir):
+        for directory in (
+            self.tasks_dir, self.claimed_dir, self.results_dir, self.retire_dir
+        ):
             for path in self._entries(directory):
                 try:
                     path.unlink()
@@ -94,6 +180,23 @@ class FileWorkQueue:
             self._stop_path.unlink()
         except OSError:
             pass
+
+    def set_retire_credits(self, count: int) -> None:
+        """Make exactly ``count`` retire credits available to idle workers.
+
+        Setting (rather than adding) is idempotent: the autoscaler re-derives
+        the surplus every tick, so credits left over from workers that died
+        instead of retiring are withdrawn rather than stockpiled — a later
+        scale-up cannot be instantly killed off by stale credits.
+        """
+        tokens = self._entries(self.retire_dir)
+        for token in tokens[max(0, count):]:
+            try:
+                token.unlink()
+            except OSError:
+                pass  # consumed by a retiring worker; that's one fewer needed
+        for _ in range(count - len(tokens)):
+            (self.retire_dir / f"{uuid.uuid4().hex}.retire").touch()
 
     def reclaim_expired(self, lease_timeout: float) -> list[int]:
         """Re-queue claimed tasks whose heartbeat is older than the lease.
@@ -212,6 +315,17 @@ class FileWorkQueue:
 
     def stop_requested(self) -> bool:
         return self._stop_path.exists()
+
+    def try_retire(self) -> bool:
+        """Consume one retire credit, if any: unlink is atomic, so each
+        credit dismisses exactly one idle worker even when several race."""
+        for token in self._entries(self.retire_dir):
+            try:
+                token.unlink()
+            except OSError:
+                continue  # another worker took this credit
+            return True
+        return False
 
     # -- internal ----------------------------------------------------------------
 

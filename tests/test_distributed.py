@@ -544,6 +544,40 @@ class TestRecordArrays:
         assert path.read_text().startswith("time,")
 
 
+@dataclass(frozen=True)
+class AutoscalingFakeBackend:
+    """Fabricates outcomes and one scale event, like an autoscaled
+    ``DistributedBackend`` would."""
+
+    scale_events: list = field(default_factory=list, compare=False)
+
+    name = "autoscale-fake"
+
+    def map(self, fn, items):
+        self.scale_events.append({
+            "event": "scale-up", "workers": 2, "backlog": len(items),
+            "elapsed": 0.0,
+        })
+        for variant in items:
+            yield fake_outcome(variant)
+
+
+class TestScaleEventSurface:
+    def test_runner_surfaces_backend_scale_events(self):
+        result = CampaignRunner(backend=AutoscalingFakeBackend()).run(tiny_grid())
+        assert result.scale_events == (
+            {"event": "scale-up", "workers": 2, "backlog": 3, "elapsed": 0.0},
+        )
+        assert result.to_dict()["scale_events"] == [
+            {"event": "scale-up", "workers": 2, "backlog": 3, "elapsed": 0.0},
+        ]
+
+    def test_fixed_backends_record_no_events(self):
+        result = CampaignRunner(backend=OutOfOrderBackend()).run(tiny_grid())
+        assert result.scale_events == ()
+        assert result.to_dict()["scale_events"] == []
+
+
 class TestSpecOverrideMatrix:
     """CLI overrides vs the ``[runner]`` table, exhaustively."""
 
@@ -617,6 +651,46 @@ class TestSpecOverrideMatrix:
     def test_record_arrays_without_store_is_a_clear_error(self):
         with pytest.raises(ValueError, match="'record_arrays' requires"):
             build_runner({"runner": {"record_arrays": True}})
+
+    def test_spec_backend_options_select_transport(self):
+        spec = {"runner": {"backend": "distributed",
+                           "backend_options": {"transport": "socket",
+                                               "workers": 2}}}
+        runner = build_runner(spec)
+        assert isinstance(runner.backend, DistributedBackend)
+        assert runner.backend.transport == "socket"
+        assert runner.backend.workers == 2
+
+    def test_spec_transport_defaults_to_file(self):
+        runner = build_runner({"runner": {"backend": "distributed"}})
+        assert runner.backend.transport == "file"
+
+    def test_spec_invalid_transport_is_a_clear_error(self):
+        spec = {"runner": {"backend": "distributed",
+                           "backend_options": {"transport": "telepathy"}}}
+        with pytest.raises(ValueError, match="transport"):
+            build_runner(spec)
+
+    def test_spec_socket_transport_rejects_queue_dir(self, tmp_path):
+        spec = {"runner": {"backend": "distributed",
+                           "backend_options": {"transport": "socket",
+                                               "queue_dir": str(tmp_path)}}}
+        with pytest.raises(ValueError, match="queue_dir applies"):
+            build_runner(spec)
+
+    def test_spec_autoscale_options(self):
+        spec = {"runner": {"backend": "distributed",
+                           "backend_options": {"workers": 0,
+                                               "max_workers": 4}}}
+        runner = build_runner(spec)
+        assert runner.backend.workers == 0
+        assert runner.backend.max_workers == 4
+
+    def test_cli_backend_override_keeps_matching_transport_options(self):
+        spec = {"runner": {"backend": "distributed",
+                           "backend_options": {"transport": "socket"}}}
+        runner = build_runner(spec, backend="distributed")
+        assert runner.backend.transport == "socket"
 
     def test_seed_coercion_is_constructor_path_consistent(self):
         # "seed": 3.0 used to reach the FlightScenario constructor as a

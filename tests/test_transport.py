@@ -1,0 +1,429 @@
+"""Tests for the JSON-lines-over-TCP work-queue transport and autoscaling.
+
+Mirrors the layering of ``tests/test_distributed.py`` for the socket
+transport:
+
+* :class:`~repro.campaign.transport.SocketWorkQueue` /
+  :class:`~repro.campaign.transport.SocketWorkQueueClient` primitives over a
+  real TCP server — exclusive claims, heartbeat leases, run namespacing,
+  retire credits;
+* the failure modes the ISSUE names: a worker whose TCP connection dies
+  mid-flight triggers lease re-issue, and a coordinator *restart* on the
+  same port is survived by live workers;
+* :class:`~repro.campaign.DistributedBackend` with ``transport="socket"``
+  end-to-end over real subprocess workers, plus the autoscaler (spawn on
+  backlog, retire idle, crash-loop guard) on both transports.
+
+The expensive acceptance run (12 real flights over TCP == serial) lives in
+``benchmarks/test_distributed_backend.py``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.campaign import DistributedBackend, SocketWorkQueue, SocketWorkQueueClient
+from repro.campaign.transport import parse_address
+from repro.campaign.worker import run_worker
+from repro.campaign.workqueue import WorkQueue
+
+
+# -- picklable worker functions (module-level so queue workers can import them) --
+
+
+def _double(item):
+    return item * 2
+
+
+def _boom(item):
+    raise RuntimeError(f"boom on {item!r}")
+
+
+def _exit_hard(item):
+    import os
+
+    os._exit(3)  # worker killed mid-task: no heartbeat survives
+
+
+def _sleepy(item):
+    time.sleep(item)
+    return item
+
+
+@pytest.fixture
+def queue():
+    with SocketWorkQueue(run_id="rtest") as server:
+        yield server
+
+
+def client_for(server: SocketWorkQueue) -> SocketWorkQueueClient:
+    return SocketWorkQueueClient(*server.address, timeout=5.0)
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("example.org:9000") == ("example.org", 9000)
+
+    def test_bracketed_ipv6(self):
+        assert parse_address("[::1]:9000") == ("::1", 9000)
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            parse_address("example.org")
+
+    def test_non_numeric_port_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_address("example.org:http")
+
+
+class TestSocketWorkQueuePrimitives:
+    def test_satisfies_the_workqueue_protocol(self, queue):
+        assert isinstance(queue, WorkQueue)
+        assert isinstance(client_for(queue), WorkQueue)
+
+    def test_enqueue_claim_complete_roundtrip_over_tcp(self, queue):
+        for index, payload in enumerate(["x", "y"]):
+            queue.enqueue(index, payload)
+        assert queue.pending_count() == 2
+
+        client = client_for(queue)
+        index, payload, lease = client.claim("w1")
+        assert (index, payload) == (0, "x")  # lowest index first
+        client.complete(index, ("ok", "done"), lease)
+        assert queue.collect() == {0: ("ok", "done")}
+        assert queue.collect(seen={0}) == {}
+        assert queue.pending_count() == 1
+
+    def test_claims_are_exclusive(self, queue):
+        queue.enqueue(0, "only")
+        assert client_for(queue).claim("w1") is not None
+        assert client_for(queue).claim("w2") is None
+
+    def test_disconnected_worker_lease_is_reissued(self, queue):
+        # The mid-flight TCP disconnect: a client claims a task and then
+        # vanishes (no heartbeat ever arrives — a dropped connection and a
+        # dead worker are indistinguishable on purpose).  The lease expires
+        # and another worker gets the task.
+        queue.enqueue(0, "task")
+        assert client_for(queue).claim("gone") is not None
+        assert client_for(queue).claim("w2") is None  # still leased
+        time.sleep(0.05)
+        assert queue.reclaim_expired(lease_timeout=0.01) == [0]
+        index, payload, _ = client_for(queue).claim("w2")
+        assert (index, payload) == (0, "task")
+
+    def test_heartbeat_keeps_the_lease(self, queue):
+        queue.enqueue(0, "task")
+        client = client_for(queue)
+        _, _, lease = client.claim("w1")
+        time.sleep(0.2)
+        client.heartbeat(lease)
+        assert queue.reclaim_expired(lease_timeout=0.15) == []
+
+    def test_results_of_other_runs_are_ignored(self, queue):
+        # A lease claimed from a previous coordinator carries the old run
+        # id; a new coordinator on the same port must not collect its
+        # result (the lease token is unknown there too).
+        queue.enqueue(0, "old-task")
+        client = client_for(queue)
+        index, _, old_lease = client.claim("w1")
+
+        with SocketWorkQueue(run_id="rnew") as successor:
+            heir = client_for(successor)
+            # Answering the *old* coordinator's task to the *new* one: the
+            # result must be dropped, not collected as rnew's outcome.
+            heir.complete(index, ("ok", "stale"), old_lease)
+            assert successor.collect() == {}
+            successor.enqueue(0, _double)
+            fresh_index, _, fresh_lease = heir.claim("w2")
+            heir.complete(fresh_index, ("ok", 10), fresh_lease)
+            assert successor.collect() == {0: ("ok", 10)}
+
+    def test_reset_purges_state(self, queue):
+        queue.enqueue(0, "stale")
+        queue.complete(1, ("ok", "stale-result"))
+        queue.request_stop()
+        queue.set_retire_credits(3)
+        queue.reset()
+        assert queue.pending_count() == 0
+        assert queue.collect() == {}
+        assert not queue.stop_requested()
+        assert not queue.try_retire()
+
+    def test_stop_travels_over_the_wire(self, queue):
+        client = client_for(queue)
+        assert client.stop_requested() is False
+        queue.request_stop()
+        assert client.stop_requested() is True
+
+    def test_each_retire_credit_dismisses_exactly_one_worker(self, queue):
+        queue.set_retire_credits(2)
+        client = client_for(queue)
+        assert client.try_retire() is True
+        assert client.try_retire() is True
+        assert client.try_retire() is False
+
+    def test_retire_credits_are_set_not_added(self, queue):
+        queue.set_retire_credits(5)
+        queue.set_retire_credits(1)  # autoscaler re-derives the surplus
+        client = client_for(queue)
+        assert client.try_retire() is True
+        assert client.try_retire() is False
+
+    def test_unreadable_payload_is_a_poison_pill_not_a_crash(self, queue):
+        # A payload whose module is not importable on the worker raises
+        # from pickle.loads at claim time; the client must ship the failure
+        # back and keep going, not crash-loop over it.
+        with queue._lock:
+            queue._pending[0] = b"cdefinitely_missing_module\nboom\n."
+        assert client_for(queue).claim("w1") is None
+        status, text = queue.collect()[0]
+        assert status == "error"
+        assert "unreadable task payload" in text
+
+    def test_unpicklable_payload_fails_loudly_in_the_coordinator(self, queue):
+        with pytest.raises(Exception):
+            queue.enqueue(0, lambda x: x)  # locals never pickle
+
+    def test_undecodable_result_requeues_the_task(self, queue):
+        # A result blob the coordinator cannot decode must not take the
+        # task down with it: the claim is rolled back into the pending set
+        # and another worker re-flies it (releasing the lease alone would
+        # strand the task — reclaim_expired only scans live claims).
+        queue.enqueue(0, "task")
+        client = client_for(queue)
+        index, _, lease = client.claim("w1")
+        assert queue.pending_count() == 0
+        response = client._request({
+            "op": "complete", "index": index, "run": lease.run,
+            "lease": lease.token, "result": "!!!not-a-pickle!!!",
+        })
+        assert response is None  # server answered ok: false
+        assert queue.collect() == {}
+        assert queue.pending_count() == 1  # task is claimable again
+        assert client.claim("w2") is not None
+
+    def test_client_degrades_when_coordinator_is_unreachable(self):
+        server = SocketWorkQueue()
+        client = client_for(server)
+        assert client.coordinator_age() < 1.0
+        server.close()
+        time.sleep(0.05)
+        assert client.claim("w1") is None
+        assert client.stop_requested() is False
+        assert client.try_retire() is False
+        assert client.coordinator_age() > 0.0
+
+
+class TestRunWorkerOverTcp:
+    def test_worker_drains_queue(self, queue):
+        for index, item in enumerate([1, 2, 3]):
+            queue.enqueue(index, (_double, item))
+        host, port = queue.address
+        completed = run_worker(
+            connect=f"{host}:{port}", worker_id="t", poll_interval=0.01,
+            max_tasks=3,
+        )
+        assert completed == 3
+        assert queue.collect() == {0: ("ok", 2), 1: ("ok", 4), 2: ("ok", 6)}
+
+    def test_worker_ships_exceptions_as_data(self, queue):
+        queue.enqueue(0, (_boom, "it"))
+        host, port = queue.address
+        run_worker(connect=f"{host}:{port}", worker_id="t",
+                   poll_interval=0.01, max_tasks=1)
+        status, text = queue.collect()[0]
+        assert status == "error"
+        assert "RuntimeError" in text and "boom on 'it'" in text
+
+    def test_idle_worker_exits_when_coordinator_is_unreachable(self):
+        server = SocketWorkQueue()
+        host, port = server.address
+        server.close()
+        completed = run_worker(
+            connect=f"{host}:{port}", worker_id="t", poll_interval=0.01,
+            orphan_timeout=0.05,
+        )
+        assert completed == 0
+
+    def test_worker_survives_a_coordinator_restart(self):
+        # The live worker keeps polling through the outage (connection
+        # refused degrades to "nothing to claim") and serves the successor
+        # coordinator on the same port under its new run id.
+        first = SocketWorkQueue(run_id="first")
+        host, port = first.address
+        first.enqueue(0, (_double, 21))
+
+        done: list[int] = []
+
+        def worker() -> None:
+            done.append(run_worker(
+                connect=f"{host}:{port}", worker_id="survivor",
+                poll_interval=0.01, max_tasks=2, orphan_timeout=30.0,
+            ))
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        deadline = time.time() + 10.0
+        while not first.collect() and time.time() < deadline:
+            time.sleep(0.01)
+        assert first.collect() == {0: ("ok", 42)}
+        first.close()
+
+        second = SocketWorkQueue(host, port, run_id="second")
+        try:
+            second.enqueue(0, (_double, 100))
+            while not second.collect() and time.time() < deadline:
+                time.sleep(0.01)
+            assert second.collect() == {0: ("ok", 200)}
+        finally:
+            second.request_stop()
+            thread.join(timeout=10.0)
+            second.close()
+        assert done == [2]
+
+    def test_exactly_one_queue_source_required(self, tmp_path):
+        with pytest.raises(ValueError, match="exactly one"):
+            run_worker(tmp_path, connect="localhost:1")
+        with pytest.raises(ValueError, match="exactly one"):
+            run_worker()
+
+
+class TestDistributedBackendSocketTransport:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="transport"):
+            DistributedBackend(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="queue_dir applies"):
+            DistributedBackend(transport="socket", queue_dir=str(tmp_path))
+        with pytest.raises(ValueError, match="port applies"):
+            DistributedBackend(transport="file", port=9000)
+        with pytest.raises(ValueError, match="fixed"):
+            DistributedBackend(transport="socket", workers=0)
+        with pytest.raises(ValueError, match="max_workers must be >= workers"):
+            DistributedBackend(workers=4, max_workers=2)
+        with pytest.raises(ValueError, match="max_workers must be at least 1"):
+            DistributedBackend(max_workers=0)
+        # Autoscaling is local-fleet-only: an external attachment point
+        # would let foreign workers eat the retire credits.
+        with pytest.raises(ValueError, match="external-fleet queue_dir"):
+            DistributedBackend(max_workers=4, queue_dir=str(tmp_path))
+        with pytest.raises(ValueError, match="fixed port"):
+            DistributedBackend(transport="socket", max_workers=4, port=18764)
+        # Legal corners: external socket fleet on a fixed port, and
+        # autoscaling from zero without any attachment point.
+        DistributedBackend(transport="socket", workers=0, port=18765)
+        DistributedBackend(workers=0, max_workers=2)
+        DistributedBackend(transport="socket", workers=0, max_workers=2)
+
+    def test_empty_items(self):
+        backend = DistributedBackend(workers=1, transport="socket")
+        assert list(backend.map(_double, [])) == []
+
+    def test_spawned_workers_complete_over_tcp(self):
+        backend = DistributedBackend(
+            workers=2, transport="socket", lease_timeout=60.0,
+            poll_interval=0.02,
+        )
+        completions = []
+        results = list(backend.map(
+            _double, [10, 20, 30], on_complete=lambda i, r: completions.append(i)
+        ))
+        assert results == [20, 40, 60]
+        assert sorted(completions) == [0, 1, 2]
+
+    def test_remote_failure_raises_with_traceback(self):
+        backend = DistributedBackend(workers=1, transport="socket",
+                                     lease_timeout=60.0)
+        with pytest.raises(RuntimeError, match="distributed worker failed"):
+            list(backend.map(_boom, [1]))
+
+    def test_all_workers_dead_fails_loudly(self):
+        backend = DistributedBackend(workers=1, transport="socket",
+                                     lease_timeout=60.0, poll_interval=0.05)
+        with pytest.raises(RuntimeError, match="workers exited"):
+            list(backend.map(_exit_hard, [1, 2]))
+
+
+class TestExternalSocketFleet:
+    def test_external_worker_drains_and_exits_on_stop(self):
+        # The documented bring-your-own-fleet flow: workers=0 on a fixed
+        # port, a worker attached by hand (here: in a thread, starting
+        # *before* the server exists — early connection failures must
+        # degrade, not crash).  After the campaign the coordinator lingers
+        # long enough for the idle worker to observe the stop sentinel and
+        # exit promptly — not via the (minutes-long) orphan timeout.
+        import socket as socket_module
+
+        with socket_module.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        backend = DistributedBackend(
+            workers=0, transport="socket", port=port,
+            lease_timeout=60.0, poll_interval=0.02,
+        )
+        done: list[int] = []
+        thread = threading.Thread(
+            target=lambda: done.append(run_worker(
+                connect=f"127.0.0.1:{port}", worker_id="ext",
+                poll_interval=0.02, orphan_timeout=60.0,
+            )),
+            daemon=True,
+        )
+        thread.start()
+        assert list(backend.map(_double, [1, 2, 3])) == [2, 4, 6]
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "worker must exit on the stop sentinel"
+        assert done == [3]
+
+
+class TestAutoscaling:
+    def test_scales_up_from_zero_on_backlog(self):
+        backend = DistributedBackend(
+            workers=0, max_workers=2, lease_timeout=60.0, poll_interval=0.02,
+        )
+        assert list(backend.map(_double, [1, 2, 3])) == [2, 4, 6]
+        ups = [e for e in backend.scale_events if e["event"] == "scale-up"]
+        assert ups, "backlog must have triggered a scale-up"
+        assert ups[0]["workers"] == 2  # ceiling respected (backlog was 3)
+        assert ups[0]["backlog"] == 3
+        assert set(ups[0]) == {"event", "workers", "backlog", "elapsed"}
+
+    def test_scales_up_from_zero_over_tcp(self):
+        backend = DistributedBackend(
+            workers=0, max_workers=2, transport="socket",
+            lease_timeout=60.0, poll_interval=0.02,
+        )
+        assert list(backend.map(_double, [4, 5])) == [8, 10]
+        assert any(e["event"] == "scale-up" for e in backend.scale_events)
+
+    def test_idle_workers_retire_once_backlog_drains(self):
+        # Three workers spawn for four tasks; the long tail keeps exactly
+        # one busy, so the surplus receives retire credits, exits, and the
+        # shrink is recorded as a scale-down event.
+        backend = DistributedBackend(
+            workers=0, max_workers=3, transport="socket",
+            lease_timeout=60.0, poll_interval=0.02,
+        )
+        results = list(backend.map(_sleepy, [0.0, 0.0, 0.0, 2.5]))
+        assert results == [0.0, 0.0, 0.0, 2.5]
+        events = [e["event"] for e in backend.scale_events]
+        assert "scale-up" in events
+        assert "scale-down" in events, backend.scale_events
+
+    def test_events_reset_between_campaigns(self):
+        backend = DistributedBackend(
+            workers=0, max_workers=2, lease_timeout=60.0, poll_interval=0.02,
+        )
+        list(backend.map(_double, [1]))
+        first = list(backend.scale_events)
+        list(backend.map(_double, [2]))
+        assert backend.scale_events, "second campaign records its own events"
+        assert backend.scale_events is not first
+
+    def test_crash_looping_fleet_is_not_respawned_forever(self):
+        backend = DistributedBackend(
+            workers=0, max_workers=1, lease_timeout=0.4, poll_interval=0.02,
+        )
+        with pytest.raises(RuntimeError, match="without progress"):
+            list(backend.map(_exit_hard, [1]))

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Documentation checker: links resolve, fenced examples match the code.
+
+Guards against doc drift mechanically, in three passes over ``README.md``
+and ``docs/*.md``:
+
+1. **Links** — every relative markdown link target must exist on disk.
+2. **Spec blocks** — every fenced ``toml``/``json`` block that looks like a
+   campaign spec (has ``scenario``/``axes``/``adaptive``/``runner`` tables)
+   is built through the real spec machinery (``repro.campaign.spec``), so a
+   documented key that ``build_runner``/``build_grid`` would reject fails
+   the check.  Validation runs in a temporary working directory — store
+   paths in examples create their directories there, not in the repo.
+3. **Console blocks** — every ``$ python ...`` command in a fenced
+   ``console`` block has its ``--flags`` cross-checked against the target's
+   actual argparse parser (imported for ``-m repro.campaign`` /
+   ``-m repro.campaign.worker``, ``--help`` output for example scripts), so
+   a renamed or removed CLI flag fails the check.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status: 0 when clean, 1 with one line per problem on stderr.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+import tomllib
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\S*)\s*$")
+_FLAG = re.compile(r"--[A-Za-z0-9][A-Za-z0-9-]*")
+
+#: Spec tables that mark a toml/json block as a campaign-spec example.
+_SPEC_KEYS = {"scenario", "axes", "adaptive", "runner"}
+
+
+def doc_files() -> list[Path]:
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def iter_fences(text: str):
+    """Yield ``(language, content, first_line_number)`` per fenced block."""
+    language = None
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line)
+        if match and language is None:
+            language, start, lines = match.group(1), number, []
+        elif line.strip() == "```" and language is not None:
+            yield language, "\n".join(lines), start
+            language = None
+        elif language is not None:
+            lines.append(line)
+
+
+def check_links(path: Path, text: str, errors: list[str]) -> None:
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.name}: broken link to {target!r}")
+
+
+def check_spec_block(
+    language: str, content: str, where: str, errors: list[str]
+) -> None:
+    try:
+        data = tomllib.loads(content) if language == "toml" else json.loads(content)
+    except Exception as exc:
+        errors.append(f"{where}: unparsable {language} block ({exc})")
+        return
+    if not isinstance(data, dict) or not (_SPEC_KEYS & set(data)):
+        return  # not a campaign-spec example
+    from repro.campaign.spec import (
+        build_grid,
+        build_runner,
+        build_scenario,
+        build_search,
+    )
+
+    try:
+        if "axes" in data:
+            build_grid(data)
+            build_runner(data)
+        elif "adaptive" in data:
+            build_search(data)
+            build_runner(data)
+        else:
+            # A fragment: validate the tables it does have.
+            if "scenario" in data:
+                build_scenario(data["scenario"])
+            if "runner" in data:
+                build_runner({"runner": data["runner"]})
+    except Exception as exc:
+        errors.append(f"{where}: spec example does not build: {exc}")
+
+
+def _module_flags(module: str) -> set[str] | None:
+    """Option strings of an in-repo argparse CLI, ``None`` if unknown."""
+    if module == "repro.campaign":
+        from repro.campaign.__main__ import _build_parser
+    elif module == "repro.campaign.worker":
+        from repro.campaign.worker import _build_parser
+    else:
+        return None
+    parser = _build_parser()
+    return {
+        option
+        for action in parser._actions
+        for option in action.option_strings
+    }
+
+
+def _script_flags(script: Path) -> set[str]:
+    """Option strings scraped from a script's ``--help`` output."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    result = subprocess.run(
+        [sys.executable, str(script), "--help"],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    return set(_FLAG.findall(result.stdout))
+
+
+def iter_commands(content: str):
+    """Yield the ``$ ``-prefixed commands of a console block, with
+    backslash line continuations joined."""
+    pending: str | None = None
+    for line in content.splitlines():
+        stripped = line.strip()
+        if pending is not None:
+            pending += " " + stripped.rstrip("\\").strip()
+            if not stripped.endswith("\\"):
+                yield pending
+                pending = None
+        elif stripped.startswith("$ "):
+            command = stripped[2:].rstrip("\\").strip()
+            if stripped.endswith("\\"):
+                pending = command
+            else:
+                yield command
+
+
+class ConsoleChecker:
+    """Cross-checks documented command flags against the real parsers."""
+
+    def __init__(self) -> None:
+        self._flag_cache: dict[str, set[str] | None] = {}
+
+    def _flags_for(self, target: str) -> set[str] | None:
+        if target not in self._flag_cache:
+            if target.endswith(".py"):
+                script = ROOT / target
+                self._flag_cache[target] = (
+                    _script_flags(script) if script.exists() else None
+                )
+            else:
+                self._flag_cache[target] = _module_flags(target)
+        return self._flag_cache[target]
+
+    def check(self, content: str, where: str, errors: list[str]) -> None:
+        for command in iter_commands(content):
+            tokens = [
+                token for token in shlex.split(command)
+                if "=" not in token or not token.partition("=")[0].isupper()
+            ]  # drop VAR=value environment prefixes
+            if not tokens or tokens[0] not in ("python", "python3"):
+                continue
+            if len(tokens) >= 3 and tokens[1] == "-m":
+                target, rest = tokens[2], tokens[3:]
+            elif len(tokens) >= 2 and tokens[1].endswith(".py"):
+                target, rest = tokens[1], tokens[2:]
+            else:
+                continue
+            if target.endswith(".py") and not (ROOT / target).exists():
+                errors.append(f"{where}: references missing script {target!r}")
+                continue
+            known = self._flags_for(target)
+            if known is None:
+                continue  # not an in-repo CLI (e.g. pip)
+            for token in rest:
+                flag = token.partition("=")[0]
+                if flag.startswith("--") and flag not in known:
+                    errors.append(
+                        f"{where}: {target} has no flag {flag!r} "
+                        f"(documented in: {command})"
+                    )
+
+
+def main() -> int:
+    errors: list[str] = []
+    console = ConsoleChecker()
+    fences: list[tuple[str, str, str]] = []
+    for path in doc_files():
+        text = path.read_text()
+        check_links(path, text, errors)
+        for language, content, line in iter_fences(text):
+            fences.append((language, content, f"{path.name}:{line}"))
+
+    # Spec validation touches the filesystem (store directories); run it
+    # in a scratch working directory so examples never pollute the repo.
+    with tempfile.TemporaryDirectory(prefix="check-docs-") as scratch:
+        with contextlib.chdir(scratch):
+            for language, content, where in fences:
+                if language in ("toml", "json"):
+                    check_spec_block(language, content, where, errors)
+
+    for language, content, where in fences:
+        if language == "console":
+            console.check(content, where, errors)
+
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    checked = len(fences)
+    print(f"check_docs: {len(doc_files())} files, {checked} fenced blocks, "
+          f"{len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
