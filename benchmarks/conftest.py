@@ -4,12 +4,22 @@ Each benchmark regenerates one table or figure from the paper's evaluation
 (Section V), prints the reproduced rows/series and stores them under
 ``benchmarks/results/`` so they can be compared against the paper (see
 EXPERIMENTS.md).
+
+Benchmarks that measure *performance* (wall times, cache hit counts,
+speedups) additionally pass a ``data`` mapping to the :func:`report`
+fixture, which writes it as ``benchmarks/results/BENCH_<name>.json`` — the
+machine-readable perf trajectory CI uploads as artifacts, so speed
+regressions are diffable across runs instead of buried in prose reports.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import sys
 from pathlib import Path
+from typing import Any, Mapping
 
 import pytest
 
@@ -19,6 +29,9 @@ if str(_SRC) not in sys.path:
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Bump when the JSON envelope below changes shape.
+BENCH_SCHEMA = 1
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
@@ -27,16 +40,49 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+def write_bench_json(
+    results_dir: Path, name: str, data: Mapping[str, Any]
+) -> Path:
+    """Write one machine-readable benchmark record.
+
+    The envelope carries the benchmark name, a schema version and the
+    machine context every perf number needs for comparison (core count,
+    python version); ``data`` supplies the measurements themselves — wall
+    times, flown/cached counts, speedups.  Keys are sorted so records diff
+    cleanly between runs.
+    """
+    record = {
+        "bench": name,
+        "schema": BENCH_SCHEMA,
+        "machine": {
+            "cores": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        **dict(data),
+    }
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
 @pytest.fixture
 def report(results_dir):
-    """Return a function that prints a report and stores it on disk."""
+    """Return a function that prints a report and stores it on disk.
 
-    def _report(name: str, text: str) -> None:
+    ``report(name, text)`` writes the human-readable ``<name>.txt``;
+    ``report(name, text, data={...})`` additionally emits the
+    machine-readable ``BENCH_<name>.json`` perf record.
+    """
+
+    def _report(
+        name: str, text: str, data: Mapping[str, Any] | None = None
+    ) -> None:
         print()
         print("=" * 78)
         print(text)
         print("=" * 78)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            write_bench_json(results_dir, name, data)
 
     return _report
-

@@ -90,4 +90,11 @@ def test_memguard_budget_boundary(report):
         f"({result.flights / dense:.0%}), batch={BATCH}",
         f"Search wall time: {result.wall_time:.1f} s",
     ]
-    report("adaptive_boundary", "\n".join(lines))
+    report("adaptive_boundary", "\n".join(lines), data={
+        "boundary_budget": round(result.boundary, 1),
+        "boundary_mbps": round(boundary_mbps, 1),
+        "bracket_width_budget": round(result.width, 1),
+        "flights": result.flights,
+        "dense_grid_flights": dense,
+        "wall_s": round(result.wall_time, 3),
+    })

@@ -73,7 +73,13 @@ def test_serial_and_parallel_campaigns_agree(campaign_runs, report):
             f"{cores} core(s), speedup {speedup:.2f}x"
         ),
     )
-    report("campaign_throughput", text + "\n\n" + serial.to_text())
+    report("campaign_throughput", text + "\n\n" + serial.to_text(), data={
+        "flights": len(serial),
+        "flight_duration_s": FLIGHT_DURATION,
+        "serial_wall_s": round(serial.wall_time, 3),
+        "parallel_wall_s": round(parallel.wall_time, 3),
+        "speedup": round(speedup, 3),
+    })
 
 
 def test_parallel_speedup(campaign_runs):

@@ -69,7 +69,15 @@ def test_warm_cache_rerun_speedup(tmp_path, report):
             f"warm re-run {speedup:.0f}x faster"
         ),
     )
-    report("campaign_cache", text + "\n\n" + warm.to_text())
+    report("campaign_cache", text + "\n\n" + warm.to_text(), data={
+        "flights": len(grid),
+        "flight_duration_s": FLIGHT_DURATION,
+        "cold_wall_s": round(cold.wall_time, 3),
+        "warm_wall_s": round(warm.wall_time, 3),
+        "cold_flown": cold.cache_misses,
+        "warm_cached": warm.cache_hits,
+        "speedup": round(speedup, 1),
+    })
 
 
 def test_persistent_store_completes_from_cache(report):
@@ -84,4 +92,10 @@ def test_persistent_store_completes_from_cache(report):
         f"Persistent store {store_dir} (salt {store.salt}): "
         f"{result.cache_hits} cached / {result.cache_misses} flown, "
         f"wall time {result.wall_time:.2f} s",
+        data={
+            "salt": store.salt,
+            "cached": result.cache_hits,
+            "flown": result.cache_misses,
+            "wall_s": round(result.wall_time, 3),
+        },
     )

@@ -11,7 +11,7 @@ Usage::
     python examples/campaign_sweep.py [--duration SECONDS] [--seeds N]
         [--budgets B1,B2,...] [--attack-starts T1,T2,...] [--serial]
         [--backend serial|process-pool|distributed] [--workers N]
-        [--transport file|socket] [--max-workers N]
+        [--transport file|socket|http] [--auth-token TOKEN] [--max-workers N]
         [--store DIR] [--record-arrays] [--csv PATH] [--json PATH]
 """
 
@@ -49,10 +49,15 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes for --backend distributed "
                              "(default: 2)")
-    parser.add_argument("--transport", choices=("file", "socket"), default="file",
+    parser.add_argument("--transport", choices=("file", "socket", "http"),
+                        default="file",
                         help="work-queue transport for --backend distributed: "
-                             "a shared directory or the coordinator's TCP "
-                             "server (default: file)")
+                             "a shared directory, the coordinator's TCP "
+                             "server, or its HTTP server (default: file)")
+    parser.add_argument("--auth-token", default=None,
+                        help="shared-secret token for the socket/http "
+                             "transports (default: "
+                             "$REPRO_CAMPAIGN_AUTH_TOKEN)")
     parser.add_argument("--max-workers", type=int, default=None,
                         help="autoscale ceiling for --backend distributed: "
                              "grow the fleet up to this many workers on "
@@ -70,6 +75,8 @@ def main() -> None:
     args = parser.parse_args()
     if args.record_arrays and not args.store:
         parser.error("--record-arrays requires --store")
+    if args.auth_token and args.backend != "distributed":
+        parser.error("--auth-token requires --backend distributed")
 
     base = FlightScenario.figure5(duration=args.duration)
     grid = ScenarioGrid(base, axes={
@@ -84,7 +91,8 @@ def main() -> None:
         options = {}
         if args.backend == "distributed":
             options = {"workers": args.workers, "transport": args.transport,
-                       "max_workers": args.max_workers}
+                       "max_workers": args.max_workers,
+                       "auth_token": args.auth_token}
         backend = get_backend(args.backend, **options)
     mode = "serial" if args.serial else "auto"
     label = args.backend or f"{mode} mode"

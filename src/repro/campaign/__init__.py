@@ -20,7 +20,8 @@ from .grid import AxisApplier, GridVariant, ScenarioGrid, register_axis, resolve
 from .results import CampaignCell, CampaignResult, VariantOutcome
 from .runner import CampaignRunner, run_campaign, trajectory_arrays
 from .transport import SocketWorkQueue, SocketWorkQueueClient
-from .workqueue import FileWorkQueue, WorkQueue
+from .transport_http import HttpWorkQueue, HttpWorkQueueClient
+from .workqueue import FileWorkQueue, WorkQueue, WorkQueueAuthError
 
 __all__ = [
     "AxisApplier",
@@ -31,6 +32,8 @@ __all__ = [
     "ExecutorBackend",
     "FileWorkQueue",
     "GridVariant",
+    "HttpWorkQueue",
+    "HttpWorkQueueClient",
     "ProcessPoolBackend",
     "ScenarioGrid",
     "SerialBackend",
@@ -38,6 +41,7 @@ __all__ = [
     "SocketWorkQueueClient",
     "VariantOutcome",
     "WorkQueue",
+    "WorkQueueAuthError",
     "get_backend",
     "register_axis",
     "resolve_applier",

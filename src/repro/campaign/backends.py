@@ -26,12 +26,18 @@ import sys
 import tempfile
 import time
 import uuid
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
 
-from .workqueue import FileWorkQueue, WorkQueue
+from .workqueue import (
+    AUTH_TOKEN_ENV,
+    FileWorkQueue,
+    WorkQueue,
+    resolve_auth_token,
+)
 
 logger = logging.getLogger("repro.campaign")
 
@@ -142,6 +148,21 @@ class DistributedBackend:
       lines, see :mod:`repro.campaign.transport`); workers attach with
       ``--connect host:port`` from any host that can reach the port, no
       shared filesystem required.
+    * ``transport="http"`` — a coordinator-hosted
+      :class:`~repro.campaign.transport_http.HttpWorkQueue` HTTP/JSON
+      server (one POST per queue operation, see
+      :mod:`repro.campaign.transport_http`); workers attach with
+      ``--connect-http URL`` through any reverse proxy or load balancer
+      that can forward a POST.
+
+    Authentication: both network transports accept a shared-secret
+    ``auth_token`` (explicit, or from ``$REPRO_CAMPAIGN_AUTH_TOKEN``);
+    workers must present it on every request or are rejected with a
+    distinct error.  The coordinator hands the token to spawned workers
+    through the environment — never the command line — and the token is
+    excluded from the backend's ``repr``, logs and results.  The file
+    transport has no authentication layer; configuring a token there is
+    rejected loudly rather than silently ignored.
 
     Fault tolerance: workers heartbeat their lease every quarter of
     ``lease_timeout``; a worker that dies mid-task stops heartbeating, the
@@ -174,11 +195,16 @@ class DistributedBackend:
     poll_interval:
         Coordinator/worker polling period [s].
     transport:
-        ``"file"`` or ``"socket"``.
+        ``"file"``, ``"socket"`` or ``"http"``.
     host / port:
-        Socket transport only: server bind address.  ``port=0`` picks an
+        Network transports only: server bind address.  ``port=0`` picks an
         ephemeral port (fine for spawned workers, who are told the real
         port; an external fleet needs a fixed one).
+    auth_token:
+        Network transports only: shared secret workers must present on
+        every request; ``None`` falls back to ``$REPRO_CAMPAIGN_AUTH_TOKEN``
+        (unset = authentication disabled).  Rejected with the file
+        transport, which has no authentication layer.
     max_workers:
         Autoscale ceiling for locally spawned workers; ``None`` disables
         autoscaling (the fleet stays at ``workers``).
@@ -191,6 +217,9 @@ class DistributedBackend:
     transport: str = "file"
     host: str = "127.0.0.1"
     port: int = 0
+    #: Shared secret for the network transports; repr=False keeps it out of
+    #: dataclass reprs (and thereby logs, warnings and failure reports).
+    auth_token: str | None = field(default=None, repr=False)
     max_workers: int | None = None
     #: Scale decisions of the most recent ``map`` call, in order: dicts with
     #: ``event`` ("scale-up" / "scale-down"), ``workers`` (alive after),
@@ -199,7 +228,8 @@ class DistributedBackend:
 
     name = "distributed"
 
-    _TRANSPORTS = ("file", "socket")
+    _TRANSPORTS = ("file", "socket", "http")
+    _NETWORK_TRANSPORTS = ("socket", "http")
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -209,13 +239,30 @@ class DistributedBackend:
                 f"transport must be one of {self._TRANSPORTS}, "
                 f"got {self.transport!r}"
             )
-        if self.transport == "socket" and self.queue_dir is not None:
+        if self.transport in self._NETWORK_TRANSPORTS and self.queue_dir is not None:
             raise ValueError(
-                "queue_dir applies to the file transport only; the socket "
-                "transport shares nothing but the coordinator's host:port"
+                "queue_dir applies to the file transport only; the "
+                f"{self.transport} transport shares nothing but the "
+                "coordinator's address"
             )
-        if self.transport == "file" and self.port != 0:
-            raise ValueError("port applies to the socket transport only")
+        if self.transport == "file":
+            if self.port != 0:
+                raise ValueError(
+                    "port applies to the network transports (socket/http) only"
+                )
+            if self.auth_token is not None:
+                # Matches the orphan-backend_options policy: an option that
+                # cannot take effect is a loud error, never silently
+                # dropped — a token the operator believes protects the
+                # campaign must not be discarded by a transport that has
+                # no authentication layer.
+                raise ValueError(
+                    "auth_token applies to the network transports "
+                    "(socket/http) only; the file transport has no "
+                    "authentication — remove the token or switch transport"
+                )
+        if self.auth_token is not None and not self.auth_token:
+            raise ValueError("auth_token must be a non-empty string")
         if self.max_workers is not None:
             if self.max_workers < 1:
                 raise ValueError("max_workers must be at least 1")
@@ -247,10 +294,10 @@ class DistributedBackend:
                     "workers=0 requires an explicit queue_dir for external "
                     "workers to attach to (or max_workers for autoscaling)"
                 )
-            if self.transport == "socket" and self.port == 0:
+            if self.transport in self._NETWORK_TRANSPORTS and self.port == 0:
                 raise ValueError(
-                    "workers=0 on the socket transport requires a fixed "
-                    "port for external workers to connect to (or "
+                    f"workers=0 on the {self.transport} transport requires "
+                    "a fixed port for external workers to connect to (or "
                     "max_workers for autoscaling)"
                 )
         if self.lease_timeout <= 0:
@@ -273,8 +320,8 @@ class DistributedBackend:
         # directory or port) answers under the old id and is ignored by
         # collect().
         run_id = f"r{uuid.uuid4().hex[:12]}"
-        if self.transport == "socket":
-            yield from self._map_socket(fn, items, on_complete, run_id)
+        if self.transport in self._NETWORK_TRANSPORTS:
+            yield from self._map_network(fn, items, on_complete, run_id)
         else:
             yield from self._map_file(fn, items, on_complete, run_id)
 
@@ -285,6 +332,18 @@ class DistributedBackend:
         on_complete: CompletionCallback | None,
         run_id: str,
     ) -> Iterator[Any]:
+        if resolve_auth_token(self.auth_token) is not None:
+            # An explicit token was already rejected in __post_init__, so
+            # this is the environment variable.  A globally exported secret
+            # must not hard-fail unrelated file campaigns, but the operator
+            # still deserves to know it protects nothing here.
+            warnings.warn(
+                "REPRO_CAMPAIGN_AUTH_TOKEN is set, but the file transport "
+                "has no authentication — the campaign runs unauthenticated "
+                "(use transport=\"socket\" or \"http\" for auth)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         owns_dir = self.queue_dir is None
         root = (
             Path(tempfile.mkdtemp(prefix="repro-campaign-queue-"))
@@ -314,23 +373,32 @@ class DistributedBackend:
             if owns_dir:
                 shutil.rmtree(root, ignore_errors=True)
 
-    def _map_socket(
+    def _map_network(
         self,
         fn: Callable[[Any], Any],
         items: list[Any],
         on_complete: CompletionCallback | None,
         run_id: str,
     ) -> Iterator[Any]:
-        from .transport import SocketWorkQueue
+        token = resolve_auth_token(self.auth_token)
+        if self.transport == "http":
+            from .transport_http import HttpWorkQueue as queue_class
+        else:
+            from .transport import SocketWorkQueue as queue_class
 
-        queue = SocketWorkQueue(self.host, self.port, run_id=run_id)
-        bound_host, bound_port = queue.address
+        queue = queue_class(
+            self.host, self.port, run_id=run_id, auth_token=token
+        )
         # Workers must *connect* to the address the server *bound*; a
         # wildcard bind is reachable locally via loopback.
-        connect_host = (
-            "127.0.0.1" if bound_host in ("", "0.0.0.0", "::") else bound_host
-        )
-        worker_args = ["--connect", f"{connect_host}:{bound_port}"]
+        if self.transport == "http":
+            worker_args = ["--connect-http", queue.url]
+        else:
+            bound_host, bound_port = queue.address
+            connect_host = (
+                "127.0.0.1" if bound_host in ("", "0.0.0.0", "::") else bound_host
+            )
+            worker_args = ["--connect", f"{connect_host}:{bound_port}"]
         processes: list[subprocess.Popen] = []
         try:
             for index, item in enumerate(items):
@@ -344,7 +412,8 @@ class DistributedBackend:
         finally:
             queue.request_stop()
             # Reap *before* closing the server: spawned workers poll the
-            # stop sentinel over TCP and exit cleanly while it still answers.
+            # stop sentinel over the wire and exit cleanly while it still
+            # answers.
             self._reap(processes)
             if self.port != 0:
                 # A fixed port means an external fleet may be attached, and
@@ -366,6 +435,12 @@ class DistributedBackend:
         env["PYTHONPATH"] = os.pathsep.join(
             entry for entry in sys.path if entry
         )
+        if self.transport in self._NETWORK_TRANSPORTS:
+            # The shared secret travels via the environment, never argv —
+            # command lines are world-readable in process listings.
+            token = resolve_auth_token(self.auth_token)
+            if token is not None:
+                env[AUTH_TOKEN_ENV] = token
         return subprocess.Popen(
             [
                 sys.executable,

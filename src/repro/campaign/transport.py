@@ -8,6 +8,12 @@ in-memory state implements the same
 :class:`SocketWorkQueueClient` is the worker side used by
 ``python -m repro.campaign.worker --connect host:port``.
 
+The queue state, request handling and worker-side client logic are
+transport-agnostic: :class:`NetworkWorkQueue` / :class:`NetworkWorkQueueClient`
+carry everything except the wire, and the HTTP transport
+(:mod:`repro.campaign.transport_http`) reuses them verbatim — parity between
+the network transports is inheritance, not duplication.
+
 Wire protocol: one request per connection, one JSON object per line; task
 payloads and results are pickled and base64-encoded inside the JSON (the same
 trust model as the file queue — only run workers you would also hand a pickle
@@ -23,6 +29,15 @@ file to).  Operations mirror the queue protocol::
     {"op": "stop"}                               -> {"ok": true, "stop": false}
     {"op": "retire"}                             -> {"ok": true, "retire": false}
     {"op": "ping"}                               -> {"ok": true}
+
+**Authentication** — a coordinator constructed with ``auth_token`` requires
+every request to carry a matching ``"token"`` field (compared in constant
+time via :func:`hmac.compare_digest`).  Unauthenticated requests are answered
+with the *distinct* response ``{"ok": false, "denied": "auth", ...}`` — never
+the generic degrade path — and the client raises
+:class:`~repro.campaign.workqueue.WorkQueueAuthError` so a misconfigured
+worker exits with a clear message instead of retry-looping.  The token never
+appears in logs, error messages or results.
 
 Fault semantics match the file transport exactly:
 
@@ -46,6 +61,7 @@ Fault semantics match the file transport exactly:
 from __future__ import annotations
 
 import base64
+import hmac
 import json
 import pickle
 import socket
@@ -55,9 +71,15 @@ import time
 import uuid
 from typing import Any, Iterable, NamedTuple
 
-from .workqueue import _DEFAULT_RUN, validate_run_id
+from .workqueue import _DEFAULT_RUN, WorkQueueAuthError, validate_run_id
 
-__all__ = ["SocketWorkQueue", "SocketWorkQueueClient", "parse_address"]
+__all__ = [
+    "NetworkWorkQueue",
+    "NetworkWorkQueueClient",
+    "SocketWorkQueue",
+    "SocketWorkQueueClient",
+    "parse_address",
+]
 
 
 def parse_address(text: str) -> tuple[str, int]:
@@ -120,22 +142,28 @@ class _Handler(socketserver.StreamRequestHandler):
 class _Server(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
-    work_queue: "SocketWorkQueue"
+    work_queue: "NetworkWorkQueue"
 
 
-class SocketWorkQueue:
-    """Coordinator-hosted TCP work queue (server side of the transport).
+class NetworkWorkQueue:
+    """In-memory coordinator-side work queue served over a network transport.
 
-    Constructing the queue binds and starts the server — ``port=0`` picks an
-    ephemeral port, published via :attr:`address`.  The object itself is a
-    full :class:`~repro.campaign.workqueue.WorkQueue`: the coordinator calls
-    the same ``enqueue``/``collect``/``reclaim_expired`` methods it would on
-    a :class:`~repro.campaign.workqueue.FileWorkQueue`, while remote workers
-    reach the worker-side half through :class:`SocketWorkQueueClient`.
+    Everything except the wire lives here: the pending/claimed/result state,
+    every :class:`~repro.campaign.workqueue.WorkQueue` method, the request
+    dispatcher (:meth:`_handle`) and the shared-secret check.  Subclasses
+    only provide the server: :meth:`_make_server` returns a started-ready
+    ``socketserver`` instance whose handler feeds requests to
+    :meth:`_handle` (:class:`SocketWorkQueue` speaks JSON lines over raw
+    TCP, :class:`~repro.campaign.transport_http.HttpWorkQueue` speaks
+    HTTP/JSON).
 
     Task payloads are pickled at :meth:`enqueue` time (like the file
     transport, so an unpicklable payload fails loudly in the coordinator,
     not silently on a worker) and kept in memory; nothing touches disk.
+
+    With ``auth_token`` set, every wire request must carry the matching
+    token; in-process calls (the coordinator's own) bypass the wire and
+    need none.
     """
 
     def __init__(
@@ -143,25 +171,32 @@ class SocketWorkQueue:
         host: str = "127.0.0.1",
         port: int = 0,
         run_id: str | None = None,
+        auth_token: str | None = None,
     ) -> None:
         if run_id is not None:
             validate_run_id(run_id)
+        if auth_token is not None and not auth_token:
+            raise ValueError("auth_token must be a non-empty string")
         self.run_id = run_id or _DEFAULT_RUN
+        self._auth_token = auth_token
         self._lock = threading.Lock()
         self._pending: dict[int, bytes] = {}
         self._claims: dict[str, _Claim] = {}
         self._results: dict[int, Any] = {}
         self._stop = False
         self._retire_credits = 0
-        self._server = _Server((host, port), _Handler)
+        self._server = self._make_server(host, port)
         self._server.work_queue = self
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.05},
-            name=f"socket-workqueue-{self.run_id}",
+            name=f"{type(self).__name__}-{self.run_id}",
             daemon=True,
         )
         self._thread.start()
+
+    def _make_server(self, host: str, port: int) -> socketserver.BaseServer:
+        raise NotImplementedError  # pragma: no cover - subclass hook
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -178,7 +213,7 @@ class SocketWorkQueue:
         self._server.server_close()
         self._thread.join(timeout=5.0)
 
-    def __enter__(self) -> "SocketWorkQueue":
+    def __enter__(self) -> "NetworkWorkQueue":
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
@@ -229,7 +264,7 @@ class SocketWorkQueue:
             self._stop = True
 
     def touch_coordinator(self) -> None:
-        """No-op: over TCP, server reachability *is* the coordinator
+        """No-op: over the network, server reachability *is* the coordinator
         heartbeat (see the module docstring)."""
 
     def set_retire_credits(self, count: int) -> None:
@@ -306,8 +341,42 @@ class SocketWorkQueue:
             # else: a late answer from another (killed) run — lease released,
             # result ignored, matching FileWorkQueue.collect's run filter.
 
+    def _check_auth(self, request: dict[str, Any]) -> dict[str, Any] | None:
+        """Denied-response for an unauthenticated request, ``None`` when ok.
+
+        The check is constant-time (:func:`hmac.compare_digest`) and the
+        responses never echo either token.  ``denied: "auth"`` is the
+        distinct marker clients turn into a
+        :class:`~repro.campaign.workqueue.WorkQueueAuthError` instead of
+        the silent degrade every other failure gets.
+        """
+        if self._auth_token is None:
+            return None
+        supplied = request.get("token")
+        if not isinstance(supplied, str):
+            return {
+                "ok": False,
+                "denied": "auth",
+                "error": "unauthenticated: this coordinator requires an "
+                         "auth token and none was supplied (pass "
+                         "--auth-token or set REPRO_CAMPAIGN_AUTH_TOKEN)",
+            }
+        if not hmac.compare_digest(
+            supplied.encode("utf-8"), self._auth_token.encode("utf-8")
+        ):
+            return {
+                "ok": False,
+                "denied": "auth",
+                "error": "unauthenticated: auth token rejected by the "
+                         "coordinator",
+            }
+        return None
+
     def _handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Serve one wire request (called from server handler threads)."""
+        denied = self._check_auth(request)
+        if denied is not None:
+            return denied
         op = request.get("op")
         if op == "claim":
             claimed = self._claim_blob(str(request.get("worker", "?")))
@@ -355,25 +424,56 @@ class SocketWorkQueue:
         return {"ok": False, "error": f"unknown op {op!r}"}
 
 
-class SocketWorkQueueClient:
-    """Worker-side :class:`~repro.campaign.workqueue.WorkQueue` over TCP.
+class SocketWorkQueue(NetworkWorkQueue):
+    """Coordinator-hosted TCP work queue (server side of the transport).
 
-    Every operation is one short-lived connection, so a worker holds no
-    state the coordinator could leak: a dropped connection mid-task only
-    stops the heartbeat, and the lease expires like any other death.  A
+    Constructing the queue binds and starts the server — ``port=0`` picks an
+    ephemeral port, published via :attr:`address`.  The object itself is a
+    full :class:`~repro.campaign.workqueue.WorkQueue`: the coordinator calls
+    the same ``enqueue``/``collect``/``reclaim_expired`` methods it would on
+    a :class:`~repro.campaign.workqueue.FileWorkQueue`, while remote workers
+    reach the worker-side half through :class:`SocketWorkQueueClient`.
+    """
+
+    def _make_server(self, host: str, port: int) -> socketserver.BaseServer:
+        return _Server((host, port), _Handler)
+
+
+class NetworkWorkQueueClient:
+    """Worker-side :class:`~repro.campaign.workqueue.WorkQueue` over a wire.
+
+    Every operation is one short-lived request, so a worker holds no state
+    the coordinator could leak: a dropped connection mid-task only stops
+    the heartbeat, and the lease expires like any other death.  A
     temporarily unreachable coordinator degrades instead of raising —
     ``claim`` returns ``None``, ``stop_requested`` returns ``False`` — so a
     worker survives a coordinator *restart* on the same address and resumes
     claiming from the new run; :meth:`coordinator_age` grows from the last
     successful round trip so the standard orphan timeout eventually ends a
     worker whose coordinator never comes back.
+
+    The one failure that does *not* degrade is an authentication rejection
+    (``denied: "auth"`` from the server): polling can never fix a wrong
+    shared secret, so it raises
+    :class:`~repro.campaign.workqueue.WorkQueueAuthError` for the worker to
+    surface and exit on.
+
+    Subclasses provide :meth:`_send` — one message out, one parsed JSON
+    response back (``None`` on any transport failure).
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._address = (host, port)
+    def __init__(
+        self, timeout: float = 10.0, auth_token: str | None = None
+    ) -> None:
+        if auth_token is not None and not auth_token:
+            raise ValueError("auth_token must be a non-empty string")
         self._timeout = timeout
+        self._auth_token = auth_token
         self._last_contact = time.time()
         self._retire_answer: bool | None = None
+
+    def _send(self, message: dict[str, Any]) -> dict[str, Any] | None:
+        raise NotImplementedError  # pragma: no cover - subclass hook
 
     # -- worker side -------------------------------------------------------------
 
@@ -443,10 +543,10 @@ class SocketWorkQueueClient:
     # -- coordinator-side protocol methods (a client is worker-only) -------------
 
     def enqueue(self, index: int, payload: Any) -> None:
-        raise NotImplementedError("enqueue tasks on the coordinator's SocketWorkQueue")
+        raise NotImplementedError("enqueue tasks on the coordinator's work queue")
 
     def reset(self) -> None:
-        raise NotImplementedError("reset happens on the coordinator's SocketWorkQueue")
+        raise NotImplementedError("reset happens on the coordinator's work queue")
 
     def reclaim_expired(self, lease_timeout: float) -> list[int]:
         raise NotImplementedError("leases are reclaimed by the coordinator")
@@ -469,7 +569,40 @@ class SocketWorkQueueClient:
     # -- internal ----------------------------------------------------------------
 
     def _request(self, message: dict[str, Any]) -> dict[str, Any] | None:
-        """One request/response round trip; ``None`` on any failure."""
+        """One round trip: ``None`` on failure, raises on auth rejection."""
+        if self._auth_token is not None:
+            message = {**message, "token": self._auth_token}
+        response = self._send(message)
+        if not response:
+            return None
+        if not response.get("ok"):
+            if response.get("denied") == "auth":
+                # The one non-degradable failure: retrying cannot fix a
+                # wrong shared secret, so surface it loudly.  The server's
+                # message never contains a token.
+                raise WorkQueueAuthError(
+                    str(response.get("error") or "unauthenticated")
+                )
+            return None
+        self._last_contact = time.time()
+        return response
+
+
+class SocketWorkQueueClient(NetworkWorkQueueClient):
+    """Worker-side :class:`~repro.campaign.workqueue.WorkQueue` over TCP:
+    one short-lived connection and one JSON line per operation."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        auth_token: str | None = None,
+    ) -> None:
+        super().__init__(timeout=timeout, auth_token=auth_token)
+        self._address = (host, port)
+
+    def _send(self, message: dict[str, Any]) -> dict[str, Any] | None:
         try:
             with socket.create_connection(
                 self._address, timeout=self._timeout
@@ -477,10 +610,6 @@ class SocketWorkQueueClient:
                 connection.sendall((json.dumps(message) + "\n").encode("ascii"))
                 with connection.makefile("rb") as reader:
                     line = reader.readline()
-            response = json.loads(line) if line else None
+            return json.loads(line) if line else None
         except (OSError, ValueError):
             return None
-        if not response or not response.get("ok"):
-            return None
-        self._last_contact = time.time()
-        return response

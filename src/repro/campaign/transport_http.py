@@ -1,0 +1,219 @@
+"""HTTP/JSON work-queue transport for worker fleets behind proxies.
+
+The TCP transport (:mod:`repro.campaign.transport`) requires raw socket
+reach to the coordinator.  Real heterogeneous fleets often only have HTTP:
+workers sit behind corporate proxies, coordinators behind reverse proxies or
+load balancers that speak nothing else.  :class:`HttpWorkQueue` hosts the
+same in-memory queue state as :class:`~repro.campaign.transport.SocketWorkQueue`
+— both inherit it from :class:`~repro.campaign.transport.NetworkWorkQueue`,
+so claim exclusivity, heartbeat leases, run namespacing, poison pills and
+retire credits are *shared code*, not re-implementations — behind a plain
+HTTP server, and :class:`HttpWorkQueueClient` is the worker side used by
+``python -m repro.campaign.worker --connect-http URL``.
+
+Wire protocol: each queue operation is one ``POST`` to an endpoint named
+after it, with the remaining message fields as a JSON body and the response
+as a JSON body — the exact dialect of the TCP transport, addressed by path
+instead of an ``"op"`` field::
+
+    POST <base>/claim      {"worker": "w123"}          -> 200 {"ok": true, ...}
+    POST <base>/heartbeat  {"lease": "<token>"}        -> 200 {"ok": true}
+    POST <base>/complete   {"index": 3, "run": "r...",
+                            "lease": "...", "result": "<b64>"}
+    POST <base>/stop       {}                          -> 200 {"ok": true, "stop": false}
+    POST <base>/retire     {}                          -> 200 {"ok": true, "retire": false}
+    POST <base>/ping       {}                          -> 200 {"ok": true}
+    GET  <base>/ping                                   -> 200 {"ok": true}
+
+Every exchange is a single self-contained request/response — no streaming,
+no connection reuse required, no server push — so any reverse proxy, load
+balancer or tunnel that can forward a POST can sit in front of the
+coordinator.  ``--connect-http`` accepts a path prefix
+(``http://lb.example.com/campaign``) and ``https://`` URLs for fleets whose
+proxy terminates TLS.  The ``GET /ping`` endpoint doubles as a health check
+for load balancers.
+
+Authentication is the shared scheme of
+:class:`~repro.campaign.transport.NetworkWorkQueue`: with ``auth_token``
+set, unauthenticated requests get ``401`` with ``{"denied": "auth"}`` and
+the client raises :class:`~repro.campaign.workqueue.WorkQueueAuthError`
+instead of retry-looping.  Task payloads and results are pickled inside the
+JSON — the same trust model as the other transports, so only expose the
+endpoint (even proxied) to hosts you would also hand a pickle file to.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import urllib.error
+import urllib.parse
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .transport import NetworkWorkQueue, NetworkWorkQueueClient
+
+__all__ = ["HttpWorkQueue", "HttpWorkQueueClient", "parse_http_url"]
+
+#: Endpoints served (one per queue operation).
+_OPS = ("claim", "heartbeat", "complete", "stop", "retire", "ping")
+
+
+def parse_http_url(url: str) -> str:
+    """Validate a coordinator base URL; returns it without a trailing slash.
+
+    Accepts ``http://`` and ``https://`` (a TLS-terminating proxy in front
+    of the coordinator) and an optional path prefix (a reverse proxy
+    routing by path).
+    """
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.scheme not in ("http", "https"):
+        raise ValueError(
+            f"coordinator URL {url!r} must start with http:// or https://"
+        )
+    if not parsed.netloc:
+        raise ValueError(f"coordinator URL {url!r} has no host")
+    return url.rstrip("/")
+
+
+class _HttpHandler(BaseHTTPRequestHandler):
+    # Self-contained request/responses with explicit Content-Length; the
+    # connection closes after each exchange (single-request semantics).
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the per-request stderr log: coordinators poll many times
+        a second, and request logs are where secrets go to leak."""
+
+    def do_GET(self) -> None:  # pragma: no cover - exercised via the client
+        # Health probe for load balancers; every queue operation is a POST.
+        if self.path.rstrip("/").endswith("/ping") or self.path in ("/", ""):
+            self._reply(200, {"ok": True})
+        else:
+            self._reply(404, {"ok": False, "error": "POST to /<op>"})
+
+    def do_POST(self) -> None:  # pragma: no cover - exercised via the client
+        op = self.path.rstrip("/").rsplit("/", 1)[-1]
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length)
+            request = json.loads(body) if body else {}
+            if not isinstance(request, dict):
+                raise ValueError("request body must be a JSON object")
+            if op not in _OPS:
+                # An unknown endpoint must not dispatch with whatever "op"
+                # the body smuggled in.
+                response = {"ok": False, "error": f"unknown endpoint {op!r}"}
+            else:
+                request["op"] = op
+                response = self.server.work_queue._handle(request)
+        except Exception as exc:
+            response = {"ok": False, "error": repr(exc)}
+        if response.get("ok"):
+            status = 200
+        elif response.get("denied") == "auth":
+            status = 401  # distinct: proxies/metrics see auth failures as such
+        else:
+            status = 400
+        self._reply(status, response)
+
+    def _reply(self, status: int, response: dict[str, Any]) -> None:
+        blob = json.dumps(response).encode("ascii")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(blob)
+        except OSError:
+            pass  # client went away mid-response; its next poll retries
+        self.close_connection = True
+
+
+class _HttpServer(ThreadingHTTPServer):
+    daemon_threads = True
+    work_queue: NetworkWorkQueue
+
+
+class HttpWorkQueue(NetworkWorkQueue):
+    """Coordinator-hosted HTTP work queue (server side of the transport).
+
+    Constructing the queue binds and starts the server — ``port=0`` picks
+    an ephemeral port, published via :attr:`address`/:attr:`url`.  The
+    object is a full :class:`~repro.campaign.workqueue.WorkQueue` for the
+    coordinator; remote workers reach the worker-side half through
+    :class:`HttpWorkQueueClient` (directly or through any HTTP proxy).
+    """
+
+    def _make_server(self, host: str, port: int) -> socketserver.BaseServer:
+        return _HttpServer((host, port), _HttpHandler)
+
+    @property
+    def url(self) -> str:
+        """Base URL workers on this host can reach the server under."""
+        host, port = self.address
+        if host in ("", "0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return f"http://{host}:{port}"
+
+
+def _is_loopback(host: str | None) -> bool:
+    if host is None:
+        return False
+    return host == "localhost" or host.startswith("127.") or host == "::1"
+
+
+class HttpWorkQueueClient(NetworkWorkQueueClient):
+    """Worker-side :class:`~repro.campaign.workqueue.WorkQueue` over HTTP:
+    one POST per operation against a coordinator (or proxy) base URL."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        auth_token: str | None = None,
+    ) -> None:
+        super().__init__(timeout=timeout, auth_token=auth_token)
+        self._base_url = parse_http_url(base_url)
+        if _is_loopback(urllib.parse.urlsplit(self._base_url).hostname):
+            # A loopback coordinator (notably: the one that spawned this
+            # worker) must be reached directly — honouring an http_proxy
+            # environment variable would route 127.0.0.1 through a proxy
+            # that cannot reach it and silently hang the campaign as the
+            # failures degrade into idle polling.  Non-loopback URLs keep
+            # the default handlers, so workers behind forward proxies
+            # still traverse them.
+            self._opener = urllib.request.build_opener(
+                urllib.request.ProxyHandler({})
+            )
+        else:
+            self._opener = urllib.request.build_opener()
+
+    def _send(self, message: dict[str, Any]) -> dict[str, Any] | None:
+        payload = dict(message)
+        op = payload.pop("op")
+        request = urllib.request.Request(
+            f"{self._base_url}/{op}",
+            data=json.dumps(payload).encode("ascii"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with self._opener.open(request, timeout=self._timeout) as reply:
+                body = reply.read()
+        except urllib.error.HTTPError as exc:
+            # Non-2xx still carries the JSON response (e.g. 401 with
+            # denied: "auth"); an HTML error page from a proxy in front
+            # fails the JSON parse below and degrades like any outage.
+            try:
+                body = exc.read()
+            except OSError:
+                return None
+        except (OSError, ValueError):
+            return None
+        try:
+            return json.loads(body) if body else None
+        except ValueError:
+            return None

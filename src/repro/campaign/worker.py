@@ -1,6 +1,8 @@
 """Campaign work-queue worker: ``python -m repro.campaign.worker QUEUE_DIR``
-(file transport) or ``python -m repro.campaign.worker --connect host:port``
-(TCP transport).
+(file transport), ``python -m repro.campaign.worker --connect host:port``
+(TCP transport) or ``python -m repro.campaign.worker --connect-http URL``
+(HTTP transport, for workers that reach the coordinator only through a
+proxy or load balancer).
 
 One worker process drains one :class:`~repro.campaign.workqueue.WorkQueue`:
 claim a task, heartbeat the lease while executing it, publish the result,
@@ -18,19 +20,32 @@ Task payloads are ``(fn, item)`` pairs; results are ``("ok", fn(item))`` or
 ``("error", traceback_text)``.  ``fn`` must be importable on the worker
 (module-level or ``functools.partial`` of one) — the same constraint a
 process pool imposes.
+
+Coordinators on the network transports may require a shared-secret auth
+token (``--auth-token``, or ``$REPRO_CAMPAIGN_AUTH_TOKEN`` — preferred,
+since the environment does not show up in process listings).  A worker
+whose token is missing or wrong is rejected with a distinct error and
+**exits immediately with a clear message** — authentication failures are
+configuration errors that retrying cannot fix, so they never retry-loop.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import sys
 import threading
 import time
 import traceback
 from pathlib import Path
 from typing import Any
 
-from .workqueue import FileWorkQueue, WorkQueue
+from .workqueue import (
+    FileWorkQueue,
+    WorkQueue,
+    WorkQueueAuthError,
+    resolve_auth_token,
+)
 
 __all__ = ["main", "run_worker"]
 
@@ -47,7 +62,14 @@ class _Heartbeat:
 
     def _run(self) -> None:
         while not self._done.wait(self._interval):
-            self._queue.heartbeat(self._lease)
+            try:
+                self._queue.heartbeat(self._lease)
+            except WorkQueueAuthError:
+                # A coordinator restarted mid-task with a rotated secret:
+                # stop heartbeating (the lease expires there like any dead
+                # worker's) instead of dying with a raw traceback; the main
+                # loop surfaces the auth error on its next request.
+                return
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -66,36 +88,70 @@ def run_worker(
     max_tasks: int | None = None,
     orphan_timeout: float | None = None,
     connect: str | None = None,
+    connect_http: str | None = None,
     queue: WorkQueue | None = None,
+    auth_token: str | None = None,
 ) -> int:
     """Drain the queue until stop is requested; returns the tasks completed.
 
     The queue is given as exactly one of ``queue_dir`` (file transport),
-    ``connect="host:port"`` (TCP transport) or ``queue`` (an explicit
+    ``connect="host:port"`` (TCP transport), ``connect_http="http://..."``
+    (HTTP transport) or ``queue`` (an explicit
     :class:`~repro.campaign.workqueue.WorkQueue`, mainly for tests).
 
     ``lease_timeout`` must match the coordinator's: the heartbeat refreshes
     the lease every quarter of it.  ``max_tasks`` bounds the number of tasks
     (``None`` = unbounded) — useful for tests and one-shot workers.
 
+    ``auth_token`` is the network transports' shared secret (``None`` falls
+    back to ``$REPRO_CAMPAIGN_AUTH_TOKEN``); a coordinator rejecting it
+    raises :class:`~repro.campaign.workqueue.WorkQueueAuthError` out of this
+    function immediately — never a retry loop.  The file transport has no
+    authentication, so an explicit token there is a usage error.
+
     ``orphan_timeout`` (default ``4 * lease_timeout``) guards against an
     abandoned queue: a coordinator killed without cleanup never raises the
     stop sentinel, so an idle worker whose coordinator heartbeat is older
-    than this — for the TCP transport: whose coordinator has been
+    than this — for the network transports: whose coordinator has been
     *unreachable* this long — exits on its own instead of polling forever.
     File queues that never announced a coordinator (manually driven) are
     exempt.
     """
-    if sum(source is not None for source in (queue_dir, connect, queue)) != 1:
+    sources = (queue_dir, connect, connect_http, queue)
+    if sum(source is not None for source in sources) != 1:
         raise ValueError(
-            "exactly one of queue_dir, connect or queue must be given"
+            "exactly one of queue_dir, connect, connect_http or queue "
+            "must be given"
+        )
+    if queue is not None and auth_token is not None:
+        # Same loud-error policy as the file transport below: an explicit
+        # queue object carries its own credentials (or none), so a token
+        # here could never take effect and must not be silently dropped.
+        raise ValueError(
+            "auth_token cannot be applied to an explicit queue object; "
+            "configure the token on the queue client itself"
         )
     if queue is None:
         if connect is not None:
             from .transport import SocketWorkQueueClient, parse_address
 
-            queue = SocketWorkQueueClient(*parse_address(connect))
+            queue = SocketWorkQueueClient(
+                *parse_address(connect),
+                auth_token=resolve_auth_token(auth_token),
+            )
+        elif connect_http is not None:
+            from .transport_http import HttpWorkQueueClient
+
+            queue = HttpWorkQueueClient(
+                connect_http, auth_token=resolve_auth_token(auth_token)
+            )
         else:
+            if auth_token is not None:
+                raise ValueError(
+                    "auth_token applies to the network transports "
+                    "(connect/connect_http); the file queue has no "
+                    "authentication"
+                )
             queue = FileWorkQueue(queue_dir)
     if worker_id is None:
         worker_id = f"w{os.getpid()}"
@@ -136,15 +192,23 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign.worker",
         description="Attach one campaign worker to a work queue: a shared "
-        "directory (file transport) or a coordinator's TCP server "
-        "(--connect).",
+        "directory (file transport), a coordinator's TCP server "
+        "(--connect), or its HTTP server (--connect-http).",
     )
     parser.add_argument("queue", nargs="?", default=None,
                         help="work-queue directory shared with the coordinator "
-                        "(omit when using --connect)")
+                        "(omit when using --connect/--connect-http)")
     parser.add_argument("--connect", default=None, metavar="HOST:PORT",
                         help="connect to a coordinator's socket work queue "
                         "instead of a shared directory")
+    parser.add_argument("--connect-http", default=None, metavar="URL",
+                        help="connect to a coordinator's HTTP work queue "
+                        "(http[s]://host:port[/prefix]; works through "
+                        "reverse proxies and load balancers)")
+    parser.add_argument("--auth-token", default=None, metavar="TOKEN",
+                        help="shared-secret token for the network transports "
+                        "(default: $REPRO_CAMPAIGN_AUTH_TOKEN; prefer the "
+                        "environment — argv is visible in process listings)")
     parser.add_argument("--worker-id", default=None,
                         help="lease label (default: w<pid>; no dots or path separators)")
     parser.add_argument("--lease-timeout", type=float, default=30.0,
@@ -162,17 +226,34 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if (args.queue is None) == (args.connect is None):
-        parser.error("give exactly one of a queue directory or --connect")
-    run_worker(
-        args.queue,
-        worker_id=args.worker_id,
-        lease_timeout=args.lease_timeout,
-        poll_interval=args.poll_interval,
-        max_tasks=args.max_tasks,
-        orphan_timeout=args.orphan_timeout,
-        connect=args.connect,
-    )
+    sources = (args.queue, args.connect, args.connect_http)
+    if sum(source is not None for source in sources) != 1:
+        parser.error(
+            "give exactly one of a queue directory, --connect or "
+            "--connect-http"
+        )
+    if args.auth_token is not None and args.queue is not None:
+        parser.error(
+            "--auth-token applies to --connect/--connect-http; the file "
+            "queue has no authentication"
+        )
+    try:
+        run_worker(
+            args.queue,
+            worker_id=args.worker_id,
+            lease_timeout=args.lease_timeout,
+            poll_interval=args.poll_interval,
+            max_tasks=args.max_tasks,
+            orphan_timeout=args.orphan_timeout,
+            connect=args.connect,
+            connect_http=args.connect_http,
+            auth_token=args.auth_token,
+        )
+    except WorkQueueAuthError as exc:
+        # A wrong shared secret is a configuration error: exit with a
+        # clear message (no token in it), never retry-loop.
+        print(f"worker: authentication failed: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

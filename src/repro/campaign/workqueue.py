@@ -46,7 +46,43 @@ import uuid
 from pathlib import Path
 from typing import Any, Iterable, Protocol, runtime_checkable
 
-__all__ = ["FileWorkQueue", "WorkItem", "WorkQueue"]
+__all__ = [
+    "AUTH_TOKEN_ENV",
+    "FileWorkQueue",
+    "WorkItem",
+    "WorkQueue",
+    "WorkQueueAuthError",
+    "resolve_auth_token",
+]
+
+#: Environment variable both network transports read the shared-secret
+#: auth token from when none is passed explicitly.  The environment is the
+#: preferred channel for worker processes: unlike a ``--auth-token``
+#: argument, it never shows up in process listings.
+AUTH_TOKEN_ENV = "REPRO_CAMPAIGN_AUTH_TOKEN"
+
+
+class WorkQueueAuthError(RuntimeError):
+    """A network coordinator rejected this worker's shared-secret token.
+
+    Deliberately *not* an :class:`OSError`: transient unreachability makes
+    the transport clients degrade (claim -> ``None``) so workers survive
+    coordinator restarts, but an authentication rejection is a
+    configuration error that polling will never fix — the worker must
+    surface it and exit instead of retry-looping.
+    """
+
+
+def resolve_auth_token(explicit: str | None = None) -> str | None:
+    """Auth token to use: the explicit one, else :data:`AUTH_TOKEN_ENV`.
+
+    Returns ``None`` when neither is set (authentication disabled).  An
+    empty environment value counts as unset, so ``REPRO_CAMPAIGN_AUTH_TOKEN=""``
+    cannot silently configure an empty shared secret.
+    """
+    if explicit is not None:
+        return explicit
+    return os.environ.get(AUTH_TOKEN_ENV) or None
 
 #: ``(index, payload, lease)`` of one claimed task.  The lease handle is
 #: transport-specific and opaque to the worker loop: it is only ever passed

@@ -254,6 +254,19 @@ class TestDistributedBackend:
             DistributedBackend(poll_interval=0.0)
         DistributedBackend(workers=0, queue_dir=str(tmp_path))  # external fleet
 
+    def test_explicit_auth_token_rejected_on_file_transport(self):
+        with pytest.raises(ValueError, match="auth_token applies"):
+            DistributedBackend(auth_token="pointless")
+
+    def test_env_auth_token_on_file_transport_warns(self, monkeypatch):
+        # A globally exported secret must not hard-fail unrelated file
+        # campaigns, but silently protecting nothing is not OK either.
+        monkeypatch.setenv("REPRO_CAMPAIGN_AUTH_TOKEN", "exported")
+        backend = DistributedBackend(workers=1, lease_timeout=60.0,
+                                     poll_interval=0.02)
+        with pytest.warns(RuntimeWarning, match="no authentication"):
+            assert list(backend.map(_double, [3])) == [6]
+
     def test_empty_items(self):
         assert list(DistributedBackend(workers=1).map(_double, [])) == []
 

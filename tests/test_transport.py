@@ -23,9 +23,14 @@ import time
 
 import pytest
 
-from repro.campaign import DistributedBackend, SocketWorkQueue, SocketWorkQueueClient
+from repro.campaign import (
+    DistributedBackend,
+    SocketWorkQueue,
+    SocketWorkQueueClient,
+    WorkQueueAuthError,
+)
 from repro.campaign.transport import parse_address
-from repro.campaign.worker import run_worker
+from repro.campaign.worker import main as worker_main, run_worker
 from repro.campaign.workqueue import WorkQueue
 
 
@@ -214,6 +219,132 @@ class TestSocketWorkQueuePrimitives:
         assert client.stop_requested() is False
         assert client.try_retire() is False
         assert client.coordinator_age() > 0.0
+
+
+class TestSocketAuthentication:
+    """Shared-secret auth on the TCP transport: unauthenticated requests
+    are rejected with a *distinct* error (never the silent degrade that
+    keeps a worker polling), and the token stays out of every output."""
+
+    TOKEN = "socket-test-secret"
+
+    @pytest.fixture
+    def auth_queue(self):
+        with SocketWorkQueue(run_id="rauth", auth_token=self.TOKEN) as server:
+            server.enqueue(0, "guarded")
+            yield server
+
+    def test_matching_token_claims_normally(self, auth_queue):
+        client = SocketWorkQueueClient(
+            *auth_queue.address, timeout=5.0, auth_token=self.TOKEN
+        )
+        index, payload, lease = client.claim("w1")
+        assert (index, payload) == (0, "guarded")
+        client.complete(index, ("ok", "done"), lease)
+        assert auth_queue.collect() == {0: ("ok", "done")}
+
+    def test_missing_token_is_rejected_distinctly(self, auth_queue):
+        client = SocketWorkQueueClient(*auth_queue.address, timeout=5.0)
+        with pytest.raises(WorkQueueAuthError, match="none was supplied"):
+            client.claim("w1")
+        assert auth_queue.pending_count() == 1  # nothing was leased
+
+    def test_wrong_token_is_rejected_distinctly(self, auth_queue):
+        client = SocketWorkQueueClient(
+            *auth_queue.address, timeout=5.0, auth_token="not-the-secret"
+        )
+        with pytest.raises(WorkQueueAuthError, match="rejected"):
+            client.stop_requested()
+
+    def test_rejection_message_never_contains_either_token(self, auth_queue):
+        client = SocketWorkQueueClient(
+            *auth_queue.address, timeout=5.0, auth_token="attacker-guess"
+        )
+        with pytest.raises(WorkQueueAuthError) as excinfo:
+            client.claim("w1")
+        assert self.TOKEN not in str(excinfo.value)
+        assert "attacker-guess" not in str(excinfo.value)
+
+    def test_server_without_auth_ignores_a_client_token(self, queue):
+        queue.enqueue(0, "open")
+        client = SocketWorkQueueClient(
+            *queue.address, timeout=5.0, auth_token="superfluous"
+        )
+        assert client.claim("w1") is not None
+
+    def test_worker_exits_immediately_instead_of_retry_looping(self, auth_queue):
+        host, port = auth_queue.address
+        start = time.monotonic()
+        with pytest.raises(WorkQueueAuthError):
+            run_worker(
+                connect=f"{host}:{port}", worker_id="t", poll_interval=0.2,
+                auth_token="wrong",
+            )
+        # The very first poll must raise — a retry loop would burn at
+        # least one poll_interval per attempt.
+        assert time.monotonic() - start < 2.0
+
+    def test_worker_cli_exits_with_clear_message(self, auth_queue, capsys):
+        host, port = auth_queue.address
+        code = worker_main([
+            "--connect", f"{host}:{port}", "--auth-token", "wrong",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "authentication failed" in err
+        assert self.TOKEN not in err and "wrong" not in err
+
+    def test_worker_cli_rejects_token_with_file_queue(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            worker_main([str(tmp_path), "--auth-token", "anything"])
+        assert "no authentication" in capsys.readouterr().err
+
+    def test_empty_token_rejected_on_both_sides(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SocketWorkQueue(auth_token="")
+        with pytest.raises(ValueError, match="non-empty"):
+            SocketWorkQueueClient("127.0.0.1", 1, auth_token="")
+
+    def test_spawned_fleet_token_travels_via_env_not_argv(self, monkeypatch):
+        # The coordinator hands its token to spawned workers through the
+        # environment; the subprocess command line must never carry it.
+        recorded: list[tuple[list[str], dict]] = []
+        import subprocess
+
+        real_popen = subprocess.Popen
+
+        def spy(cmd, env=None, **kwargs):
+            recorded.append((cmd, env or {}))
+            return real_popen(cmd, env=env, **kwargs)
+
+        monkeypatch.setattr(subprocess, "Popen", spy)
+        backend = DistributedBackend(
+            workers=1, transport="socket", lease_timeout=60.0,
+            poll_interval=0.02, auth_token="argv-must-not-see-me",
+        )
+        assert list(backend.map(_double, [21])) == [42]
+        assert recorded, "a worker must have been spawned"
+        for cmd, env in recorded:
+            assert all("argv-must-not-see-me" not in part for part in cmd)
+            assert env.get("REPRO_CAMPAIGN_AUTH_TOKEN") == "argv-must-not-see-me"
+
+    def test_token_stays_out_of_repr_logs_and_scale_events(self, caplog):
+        import json as json_module
+        import logging
+
+        backend = DistributedBackend(
+            workers=0, max_workers=2, transport="socket",
+            lease_timeout=60.0, poll_interval=0.02,
+            auth_token="log-must-not-see-me",
+        )
+        with caplog.at_level(logging.DEBUG):
+            assert list(backend.map(_double, [1, 2])) == [2, 4]
+        assert "log-must-not-see-me" not in repr(backend)
+        assert "log-must-not-see-me" not in caplog.text
+        assert backend.scale_events, "autoscaler must have recorded events"
+        assert "log-must-not-see-me" not in json_module.dumps(
+            backend.scale_events
+        )
 
 
 class TestRunWorkerOverTcp:
