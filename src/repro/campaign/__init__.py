@@ -10,6 +10,7 @@ runnable from spec files via ``python -m repro.campaign``.
 """
 
 from .backends import (
+    BatchBackend,
     DistributedBackend,
     ExecutorBackend,
     ProcessPoolBackend,
@@ -25,6 +26,7 @@ from .workqueue import FileWorkQueue, WorkQueue, WorkQueueAuthError
 
 __all__ = [
     "AxisApplier",
+    "BatchBackend",
     "CampaignCell",
     "CampaignResult",
     "CampaignRunner",

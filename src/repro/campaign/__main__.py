@@ -47,7 +47,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     policy.add_argument(
         "--backend", default=None, metavar="NAME",
-        help="executor backend registry name (serial, process-pool, "
+        help="executor backend registry name (serial, batch, process-pool, "
         "distributed); overrides the spec's runner.backend and keeps the "
         "spec's backend_options only when it names the same backend",
     )

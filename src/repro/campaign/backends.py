@@ -18,6 +18,7 @@ item is still running, so a killed campaign loses nothing that finished.
 
 from __future__ import annotations
 
+import functools
 import logging
 import os
 import shutil
@@ -44,6 +45,7 @@ logger = logging.getLogger("repro.campaign")
 __all__ = [
     "ExecutorBackend",
     "SerialBackend",
+    "BatchBackend",
     "ProcessPoolBackend",
     "DistributedBackend",
     "get_backend",
@@ -75,6 +77,93 @@ class SerialBackend:
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
         for item in items:
             yield fn(item)
+
+
+@dataclass(frozen=True)
+class BatchBackend:
+    """Vectorised in-process execution over the structure-of-arrays core.
+
+    Instead of flying one :class:`~repro.sim.flight.FlightSimulation` per
+    variant, the whole campaign is handed to :func:`repro.sim.batch.run_batch`,
+    which steps every scenario in lockstep with array operations and amortises
+    one event-trace compile across all scenarios that share a timing class
+    (see :mod:`repro.sim.batch`).
+
+    The backend only understands the campaign runner's own worker function —
+    it inspects ``fn`` for :func:`~repro.campaign.runner._execute_variant`
+    (bare or wrapped in a ``record_arrays`` partial) and requires every item
+    to carry a ``.scenario``.  Anything else (custom workers in tests,
+    ad-hoc map calls) is executed serially, so selecting ``--backend batch``
+    is always safe even for workloads the batch core cannot express.
+
+    Error handling is coarser than the scalar path's per-variant capture: a
+    failure anywhere in the batch propagates out of :meth:`map` as a backend
+    failure, and the runner's fallback finishes the campaign serially —
+    restoring per-variant tracebacks at scalar speed.
+    """
+
+    name = "batch"
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_complete: CompletionCallback | None = None,
+    ) -> Iterator[Any]:
+        record_arrays = self._runner_worker_mode(fn)
+        if record_arrays is None or not all(
+            hasattr(item, "scenario") for item in items
+        ):
+            for index, item in enumerate(items):
+                result = fn(item)
+                if on_complete is not None:
+                    on_complete(index, result)
+                yield result
+            return
+        yield from self._map_batched(items, record_arrays, on_complete)
+
+    @staticmethod
+    def _runner_worker_mode(fn: Callable[[Any], Any]) -> bool | None:
+        """``record_arrays`` flag if ``fn`` is the runner's worker, else None."""
+        from .runner import _execute_variant
+
+        target: Any = fn
+        record_arrays = False
+        if isinstance(target, functools.partial):
+            record_arrays = bool(target.keywords.get("record_arrays", False))
+            target = target.func
+        return record_arrays if target is _execute_variant else None
+
+    @staticmethod
+    def _map_batched(
+        items: Sequence[Any],
+        record_arrays: bool,
+        on_complete: CompletionCallback | None,
+    ) -> Iterator[Any]:
+        from ..sim.batch import run_batch
+        from .results import VariantOutcome
+        from .runner import _summarise, trajectory_arrays
+
+        start = time.perf_counter()
+        results = run_batch([item.scenario for item in items])
+        # Lockstep flights have no individual wall time; report each
+        # variant's fair share so campaign totals still add up.
+        share = (time.perf_counter() - start) / max(1, len(items))
+        for index, (variant, result) in enumerate(zip(items, results)):
+            outcome = VariantOutcome(
+                name=variant.name,
+                axes=variant.axes,
+                seed=variant.scenario.seed,
+                summary=_summarise(variant, result),
+                error=None,
+                wall_time=share,
+            )
+            raw: Any = outcome
+            if record_arrays:
+                raw = (outcome, trajectory_arrays(result))
+            if on_complete is not None:
+                on_complete(index, raw)
+            yield raw
 
 
 @dataclass(frozen=True)
@@ -617,6 +706,7 @@ class DistributedBackend:
 #: Registry of backend factories selectable by name (CLI / spec files).
 _BACKENDS: dict[str, Callable[..., ExecutorBackend]] = {
     "serial": SerialBackend,
+    "batch": BatchBackend,
     "process-pool": ProcessPoolBackend,
     "distributed": DistributedBackend,
 }

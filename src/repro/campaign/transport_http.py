@@ -74,6 +74,15 @@ def parse_http_url(url: str) -> str:
         )
     if not parsed.netloc:
         raise ValueError(f"coordinator URL {url!r} has no host")
+    if parsed.query or parsed.fragment:
+        # Operation paths are appended to the base URL, so a query/fragment
+        # would end up *inside* the per-op endpoint ("...?team=a/claim") and
+        # every request would 404 against the coordinator.
+        raise ValueError(
+            f"coordinator URL {url!r} must not contain a query string or "
+            "fragment: per-operation paths (/claim, /heartbeat, ...) are "
+            "appended to it"
+        )
     return url.rstrip("/")
 
 

@@ -254,6 +254,12 @@ def main(argv: list[str] | None = None) -> int:
         # clear message (no token in it), never retry-loop.
         print(f"worker: authentication failed: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # Invalid connection parameters (e.g. a --connect-http URL with a
+        # query string) are configuration errors too: fail loudly before
+        # any request is made, never retry-loop on a malformed endpoint.
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

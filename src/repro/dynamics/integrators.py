@@ -4,6 +4,12 @@ The co-simulation engine advances the physics with a fixed step, so only
 explicit fixed-step schemes are provided.  RK4 is the default for the
 quadrotor model; the forward-Euler scheme is kept for speed-sensitive tests
 and for cross-checking.
+
+Both schemes are shape-agnostic: every operation is elementwise in ``y``, so
+the same functions integrate a single ``(13,)`` state vector (the scalar
+plant) and an ``(L, 13)`` state stack (the batched plant in
+:mod:`repro.sim.batch` — see :func:`repro.dynamics.quadrotor.batched_derivative`)
+with identical per-lane arithmetic.
 """
 
 from __future__ import annotations

@@ -18,20 +18,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .environment import Environment
+from .environment import ConstantWind, Environment
 from .integrators import INTEGRATORS
 from .mixer import QuadGeometry, forces_and_torques
 from .motor import MotorBank, MotorParameters
 from .state import (
     RigidBodyState,
+    quat_derivative,
     quat_normalize,
+    quat_normalize_batched,
     quat_rotate,
     quat_rotate_inverse,
-    quat_derivative,
     quat_to_euler,
 )
 
-__all__ = ["QuadrotorParameters", "Quadrotor"]
+__all__ = [
+    "QuadrotorParameters",
+    "Quadrotor",
+    "batched_derivative",
+    "batched_derivative_factory",
+]
 
 
 def _default_inertia() -> np.ndarray:
@@ -72,6 +78,119 @@ class QuadrotorParameters:
         """Fraction of total maximum thrust needed to hover."""
         weight = self.mass * 9.80665
         return weight / (4.0 * self.motor.max_thrust)
+
+
+def batched_derivative_factory(params: QuadrotorParameters, environment: Environment):
+    """Two-stage vectorised counterpart of :meth:`Quadrotor._derivative`.
+
+    The outer call hoists everything that is constant over a flight (wind,
+    gravity, the inertia tensor and its inverse); the returned ``make`` binds
+    one step's per-lane body wrench — ``(L, 3)`` forces and torques, held
+    constant across the integrator stages exactly as the scalar plant holds
+    them — and yields ``f(t, y)`` mapping an ``(L, 13)`` state stack to its
+    derivative stack, suitable for the shape-agnostic integrators in
+    :mod:`repro.dynamics.integrators`.
+
+    Only :class:`~repro.dynamics.environment.ConstantWind` is supported: a
+    time- or position-dependent wind field would need the per-lane plant time,
+    which the lockstep batch core deliberately shares.  All arithmetic is
+    elementwise over the lane axis (matrix products are expanded row by row)
+    so a lane's derivative never depends on the batch width.
+    """
+    if not isinstance(environment.wind, ConstantWind):
+        raise TypeError(
+            "batched_derivative supports ConstantWind only; "
+            f"got {type(environment.wind).__name__}"
+        )
+    wind = np.asarray(environment.wind.velocity_ned, dtype=float)
+    gravity = environment.gravity_vector()
+    inertia = np.asarray(params.inertia, dtype=float)
+    inertia_inv = np.linalg.inv(inertia)
+    linear_drag = np.asarray(params.linear_drag, dtype=float)
+    mass = params.mass
+    angular_drag = params.angular_drag
+    i00, i01, i02 = inertia[0]
+    i10, i11, i12 = inertia[1]
+    i20, i21, i22 = inertia[2]
+    v00, v01, v02 = inertia_inv[0]
+    v10, v11, v12 = inertia_inv[1]
+    v20, v21, v22 = inertia_inv[2]
+
+    wind0, wind1, wind2 = wind
+    drag0, drag1, drag2 = linear_drag
+    grav0, grav1, grav2 = gravity
+
+    def make(force_body: np.ndarray, torque_body: np.ndarray):
+        fb0 = force_body[..., 0]
+        fb1 = force_body[..., 1]
+        fb2 = force_body[..., 2]
+        tb0 = torque_body[..., 0]
+        tb1 = torque_body[..., 1]
+        tb2 = torque_body[..., 2]
+
+        def f(_t: float, y: np.ndarray) -> np.ndarray:
+            # from_vector normalises once and the scalar derivative
+            # normalises again; replicate both (the second pass still moves
+            # the last ulp) so stage quaternions stay on the unit sphere.
+            quat = quat_normalize_batched(quat_normalize_batched(y[..., 6:10]))
+            qw = quat[..., 0]
+            qx = quat[..., 1]
+            qy = quat[..., 2]
+            qz = quat[..., 3]
+
+            # Body-to-world rotation of the thrust vector, in the expanded
+            # t = 2 (q_vec x v), v' = v + w t + q_vec x t form: equal to the
+            # Hamilton sandwich for unit quaternions, elementwise over lanes,
+            # and roughly a third of the ufunc dispatches.
+            c0 = 2.0 * (qy * fb2 - qz * fb1)
+            c1 = 2.0 * (qz * fb0 - qx * fb2)
+            c2 = 2.0 * (qx * fb1 - qy * fb0)
+            r0 = fb0 + qw * c0 + (qy * c2 - qz * c1)
+            r1 = fb1 + qw * c1 + (qz * c0 - qx * c2)
+            r2 = fb2 + qw * c2 + (qx * c1 - qy * c0)
+
+            derivative = np.empty(y.shape)
+            derivative[..., 0:3] = y[..., 3:6]
+            v0 = y[..., 3]
+            v1 = y[..., 4]
+            v2 = y[..., 5]
+            derivative[..., 3] = (r0 + -drag0 * (v0 - wind0)) / mass + grav0
+            derivative[..., 4] = (r1 + -drag1 * (v1 - wind1)) / mass + grav1
+            derivative[..., 5] = (r2 + -drag2 * (v2 - wind2)) / mass + grav2
+
+            w0 = y[..., 10]
+            w1 = y[..., 11]
+            w2 = y[..., 12]
+            # qdot = 0.5 * q (x) (0, omega), zero terms dropped.
+            derivative[..., 6] = 0.5 * (-qx * w0 - qy * w1 - qz * w2)
+            derivative[..., 7] = 0.5 * (qw * w0 + qy * w2 - qz * w1)
+            derivative[..., 8] = 0.5 * (qw * w1 - qx * w2 + qz * w0)
+            derivative[..., 9] = 0.5 * (qw * w2 + qx * w1 - qy * w0)
+
+            iw0 = i00 * w0 + i01 * w1 + i02 * w2
+            iw1 = i10 * w0 + i11 * w1 + i12 * w2
+            iw2 = i20 * w0 + i21 * w1 + i22 * w2
+            t0 = tb0 + -angular_drag * w0 - (w1 * iw2 - w2 * iw1)
+            t1 = tb1 + -angular_drag * w1 - (w2 * iw0 - w0 * iw2)
+            t2 = tb2 + -angular_drag * w2 - (w0 * iw1 - w1 * iw0)
+            derivative[..., 10] = v00 * t0 + v01 * t1 + v02 * t2
+            derivative[..., 11] = v10 * t0 + v11 * t1 + v12 * t2
+            derivative[..., 12] = v20 * t0 + v21 * t1 + v22 * t2
+            return derivative
+
+        return f
+
+    return make
+
+
+def batched_derivative(
+    params: QuadrotorParameters,
+    environment: Environment,
+    force_body: np.ndarray,
+    torque_body: np.ndarray,
+):
+    """One-shot form of :func:`batched_derivative_factory` (same ``f``)."""
+    return batched_derivative_factory(params, environment)(force_body, torque_body)
 
 
 class Quadrotor:

@@ -28,6 +28,15 @@ __all__ = [
     "quat_from_axis_angle",
     "angle_wrap",
     "euler_error",
+    "quat_normalize_batched",
+    "quat_multiply_batched",
+    "quat_conjugate_batched",
+    "quat_rotate_batched",
+    "quat_rotate_inverse_batched",
+    "quat_from_euler_batched",
+    "quat_to_euler_batched",
+    "quat_derivative_batched",
+    "angle_wrap_batched",
 ]
 
 #: Standard gravity used throughout the simulator [m/s^2].
@@ -144,6 +153,118 @@ def angle_wrap(angle: float) -> float:
     wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
     if wrapped <= 0.0:
         wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+# -- batched variants --------------------------------------------------------
+#
+# The batch simulation core (:mod:`repro.sim.batch`) advances many flights in
+# lockstep over arrays whose *leading* axes index the lane.  The helpers below
+# mirror the scalar functions above formula-for-formula — same operation
+# order, same degenerate-norm guard — and stay strictly elementwise over the
+# lane axes: no matrix products, whose BLAS kernels reorder summation with
+# operand shape and would make a lane's trajectory depend on the batch width.
+
+
+def quat_normalize_batched(q: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`quat_normalize` for an ``(..., 4)`` quaternion stack."""
+    q = np.asarray(q, dtype=float)
+    norm = np.sqrt(
+        q[..., 0] * q[..., 0]
+        + q[..., 1] * q[..., 1]
+        + q[..., 2] * q[..., 2]
+        + q[..., 3] * q[..., 3]
+    )
+    degenerate = norm < 1e-12
+    out = q / np.where(degenerate, 1.0, norm)[..., np.newaxis]
+    if degenerate.any():
+        out[degenerate] = np.array([1.0, 0.0, 0.0, 0.0])
+    return out
+
+
+def quat_multiply_batched(q1: np.ndarray, q2: np.ndarray) -> np.ndarray:
+    """Row-wise Hamilton product for ``(..., 4)`` quaternion stacks."""
+    w1, x1, y1, z1 = q1[..., 0], q1[..., 1], q1[..., 2], q1[..., 3]
+    w2, x2, y2, z2 = q2[..., 0], q2[..., 1], q2[..., 2], q2[..., 3]
+    shape = q1.shape if q1.shape == q2.shape else np.broadcast_shapes(q1.shape, q2.shape)
+    out = np.empty(shape)
+    out[..., 0] = w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2
+    out[..., 1] = w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2
+    out[..., 2] = w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2
+    out[..., 3] = w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2
+    return out
+
+
+def quat_conjugate_batched(q: np.ndarray) -> np.ndarray:
+    """Row-wise conjugate for an ``(..., 4)`` quaternion stack."""
+    out = np.empty(q.shape)
+    out[..., 0] = q[..., 0]
+    out[..., 1] = -q[..., 1]
+    out[..., 2] = -q[..., 2]
+    out[..., 3] = -q[..., 3]
+    return out
+
+
+def quat_rotate_batched(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Row-wise body-to-world rotation of ``(..., 3)`` vectors by ``q``."""
+    v = np.asarray(v, dtype=float)
+    base = q.shape[:-1] if q.shape[:-1] == v.shape[:-1] else np.broadcast_shapes(
+        q[..., 0].shape, v[..., 0].shape
+    )
+    qv = np.zeros(base + (4,))
+    qv[..., 1] = v[..., 0]
+    qv[..., 2] = v[..., 1]
+    qv[..., 3] = v[..., 2]
+    rotated = quat_multiply_batched(quat_multiply_batched(q, qv), quat_conjugate_batched(q))
+    return rotated[..., 1:]
+
+
+def quat_rotate_inverse_batched(q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Row-wise world-to-body rotation of ``(..., 3)`` vectors by ``q``."""
+    return quat_rotate_batched(quat_conjugate_batched(q), v)
+
+
+def quat_from_euler_batched(
+    roll: np.ndarray, pitch: np.ndarray, yaw: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`quat_from_euler` for arrays of Euler angles."""
+    cr, sr = np.cos(np.asarray(roll) / 2.0), np.sin(np.asarray(roll) / 2.0)
+    cp, sp = np.cos(np.asarray(pitch) / 2.0), np.sin(np.asarray(pitch) / 2.0)
+    cy, sy = np.cos(np.asarray(yaw) / 2.0), np.sin(np.asarray(yaw) / 2.0)
+    out = np.empty(np.broadcast_shapes(cr.shape, cp.shape, cy.shape) + (4,))
+    out[..., 0] = cr * cp * cy + sr * sp * sy
+    out[..., 1] = sr * cp * cy - cr * sp * sy
+    out[..., 2] = cr * sp * cy + sr * cp * sy
+    out[..., 3] = cr * cp * sy - sr * sp * cy
+    return out
+
+
+def quat_to_euler_batched(
+    q: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise :func:`quat_to_euler`; returns ``(roll, pitch, yaw)`` arrays."""
+    q = quat_normalize_batched(q)
+    w, x, y, z = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
+    roll = np.arctan2(2.0 * (w * x + y * z), 1.0 - 2.0 * (x * x + y * y))
+    # minimum(maximum(...)) == clip here, with less call overhead.
+    pitch = np.arcsin(np.minimum(np.maximum(2.0 * (w * y - z * x), -1.0), 1.0))
+    yaw = np.arctan2(2.0 * (w * z + x * y), 1.0 - 2.0 * (y * y + z * z))
+    return roll, pitch, yaw
+
+
+def quat_derivative_batched(q: np.ndarray, omega_body: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`quat_derivative` for stacked states."""
+    omega_quat = np.zeros(omega_body[..., 0].shape + (4,))
+    omega_quat[..., 1] = omega_body[..., 0]
+    omega_quat[..., 2] = omega_body[..., 1]
+    omega_quat[..., 3] = omega_body[..., 2]
+    return 0.5 * quat_multiply_batched(q, omega_quat)
+
+
+def angle_wrap_batched(angle: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`angle_wrap` (``np.fmod`` matches ``math.fmod``)."""
+    wrapped = np.fmod(np.asarray(angle, dtype=float) + math.pi, 2.0 * math.pi)
+    wrapped = np.where(wrapped <= 0.0, wrapped + 2.0 * math.pi, wrapped)
     return wrapped - math.pi
 
 

@@ -1,0 +1,22 @@
+"""Batched structure-of-arrays simulation core.
+
+Runs N flight scenarios in lockstep as one vectorised replay instead of N
+serial co-simulations.  The split is:
+
+* :mod:`.trace` runs the *real* scheduler/network/container substrate once
+  per **timing class** (scenarios identical up to state-only fields such as
+  the seed) and records a flat event program — which driver/controller task
+  fired when, and which sensor/actuator payload indices it moved.
+* :mod:`.core` compiles the per-class programs into one merged op list and
+  replays all the state mathematics (sensors, estimators, controllers, the
+  Simplex decision logic, the plant) vectorised over the lane axis.
+
+The scalar :class:`~repro.sim.flight.FlightSimulation` stays the golden
+reference; the batch core is gated on tolerance-equivalence against it (see
+``tests/test_batch_equivalence.py``).
+"""
+
+from .core import BatchSimulation, run_batch
+from .trace import clear_trace_cache, timing_fingerprint
+
+__all__ = ["BatchSimulation", "run_batch", "clear_trace_cache", "timing_fingerprint"]

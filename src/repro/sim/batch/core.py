@@ -1,0 +1,637 @@
+"""Compile and replay: the batched simulation core.
+
+:class:`BatchSimulation` runs N scenarios as one structure-of-arrays replay:
+
+1. scenarios are grouped by ``(duration, physics_dt)`` — lanes in a group
+   share the quantum clock — and partitioned into **timing classes** (see
+   :mod:`.trace`); one cached event trace is computed per class,
+2. the per-class traces are *compiled* into a single merged op program:
+   within each scheduler quantum, classes whose event-kind sequences agree are
+   merged positionally into full-width ops (per-lane activation times and
+   sample indices), classes that disagree fall back to per-class ops — a pure
+   performance distinction, never a semantic one,
+3. the program is *replayed* with every state update (sensor models,
+   estimators, controllers, Simplex decision logic, plant integration)
+   vectorised over the lane axis via :mod:`.physics`, :mod:`.noise` and
+   :mod:`.stacks`.
+
+Per-lane event handling — attack kills, safety switching, crash detection,
+geofence breaches, early termination — is done with boolean masks, so one
+lane crashing never perturbs another.  Results are standard
+:class:`~repro.sim.flight.FlightResult` objects, assembled exactly like the
+scalar ``FlightSimulation.run``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...core.security_monitor import Violation
+from ...dynamics.state import angle_wrap_batched
+from ...sensors.barometer import BarometerParameters
+from ...sensors.gps import DEFAULT_ORIGIN, EARTH_RADIUS_M
+from ..flight import FlightResult
+from ..metrics import FlightMetrics, compute_metrics
+from ..recorder import FlightRecorder, FlightSample
+from ..scenario import ControllerPlacement, FlightScenario
+from .noise import generate_lane_noise
+from .physics import BatchPlant
+from .stacks import BatchComplexStack, BatchDecision, BatchSafetyStack
+from .trace import timing_fingerprint, trace_for
+
+__all__ = ["BatchSimulation", "run_batch"]
+
+_SENSOR_KINDS = ("imu", "baro", "gps", "mocap")
+
+_LAT0, _LON0, _ALT0 = DEFAULT_ORIGIN
+_R_COS_LAT0 = EARTH_RADIUS_M * np.cos(np.deg2rad(_LAT0))
+
+
+def _f32(values: np.ndarray) -> np.ndarray:
+    """float32 wire round-trip (MAVLink packs sensor payloads as ``<f``)."""
+    return values.astype(np.float32).astype(np.float64)
+
+
+def _split_quanta(events: list[tuple]) -> tuple[list[list[tuple]], list[float]]:
+    """Partition a trace into per-quantum event lists and their end times."""
+    quanta: list[list[tuple]] = []
+    ends: list[float] = []
+    current: list[tuple] = []
+    for event in events:
+        if event[0] == "end":
+            quanta.append(current)
+            ends.append(event[1])
+            current = []
+        else:
+            current.append(event)
+    return quanta, ends
+
+
+def _sensor_times(events: list[tuple]) -> dict[str, list[float]]:
+    """Map sensor kind -> sample index -> driver activation time."""
+    times: dict[str, list[float]] = {kind: [] for kind in _SENSOR_KINDS}
+    for event in events:
+        kind = event[0]
+        if kind in times:
+            times[kind].append(event[1])
+    return times
+
+
+class _ReplayGroup:
+    """All lanes sharing one ``(duration, physics_dt)`` quantum clock."""
+
+    def __init__(self, scenarios: Sequence[FlightScenario]) -> None:
+        self.scenarios = list(scenarios)
+        lanes = len(self.scenarios)
+        self.lanes = lanes
+        self.dt = self.scenarios[0].physics_dt
+        self.duration = self.scenarios[0].duration
+
+        # -- timing classes ------------------------------------------------------
+        class_lanes: dict[str, list[int]] = {}
+        for lane, scenario in enumerate(self.scenarios):
+            class_lanes.setdefault(timing_fingerprint(scenario), []).append(lane)
+        self._class_lane_arrays = [
+            np.array(members, dtype=np.intp) for members in class_lanes.values()
+        ]
+        class_traces = [
+            trace_for(self.scenarios[members[0]]) for members in class_lanes.values()
+        ]
+
+        # -- per-lane scenario constants -----------------------------------------
+        self.sp_pos = np.stack(
+            [np.asarray(s.setpoint.position, dtype=float) for s in self.scenarios]
+        )
+        self.sp_yaw = np.array([s.setpoint.yaw for s in self.scenarios])
+        initial = self.sp_pos.copy()
+        for lane, scenario in enumerate(self.scenarios):
+            if scenario.initial_altitude is not None:
+                initial[lane, 2] = -scenario.initial_altitude
+        self.geofence_radius = np.array([s.geofence_radius for s in self.scenarios])
+        self.is_host = np.array(
+            [s.controller_placement == ControllerPlacement.HOST for s in self.scenarios]
+        )
+        monitors = [s.config.monitor for s in self.scenarios]
+        self.monitor_grace = np.array([m.arming_grace_period for m in monitors])
+        self.monitor_max_interval = np.array([m.max_receive_interval for m in monitors])
+        self.monitor_max_roll = np.array([m.max_roll_error for m in monitors])
+        self.monitor_max_pitch = np.array([m.max_pitch_error for m in monitors])
+        self.monitor_max_yaw = np.array([m.max_yaw_error for m in monitors])
+
+        # -- plant, stacks, decision ---------------------------------------------
+        self.plant = BatchPlant(initial)
+        self.plant.arm()
+        self.safety = BatchSafetyStack(lanes, self.sp_pos, self.sp_yaw)
+        self.complex = BatchComplexStack(lanes, self.sp_pos, self.sp_yaw)
+        self.decision = BatchDecision(lanes)
+        self.violations: list[list[Violation]] = [[] for _ in range(lanes)]
+        self.recorders = [FlightRecorder(s.record_hz) for s in self.scenarios]
+        self.record_period = np.array([1.0 / s.record_hz for s in self.scenarios])
+        self.record_last = np.full(lanes, np.nan)
+        self.geofence_breached = np.zeros(lanes, dtype=bool)
+        self.geofence_time = np.full(lanes, np.nan)
+        self.done = np.zeros(lanes, dtype=bool)
+
+        # -- noise tables ---------------------------------------------------------
+        counts = {kind: 1 for kind in _SENSOR_KINDS}
+        for trace in class_traces:
+            times = _sensor_times(trace)
+            for kind in _SENSOR_KINDS:
+                counts[kind] = max(counts[kind], len(times[kind]))
+        tables = [
+            generate_lane_noise(
+                s.seed,
+                counts["imu"],
+                counts["baro"],
+                counts["gps"],
+                counts["mocap"],
+                imu_rate_hz=s.config.rates.imu_hz,
+                baro_rate_hz=s.config.rates.baro_hz,
+            )
+            for s in self.scenarios
+        ]
+        self.imu_bias_gyro = np.stack([t.imu_bias_gyro for t in tables])
+        self.imu_bias_accel = np.stack([t.imu_bias_accel for t in tables])
+        self.imu_noise_gyro = np.stack([t.imu_noise_gyro for t in tables])
+        self.imu_noise_accel = np.stack([t.imu_noise_accel for t in tables])
+        self.baro_drift = np.stack([t.baro_drift for t in tables])
+        self.baro_noise = np.stack([t.baro_noise for t in tables])
+        self.gps_noise = np.stack([t.gps_noise for t in tables])
+        self.mocap_pos = np.stack([t.mocap_pos for t in tables])
+        self.mocap_yaw = np.stack([t.mocap_yaw for t in tables])
+        self.baro_reference_alt = BarometerParameters().reference_altitude_m
+
+        # -- container-side sample buffers ---------------------------------------
+        n_computes = 1
+        for trace in class_traces:
+            for event in trace:
+                if event[0] == "cce":
+                    n_computes = max(n_computes, event[3] + 1)
+        if not self.is_host.all():
+            self.imu_gyro_buf = np.zeros((lanes, counts["imu"], 3))
+            self.imu_accel_buf = np.zeros((lanes, counts["imu"], 3))
+            self.baro_buf = np.zeros((lanes, counts["baro"]))
+            self.gps_lat_buf = np.zeros((lanes, counts["gps"]))
+            self.gps_lon_buf = np.zeros((lanes, counts["gps"]))
+            self.gps_alt_buf = np.zeros((lanes, counts["gps"]))
+            self.mocap_pos_buf = np.zeros((lanes, counts["mocap"], 3))
+            self.mocap_yaw_buf = np.zeros((lanes, counts["mocap"]))
+        self.cce_motor_buf = np.zeros((lanes, n_computes, 4))
+
+        self._ops = self._compile(class_traces)
+
+    # --------------------------------------------------------------------- compile
+
+    def _compile(self, class_traces: list[list[tuple]]) -> list[tuple]:
+        """Merge the per-class traces into one op program.
+
+        Op layout: ``(kind, lanes, now, extra)`` with per-lane ``lanes``/``now``
+        arrays; ``extra`` is the per-lane sample-index array for sensor kinds,
+        the delivered-computes tuple for ``recv``, ``(frames, compute)`` for
+        ``cce`` (frames enriched with wire timestamps) and ``None`` otherwise.
+        ``("end", None, t, None)`` closes each quantum.
+        """
+        n_classes = len(class_traces)
+        lane_arrays = self._class_lane_arrays
+        split = [_split_quanta(trace) for trace in class_traces]
+        quanta = [s[0] for s in split]
+        ends = split[0][1]
+        for per_class_quanta, per_class_ends in split[1:]:
+            if len(per_class_ends) != len(ends) or per_class_ends != ends:
+                raise RuntimeError(
+                    "timing classes in one replay group disagree on quantum "
+                    "boundaries; this indicates mismatched duration/physics_dt"
+                )
+        sensor_times = [_sensor_times(trace) for trace in class_traces]
+        merged_lanes = np.concatenate(lane_arrays)
+
+        def cce_frames(c: int, event: tuple) -> tuple:
+            # Wire timestamp of each dispatched frame: the feeder packs
+            # int(sample_time * 1000) into time_ms, the CCE divides by 1000.
+            frames = tuple(
+                (kind, index, int(sensor_times[c][kind][index] * 1000.0) / 1000.0)
+                for kind, index in event[2]
+            )
+            return frames, event[3]
+
+        def emit(ops: list[tuple], kind: str, members: list[int],
+                 events: list[tuple]) -> None:
+            """Emit merged op(s) covering one event from each member class."""
+            def concat_lanes(subset: list[int]) -> np.ndarray:
+                if len(subset) == n_classes:
+                    return merged_lanes
+                if len(subset) == 1:
+                    return lane_arrays[subset[0]]
+                return np.concatenate([lane_arrays[c] for c in subset])
+
+            def concat_nows(subset: list[int], nows: dict[int, float]) -> np.ndarray:
+                return np.concatenate([
+                    np.full(lane_arrays[c].shape[0], nows[c]) for c in subset
+                ])
+
+            nows = {c: event[1] for c, event in zip(members, events)}
+            if kind in _SENSOR_KINDS:
+                idx = np.concatenate([
+                    np.full(lane_arrays[c].shape[0], event[2], dtype=np.intp)
+                    for c, event in zip(members, events)
+                ])
+                ops.append((kind, concat_lanes(members), concat_nows(members, nows), idx))
+            elif kind in ("recv", "cce"):
+                # Payload must match across merged lanes; sub-group by it.
+                groups: dict[tuple, list[int]] = {}
+                for c, event in zip(members, events):
+                    payload = event[2] if kind == "recv" else cce_frames(c, event)
+                    groups.setdefault(payload, []).append(c)
+                for payload, subset in groups.items():
+                    ops.append((kind, concat_lanes(subset),
+                                concat_nows(subset, nows), payload))
+            else:  # safety, monitor, act, hostctl, kill
+                ops.append((kind, concat_lanes(members), concat_nows(members, nows), None))
+
+        # Greedy multi-way merge.  Lanes of different timing classes are
+        # disjoint, so their events commute freely; the only order that
+        # matters is each class's own.  Repeatedly take the pending class
+        # with the earliest next event and merge in every class whose next
+        # event has the same kind — when sequences agree (the common case,
+        # e.g. outside attack windows) this produces one full-width op per
+        # event, and it degrades gracefully to narrower ops as classes
+        # diverge instead of falling back to one op per class.
+        ops: list[tuple] = []
+        for qi in range(len(ends)):
+            seqs = [quanta[c][qi] for c in range(n_classes)]
+            pos = [0] * n_classes
+            pending = [c for c in range(n_classes) if seqs[c]]
+            while pending:
+                lead = min(pending, key=lambda c: (seqs[c][pos[c]][1], c))
+                kind = seqs[lead][pos[lead]][0]
+                members = [c for c in pending if seqs[c][pos[c]][0] == kind]
+                emit(ops, kind, members, [seqs[c][pos[c]] for c in members])
+                for c in members:
+                    pos[c] += 1
+                pending = [c for c in pending if pos[c] < len(seqs[c])]
+            ops.append(("end", None, ends[qi], None))
+        return ops
+
+    # ---------------------------------------------------------------------- replay
+
+    def run(self) -> list[FlightResult]:
+        handlers = {
+            "imu": self._op_imu,
+            "baro": self._op_baro,
+            "gps": self._op_gps,
+            "mocap": self._op_mocap,
+            "safety": self._op_safety,
+            "monitor": self._op_monitor,
+            "recv": self._op_recv,
+            "cce": self._op_cce,
+            "hostctl": self._op_hostctl,
+            "act": self._op_act,
+            "kill": self._op_kill,
+        }
+        done = self.done
+        for kind, lanes, now, extra in self._ops:
+            if kind == "end":
+                self._op_end(now)
+                if done.all():
+                    break
+                continue
+            keep = ~done[lanes]
+            if not keep.all():
+                lanes = lanes[keep]
+                if lanes.size == 0:
+                    continue
+                now = now[keep]
+                if kind in _SENSOR_KINDS:
+                    extra = extra[keep]
+            handlers[kind](lanes, now, extra)
+        return self._results()
+
+    # -- sensor drivers ------------------------------------------------------------
+
+    def _op_imu(self, lanes: np.ndarray, now: np.ndarray, idx: np.ndarray) -> None:
+        plant = self.plant
+        gyro = (plant.y[lanes, 10:13] + self.imu_bias_gyro[lanes, idx]) \
+            + self.imu_noise_gyro[lanes, idx]
+        accel = (plant.specific_force_body(lanes) + self.imu_bias_accel[lanes, idx]) \
+            + self.imu_noise_accel[lanes, idx]
+        self.safety.on_imu(lanes, gyro, accel, now)
+        host = self.is_host[lanes]
+        live = host & self.complex.alive[lanes]
+        if live.any():
+            self.complex.on_imu(lanes[live], gyro[live], accel[live], now[live])
+        container = ~host
+        if container.any():
+            sub = lanes[container]
+            self.imu_gyro_buf[sub, idx[container]] = gyro[container]
+            self.imu_accel_buf[sub, idx[container]] = accel[container]
+
+    def _op_baro(self, lanes: np.ndarray, now: np.ndarray, idx: np.ndarray) -> None:
+        altitude_asl = (
+            (self.baro_reference_alt + -self.plant.y[lanes, 2])
+            + self.baro_drift[lanes, idx]
+        ) + self.baro_noise[lanes, idx]
+        self.safety.estimator.update_baro_altitude(lanes, altitude_asl)
+        host = self.is_host[lanes]
+        live = host & self.complex.alive[lanes]
+        if live.any():
+            self.complex.estimator.update_baro_altitude(lanes[live], altitude_asl[live])
+        container = ~host
+        if container.any():
+            self.baro_buf[lanes[container], idx[container]] = altitude_asl[container]
+
+    def _op_gps(self, lanes: np.ndarray, now: np.ndarray, idx: np.ndarray) -> None:
+        noise = self.gps_noise[lanes, idx]
+        north = self.plant.y[lanes, 0] + noise[:, 0]
+        east = self.plant.y[lanes, 1] + noise[:, 1]
+        down = self.plant.y[lanes, 2] + noise[:, 2]
+        latitude = _LAT0 + np.rad2deg(north / EARTH_RADIUS_M)
+        longitude = _LON0 + np.rad2deg(east / _R_COS_LAT0)
+        altitude = _ALT0 - down
+        position_ned = self._geodetic_to_ned(latitude, longitude, altitude)
+        self.safety.estimator.update_gps(lanes, position_ned)
+        host = self.is_host[lanes]
+        live = host & self.complex.alive[lanes]
+        if live.any():
+            self.complex.estimator.update_gps(lanes[live], position_ned[live])
+        container = ~host
+        if container.any():
+            sub = lanes[container]
+            self.gps_lat_buf[sub, idx[container]] = latitude[container]
+            self.gps_lon_buf[sub, idx[container]] = longitude[container]
+            self.gps_alt_buf[sub, idx[container]] = altitude[container]
+
+    @staticmethod
+    def _geodetic_to_ned(
+        latitude: np.ndarray, longitude: np.ndarray, altitude: np.ndarray
+    ) -> np.ndarray:
+        north = np.deg2rad(latitude - _LAT0) * EARTH_RADIUS_M
+        east = np.deg2rad(longitude - _LON0) * EARTH_RADIUS_M * np.cos(np.deg2rad(_LAT0))
+        return np.stack([north, east, _ALT0 - altitude], axis=-1)
+
+    def _op_mocap(self, lanes: np.ndarray, now: np.ndarray, idx: np.ndarray) -> None:
+        position = self.plant.y[lanes, 0:3] + self.mocap_pos[lanes, idx]
+        _, _, plant_yaw = self.plant.euler(lanes)
+        yaw = plant_yaw + self.mocap_yaw[lanes, idx]
+        self.safety.estimator.update_mocap(lanes, position)
+        self.safety.attitude.set_yaw(lanes, yaw)
+        host = self.is_host[lanes]
+        live = host & self.complex.alive[lanes]
+        if live.any():
+            sub = lanes[live]
+            self.complex.estimator.update_mocap(sub, position[live])
+            self.complex.attitude.set_yaw(sub, yaw[live])
+        container = ~host
+        if container.any():
+            sub = lanes[container]
+            self.mocap_pos_buf[sub, idx[container]] = position[container]
+            self.mocap_yaw_buf[sub, idx[container]] = yaw[container]
+
+    # -- HCE control plane -----------------------------------------------------------
+
+    def _op_safety(self, lanes: np.ndarray, now: np.ndarray, _extra) -> None:
+        self.decision.submit_safety(lanes, self.safety.compute(lanes))
+
+    def _op_monitor(self, lanes: np.ndarray, now: np.ndarray, _extra) -> None:
+        armed = now - self.decision.engaged_at >= self.monitor_grace[lanes]
+        if not armed.any():
+            return
+        lanes = lanes[armed]
+        now = now[armed]
+        last = self.decision.last_received[lanes]
+        reference = np.where(np.isnan(last), self.decision.engaged_at, last)
+        gap = now - reference
+        recv_violated = gap > self.monitor_max_interval[lanes]
+        roll, pitch, yaw = self.safety.attitude.euler(lanes)
+        roll_error = angle_wrap_batched(roll)
+        pitch_error = angle_wrap_batched(pitch)
+        yaw_error = angle_wrap_batched(yaw - self.sp_yaw[lanes])
+        max_roll = self.monitor_max_roll[lanes]
+        max_pitch = self.monitor_max_pitch[lanes]
+        max_yaw = self.monitor_max_yaw[lanes]
+        att_violated = (
+            (np.abs(roll_error) > max_roll)
+            | (np.abs(pitch_error) > max_pitch)
+            | (np.abs(yaw_error) > max_yaw)
+        )
+        violated = recv_violated | att_violated
+        if not violated.any():
+            return
+        for k in np.flatnonzero(violated):
+            lane = int(lanes[k])
+            when = float(now[k])
+            if recv_violated[k]:
+                violation = Violation(
+                    rule="receiving-interval",
+                    time=when,
+                    message=(
+                        f"no output from the complex controller for {float(gap[k]):.3f} s "
+                        f"(threshold {float(self.monitor_max_interval[lane]):.3f} s)"
+                    ),
+                )
+            else:
+                breaches = []
+                if abs(roll_error[k]) > max_roll[k]:
+                    breaches.append(f"roll error {float(roll_error[k]):+.3f} rad")
+                if abs(pitch_error[k]) > max_pitch[k]:
+                    breaches.append(f"pitch error {float(pitch_error[k]):+.3f} rad")
+                if abs(yaw_error[k]) > max_yaw[k]:
+                    breaches.append(f"yaw error {float(yaw_error[k]):+.3f} rad")
+                violation = Violation(
+                    rule="attitude-error",
+                    time=when,
+                    message="attitude bound exceeded: " + ", ".join(breaches),
+                )
+            self.violations[lane].append(violation)
+            if not self.decision.switched[lane]:
+                self.decision.switched[lane] = True
+                self.decision.killed[lane] = True
+                self.decision.switch_time[lane] = when
+
+    def _op_recv(self, lanes: np.ndarray, now: np.ndarray, computes: tuple) -> None:
+        live = ~self.decision.killed[lanes]
+        if not live.any():
+            return
+        lanes = lanes[live]
+        now = now[live]
+        for compute in computes:
+            motors = _f32(self.cce_motor_buf[lanes, compute])
+            self.decision.submit_complex(lanes, motors, now)
+
+    def _op_hostctl(self, lanes: np.ndarray, now: np.ndarray, _extra) -> None:
+        alive = self.complex.alive[lanes]
+        if not alive.any():
+            return
+        lanes = lanes[alive]
+        now = now[alive]
+        motors = self.complex.compute(lanes, now)
+        live = ~self.decision.killed[lanes]
+        if live.any():
+            self.decision.submit_complex(lanes[live], motors[live], now[live])
+
+    def _op_act(self, lanes: np.ndarray, now: np.ndarray, _extra) -> None:
+        self.decision.select(lanes)
+
+    def _op_kill(self, lanes: np.ndarray, now: np.ndarray, _extra) -> None:
+        self.complex.alive[lanes] = False
+
+    # -- CCE -------------------------------------------------------------------------
+
+    def _op_cce(self, lanes: np.ndarray, now: np.ndarray, payload: tuple) -> None:
+        frames, compute = payload
+        alive = self.complex.alive[lanes]
+        if not alive.any():
+            return
+        if not alive.all():
+            lanes = lanes[alive]
+            now = now[alive]
+        stack = self.complex
+        for kind, idx, timestamp in frames:
+            if kind == "imu":
+                gyro = _f32(self.imu_gyro_buf[lanes, idx])
+                accel = _f32(self.imu_accel_buf[lanes, idx])
+                stack.on_imu(lanes, gyro, accel, np.full(lanes.shape[0], timestamp))
+            elif kind == "baro":
+                stack.estimator.update_baro_altitude(
+                    lanes, _f32(self.baro_buf[lanes, idx])
+                )
+            elif kind == "gps":
+                # The feeder truncates to MAVLink's integer fields, the CCE
+                # scales back; int() truncates toward zero, like np.trunc.
+                latitude = np.trunc(self.gps_lat_buf[lanes, idx] * 1e7) / 1e7
+                longitude = np.trunc(self.gps_lon_buf[lanes, idx] * 1e7) / 1e7
+                altitude = np.trunc(self.gps_alt_buf[lanes, idx] * 1000.0) / 1000.0
+                stack.estimator.update_gps(
+                    lanes, self._geodetic_to_ned(latitude, longitude, altitude)
+                )
+            elif kind == "mocap":
+                stack.estimator.update_mocap(
+                    lanes, _f32(self.mocap_pos_buf[lanes, idx])
+                )
+                stack.attitude.set_yaw(lanes, _f32(self.mocap_yaw_buf[lanes, idx]))
+        self.cce_motor_buf[lanes, compute] = stack.compute(lanes, now)
+
+    # -- quantum end -----------------------------------------------------------------
+
+    def _op_end(self, now: float) -> None:
+        active = ~self.done
+        # The scalar loop skips the plant once the sim counts as crashed
+        # (plant crash or geofence); the check happens before the step.
+        stepped = active & ~self.plant.crashed & ~self.geofence_breached
+        self.plant.step(self.decision.motor_command, self.dt, stepped)
+
+        check = np.flatnonzero(stepped)
+        if check.size:
+            delta = self.plant.y[check, 0:3] - self.sp_pos[check]
+            deviation = np.sqrt(
+                (delta[:, 0] * delta[:, 0] + delta[:, 1] * delta[:, 1])
+                + delta[:, 2] * delta[:, 2]
+            )
+            breached = check[deviation > self.geofence_radius[check]]
+            if breached.size:
+                self.geofence_breached[breached] = True
+                self.geofence_time[breached] = now
+
+        crashed_now = self.plant.crashed | self.geofence_breached
+        lanes = np.flatnonzero(active)
+        last = self.record_last[lanes]
+        due = lanes[
+            np.isnan(last) | (now - last >= self.record_period[lanes] - 1e-9)
+        ]
+        if due.size:
+            roll, pitch, yaw = self.plant.euler(due)
+            self.record_last[due] = now
+            switched = self.decision.switched
+            for k, lane in enumerate(due):
+                recorder = self.recorders[lane]
+                recorder._last_sample_time = now
+                recorder.samples.append(FlightSample(
+                    time=now,
+                    position=self.plant.y[lane, 0:3].copy(),
+                    setpoint=self.sp_pos[lane].copy(),
+                    velocity=self.plant.y[lane, 3:6].copy(),
+                    roll=float(roll[k]),
+                    pitch=float(pitch[k]),
+                    yaw=float(yaw[k]),
+                    active_source="safety" if switched[lane] else "complex",
+                    crashed=bool(crashed_now[lane]),
+                ))
+
+        crash_time = np.where(
+            self.plant.crashed, self.plant.crash_time, self.geofence_time
+        )
+        self.done |= active & crashed_now & (now > crash_time + 1.0)
+
+    # -- results ----------------------------------------------------------------------
+
+    def _results(self) -> list[FlightResult]:
+        results = []
+        for lane, scenario in enumerate(self.scenarios):
+            recorder = self.recorders[lane]
+            metrics = compute_metrics(recorder, event_time=scenario.first_attack_time())
+            plant_crashed = bool(self.plant.crashed[lane])
+            crashed = plant_crashed or bool(self.geofence_breached[lane])
+            if plant_crashed:
+                crash_time: float | None = float(self.plant.crash_time[lane])
+            elif crashed:
+                crash_time = float(self.geofence_time[lane])
+            else:
+                crash_time = None
+            if crashed and not metrics.crashed:
+                metrics = FlightMetrics(
+                    duration=metrics.duration,
+                    crashed=True,
+                    crash_time=crash_time,
+                    switched_to_safety=metrics.switched_to_safety,
+                    switch_time=metrics.switch_time,
+                    max_deviation=metrics.max_deviation,
+                    max_deviation_after=metrics.max_deviation_after,
+                    rms_error=metrics.rms_error,
+                    rms_error_after=metrics.rms_error_after,
+                    final_deviation=metrics.final_deviation,
+                    recovered=False,
+                )
+            results.append(FlightResult(
+                scenario=scenario,
+                recorder=recorder,
+                metrics=metrics,
+                violations=tuple(self.violations[lane]),
+                switch_time=recorder.switch_time(),
+                crashed=crashed,
+                crash_time=crash_time,
+            ))
+        return results
+
+
+class BatchSimulation:
+    """Vectorised simulation of many scenarios at once.
+
+    Scenarios may be fully heterogeneous; they are grouped internally so each
+    group shares a quantum clock, and results come back in input order.  For
+    batches dominated by a few timing classes (campaign grids sweeping seeds
+    and state-only parameters) the amortised per-flight cost is a small
+    fraction of the scalar co-simulation's.
+    """
+
+    def __init__(self, scenarios: Sequence[FlightScenario]) -> None:
+        self.scenarios = list(scenarios)
+        if not self.scenarios:
+            raise ValueError("BatchSimulation needs at least one scenario")
+
+    def run(self) -> list[FlightResult]:
+        """Simulate every scenario; returns results in input order."""
+        groups: dict[tuple[float, float], list[int]] = {}
+        for index, scenario in enumerate(self.scenarios):
+            groups.setdefault((scenario.duration, scenario.physics_dt), []).append(index)
+        results: list[FlightResult | None] = [None] * len(self.scenarios)
+        for members in groups.values():
+            group = _ReplayGroup([self.scenarios[i] for i in members])
+            for index, result in zip(members, group.run()):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+
+def run_batch(scenarios: Sequence[FlightScenario]) -> list[FlightResult]:
+    """Convenience helper: ``BatchSimulation(scenarios).run()``."""
+    return BatchSimulation(scenarios).run()

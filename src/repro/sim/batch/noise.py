@@ -1,0 +1,114 @@
+"""Pre-generated sensor noise tables, bit-exact with the scalar sensors.
+
+The scalar simulation draws sensor noise lazily, one sample at a time, from
+four generators spawned off the scenario seed (see
+:class:`~repro.sim.flight.FlightSimulation`).  The batch core cannot
+interleave per-lane draws, so it pre-draws each lane's full noise streams up
+front.  Equality holds because
+
+* ``SeedSequence(seed).spawn(8)`` reproduces the scalar generator seeding,
+* ``Generator.normal(0, sigma, size)`` equals ``standard_normal(size) * sigma``
+  value-for-value and draw-for-draw, so one block ``standard_normal(n * k)``
+  reproduces ``n`` successive ``k``-draw sampling calls, and
+* the random-walk biases accumulate by sequential addition, which
+  ``np.cumsum`` over the per-step increments replicates exactly.
+
+Tables are sized for ``n`` samples; generating more than a flight consumes is
+harmless (the prefix of the stream is unchanged), which lets timing classes
+with slightly different sample counts share one table width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...sensors.barometer import BarometerParameters
+from ...sensors.gps import GpsParameters
+from ...sensors.imu import ImuParameters
+from ...sensors.mocap import MocapParameters
+
+__all__ = ["LaneNoise", "generate_lane_noise"]
+
+
+@dataclass(frozen=True)
+class LaneNoise:
+    """One lane's pre-drawn sensor noise, indexed by per-sensor sample index."""
+
+    imu_bias_gyro: np.ndarray  # (n_imu, 3) random-walk bias after sample i's step
+    imu_bias_accel: np.ndarray  # (n_imu, 3)
+    imu_noise_gyro: np.ndarray  # (n_imu, 3)
+    imu_noise_accel: np.ndarray  # (n_imu, 3)
+    baro_drift: np.ndarray  # (n_baro,)
+    baro_noise: np.ndarray  # (n_baro,)
+    gps_noise: np.ndarray  # (n_gps, 3) north/east/down position noise
+    mocap_pos: np.ndarray  # (n_mocap, 3)
+    mocap_yaw: np.ndarray  # (n_mocap,)
+
+
+def generate_lane_noise(
+    seed: int,
+    n_imu: int,
+    n_baro: int,
+    n_gps: int,
+    n_mocap: int,
+    imu_rate_hz: float,
+    baro_rate_hz: float,
+) -> LaneNoise:
+    """Draw every noise stream one scenario consumes, in scalar stream order."""
+    seeds = np.random.SeedSequence(seed).spawn(8)
+    imu_params = ImuParameters()
+    baro_params = BarometerParameters()
+    gps_params = GpsParameters()
+    mocap_params = MocapParameters()
+
+    # IMU: construction draws the two 3-axis bias initialisers, then every
+    # sample draws walk_gyro(3), walk_accel(3), noise_gyro(3), noise_accel(3).
+    imu_rng = np.random.default_rng(seeds[0])
+    init_gyro = imu_rng.normal(0.0, imu_params.gyro_bias_sigma, size=3)
+    init_accel = imu_rng.normal(0.0, imu_params.accel_bias_sigma, size=3)
+    z = imu_rng.standard_normal(n_imu * 12).reshape(n_imu, 4, 3)
+    imu_period = 1.0 / imu_rate_hz
+    walk_gyro = (z[:, 0, :] * imu_params.gyro_bias_walk) * np.sqrt(imu_period)
+    walk_accel = (z[:, 1, :] * imu_params.accel_bias_walk) * np.sqrt(imu_period)
+    imu_bias_gyro = np.cumsum(np.vstack([init_gyro[None, :], walk_gyro]), axis=0)[1:]
+    imu_bias_accel = np.cumsum(np.vstack([init_accel[None, :], walk_accel]), axis=0)[1:]
+    imu_noise_gyro = z[:, 2, :] * imu_params.gyro_noise_sigma
+    imu_noise_accel = z[:, 3, :] * imu_params.accel_noise_sigma
+
+    # Barometer: each sample draws drift_walk(1), then noise(1).
+    baro_rng = np.random.default_rng(seeds[1])
+    zb = baro_rng.standard_normal(n_baro * 2).reshape(n_baro, 2)
+    baro_period = 1.0 / baro_rate_hz
+    drift_terms = (zb[:, 0] * baro_params.drift_walk_m) * np.sqrt(baro_period)
+    baro_drift = np.cumsum(np.concatenate([[0.0], drift_terms]))[1:]
+    baro_noise = zb[:, 1] * baro_params.noise_sigma_m
+
+    # GPS: north(1), east(1), down(1), then 3 velocity draws (the velocity
+    # reading is forwarded but never fused; the draws still advance the
+    # stream, so they must be consumed here too).
+    gps_rng = np.random.default_rng(seeds[2])
+    zg = gps_rng.standard_normal(n_gps * 6).reshape(n_gps, 6)
+    gps_noise = np.empty((n_gps, 3))
+    gps_noise[:, 0] = zg[:, 0] * gps_params.horizontal_sigma_m
+    gps_noise[:, 1] = zg[:, 1] * gps_params.horizontal_sigma_m
+    gps_noise[:, 2] = zg[:, 2] * gps_params.vertical_sigma_m
+
+    # Motion capture: position(3), then yaw(1).
+    mocap_rng = np.random.default_rng(seeds[3])
+    zm = mocap_rng.standard_normal(n_mocap * 4).reshape(n_mocap, 4)
+    mocap_pos = zm[:, 0:3] * mocap_params.position_sigma_m
+    mocap_yaw = zm[:, 3] * mocap_params.yaw_sigma_rad
+
+    return LaneNoise(
+        imu_bias_gyro=imu_bias_gyro,
+        imu_bias_accel=imu_bias_accel,
+        imu_noise_gyro=imu_noise_gyro,
+        imu_noise_accel=imu_noise_accel,
+        baro_drift=baro_drift,
+        baro_noise=baro_noise,
+        gps_noise=gps_noise,
+        mocap_pos=mocap_pos,
+        mocap_yaw=mocap_yaw,
+    )

@@ -1,0 +1,429 @@
+"""Vectorised estimator/controller/decision stacks for the batch core.
+
+Each class here is the structure-of-arrays counterpart of one scalar
+component — :class:`~repro.estimation.attitude.ComplementaryFilter`,
+:class:`~repro.estimation.position.PositionEstimator`,
+:class:`~repro.control.pid.PidController`,
+:class:`~repro.control.allocator.QuadXAllocator`, the two controllers and the
+Simplex :class:`~repro.core.simplex.DecisionModule` — holding the state of
+``L`` lanes and updating an arbitrary subset per call (``lanes`` is an array
+of lane indices; replay ops rarely touch every lane).
+
+Formulas replicate the scalar code term by term, including evaluation order:
+matrix products are expanded into per-component expressions (the 2x2 Kalman
+closed forms, the allocator row dots) both to match the scalar left-fold
+summation and to keep any BLAS kernel — whose reduction order could depend on
+operand shape — away from the lane axis.  A lane's trajectory therefore never
+depends on the batch width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dynamics.state import (
+    GRAVITY,
+    angle_wrap_batched,
+    quat_from_euler_batched,
+    quat_multiply_batched,
+    quat_normalize_batched,
+    quat_to_euler_batched,
+)
+
+__all__ = [
+    "BatchComplementaryFilter",
+    "BatchPositionEstimator",
+    "BatchPid",
+    "allocate_batched",
+    "BatchComplexStack",
+    "BatchSafetyStack",
+    "BatchDecision",
+]
+
+_IMU_NOMINAL_DT = 1.0 / 250.0
+
+
+class BatchComplementaryFilter:
+    """SoA complementary attitude filter (quaternion + rates per lane)."""
+
+    def __init__(self, lanes: int, accel_gain: float = 0.002) -> None:
+        self.accel_gain = accel_gain
+        self.quat = np.zeros((lanes, 4))
+        self.quat[:, 0] = 1.0
+        self.rates = np.zeros((lanes, 3))
+        self.initialized = np.zeros(lanes, dtype=bool)
+
+    def euler(self, lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return quat_to_euler_batched(self.quat[lanes])
+
+    def update(self, lanes: np.ndarray, gyro: np.ndarray, accel: np.ndarray, dt: np.ndarray) -> None:
+        self.rates[lanes] = gyro
+        delta = np.empty((lanes.shape[0], 4))
+        delta[:, 0] = 1.0
+        delta[:, 1:4] = 0.5 * gyro * dt[:, None]
+        quat = quat_normalize_batched(quat_multiply_batched(self.quat[lanes], delta))
+
+        a0, a1, a2 = accel[:, 0], accel[:, 1], accel[:, 2]
+        accel_norm = np.sqrt((a0 * a0 + a1 * a1) + a2 * a2)
+        observing = (0.5 * 9.80665 < accel_norm) & (accel_norm < 1.5 * 9.80665)
+        if observing.any():
+            safe_norm = np.where(observing, accel_norm, 1.0)
+            u0, u1, u2 = a0 / safe_norm, a1 / safe_norm, a2 / safe_norm
+            accel_roll = np.arctan2(-u1, -u2)
+            accel_pitch = np.arctan2(u0, np.sqrt(u1**2 + u2**2))
+            roll, pitch, yaw = quat_to_euler_batched(quat)
+            started = self.initialized[lanes]
+            roll = np.where(
+                started, roll + self.accel_gain * angle_wrap_batched(accel_roll - roll), accel_roll
+            )
+            pitch = np.where(
+                started, pitch + self.accel_gain * angle_wrap_batched(accel_pitch - pitch), accel_pitch
+            )
+            corrected = quat_from_euler_batched(roll, pitch, yaw)
+            quat = np.where(observing[:, None], corrected, quat)
+            self.initialized[lanes] = started | observing
+        self.quat[lanes] = quat
+
+    def set_yaw(self, lanes: np.ndarray, yaw: np.ndarray) -> None:
+        roll, pitch, _ = quat_to_euler_batched(self.quat[lanes])
+        self.quat[lanes] = quat_from_euler_batched(roll, pitch, angle_wrap_batched(yaw))
+
+
+class BatchPositionEstimator:
+    """SoA three-axis constant-velocity Kalman filter.
+
+    The scalar per-axis 2x2 filter is expanded into closed forms over
+    ``(L, 3)`` arrays; ``baro_ref`` NaN encodes the scalar ``None``.
+    """
+
+    def __init__(
+        self,
+        lanes: int,
+        process_noise: float = 30.0,
+        mocap_noise: float = 1e-4,
+        gps_noise: float = 2.25,
+        baro_noise: float = 2.5e-3,
+    ) -> None:
+        self.q = process_noise
+        self.mocap_noise = mocap_noise
+        self.gps_noise = gps_noise
+        self.baro_noise = baro_noise
+        self.pos = np.zeros((lanes, 3))
+        self.vel = np.zeros((lanes, 3))
+        self.P00 = np.ones((lanes, 3))
+        self.P01 = np.zeros((lanes, 3))
+        self.P10 = np.zeros((lanes, 3))
+        self.P11 = np.ones((lanes, 3))
+        self.has_fix = np.zeros(lanes, dtype=bool)
+        self.baro_ref = np.full(lanes, np.nan)
+
+    def predict(self, lanes: np.ndarray, dt: np.ndarray) -> None:
+        dtc = dt[:, None]
+        # x = F x with F = [[1, dt], [0, 1]]: the velocity row is exact.
+        self.pos[lanes] = 1.0 * self.pos[lanes] + dtc * self.vel[lanes]
+        # P = F P F' + q G G' with G = [dt^2/2, dt], expanded row by row in
+        # the scalar dot order.
+        p00, p01 = self.P00[lanes], self.P01[lanes]
+        p10, p11 = self.P10[lanes], self.P11[lanes]
+        a00 = 1.0 * p00 + dtc * p10
+        a01 = 1.0 * p01 + dtc * p11
+        g0 = 0.5 * dtc * dtc
+        g1 = dtc
+        self.P00[lanes] = (a00 * 1.0 + a01 * dtc) + self.q * (g0 * g0)
+        self.P01[lanes] = (a00 * 0.0 + a01 * 1.0) + self.q * (g0 * g1)
+        self.P10[lanes] = (p10 * 1.0 + p11 * dtc) + self.q * (g1 * g0)
+        self.P11[lanes] = (p10 * 0.0 + p11 * 1.0) + self.q * (g1 * g1)
+
+    def _update_axes(self, lanes: np.ndarray, axis: slice, measurement: np.ndarray, r: float) -> None:
+        p00 = self.P00[lanes, axis]
+        p01 = self.P01[lanes, axis]
+        p10 = self.P10[lanes, axis]
+        p11 = self.P11[lanes, axis]
+        x0 = self.pos[lanes, axis]
+        x1 = self.vel[lanes, axis]
+        innovation = measurement - x0
+        s = p00 + r
+        k0 = p00 / s
+        k1 = p10 / s
+        self.pos[lanes, axis] = x0 + k0 * innovation
+        self.vel[lanes, axis] = x1 + k1 * innovation
+        self.P00[lanes, axis] = (1.0 - k0) * p00
+        self.P01[lanes, axis] = (1.0 - k0) * p01
+        self.P10[lanes, axis] = -k1 * p00 + 1.0 * p10
+        self.P11[lanes, axis] = -k1 * p01 + 1.0 * p11
+
+    def update_mocap(self, lanes: np.ndarray, position_ned: np.ndarray) -> None:
+        self._update_axes(lanes, slice(0, 3), position_ned, self.mocap_noise)
+        self.has_fix[lanes] = True
+
+    def update_gps(self, lanes: np.ndarray, position_ned: np.ndarray) -> None:
+        self._update_axes(lanes, slice(0, 3), position_ned, self.gps_noise)
+        self.has_fix[lanes] = True
+
+    def update_baro_altitude(self, lanes: np.ndarray, altitude_asl: np.ndarray) -> None:
+        reference = self.baro_ref[lanes]
+        no_reference = np.isnan(reference)
+        anchor = no_reference & self.has_fix[lanes]
+        if anchor.any():
+            anchored = lanes[anchor]
+            self.baro_ref[anchored] = altitude_asl[anchor] + self.pos[anchored, 2]
+        fuse = ~no_reference
+        if fuse.any():
+            down = -(altitude_asl[fuse] - reference[fuse])
+            self._update_axes(lanes[fuse], slice(2, 3), down[:, None], self.baro_noise)
+
+
+class BatchPid:
+    """SoA PID with clamping anti-windup, mirroring ``PidController``."""
+
+    def __init__(
+        self,
+        lanes: int,
+        kp: float,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        integral_limit: float = float("inf"),
+        output_limit: float = float("inf"),
+        derivative_filter_tau: float = 0.0,
+    ) -> None:
+        self.kp, self.ki, self.kd = kp, ki, kd
+        self.integral_limit = integral_limit
+        self.output_limit = output_limit
+        self.tau = derivative_filter_tau
+        self.integral = np.zeros(lanes)
+        self.previous_error = np.full(lanes, np.nan)  # NaN == scalar None
+        self.derivative = np.zeros(lanes)
+
+    def update(self, lanes: np.ndarray, error: np.ndarray, dt: np.ndarray) -> np.ndarray:
+        previous = self.previous_error[lanes]
+        raw = np.where(np.isnan(previous), 0.0, (error - previous) / dt)
+        self.previous_error[lanes] = error
+        if self.tau > 0.0:
+            derivative = self.derivative[lanes]
+            alpha = dt / (self.tau + dt)
+            derivative = derivative + alpha * (raw - derivative)
+        else:
+            derivative = raw
+        self.derivative[lanes] = derivative
+
+        candidate = self.integral[lanes] + error * dt
+        candidate = np.maximum(-self.integral_limit, np.minimum(self.integral_limit, candidate))
+        unsaturated = self.kp * error + self.ki * candidate + self.kd * derivative
+        output = np.maximum(-self.output_limit, np.minimum(self.output_limit, unsaturated))
+        accept = (output == unsaturated) | (error * output < 0.0)
+        self.integral[lanes] = np.where(accept, candidate, self.integral[lanes])
+        return output
+
+
+def allocate_batched(
+    thrust: np.ndarray, roll: np.ndarray, pitch: np.ndarray, yaw: np.ndarray
+) -> np.ndarray:
+    """Vectorised ``QuadXAllocator.allocate`` (unit scales, quad-X mix)."""
+    d0, d1, d2 = roll * 1.0, pitch * 1.0, yaw * 1.0
+    m0 = thrust + ((-1.0 * d0 + 1.0 * d1) + 1.0 * d2)
+    m1 = thrust + ((1.0 * d0 + -1.0 * d1) + 1.0 * d2)
+    m2 = thrust + ((1.0 * d0 + 1.0 * d1) + -1.0 * d2)
+    m3 = thrust + ((-1.0 * d0 + -1.0 * d1) + -1.0 * d2)
+    high = np.maximum(np.maximum(m0, m1), np.maximum(m2, m3))
+    low = np.minimum(np.minimum(m0, m1), np.minimum(m2, m3))
+    saturated = (high > 1.0) | (low < 0.0)
+    if saturated.any():
+        # Drop the yaw demand, then shift the collective off the rails.
+        n0 = thrust + (-1.0 * d0 + 1.0 * d1)
+        n1 = thrust + (1.0 * d0 + -1.0 * d1)
+        n2 = thrust + (1.0 * d0 + 1.0 * d1)
+        n3 = thrust + (-1.0 * d0 + -1.0 * d1)
+        nhigh = np.maximum(np.maximum(n0, n1), np.maximum(n2, n3))
+        nlow = np.minimum(np.minimum(n0, n1), np.minimum(n2, n3))
+        overshoot = np.maximum(nhigh - 1.0, 0.0)
+        undershoot = np.maximum(-nlow, 0.0)
+        n0 = n0 - overshoot + undershoot
+        n1 = n1 - overshoot + undershoot
+        n2 = n2 - overshoot + undershoot
+        n3 = n3 - overshoot + undershoot
+        m0 = np.where(saturated, n0, m0)
+        m1 = np.where(saturated, n1, m1)
+        m2 = np.where(saturated, n2, m2)
+        m3 = np.where(saturated, n3, m3)
+    return np.minimum(np.maximum(np.stack([m0, m1, m2, m3], axis=-1), 0.0), 1.0)
+
+
+class BatchComplexStack:
+    """SoA complex controller: estimators + PX4-style cascade per lane."""
+
+    def __init__(self, lanes: int, setpoint_position: np.ndarray, setpoint_yaw: np.ndarray) -> None:
+        self.attitude = BatchComplementaryFilter(lanes)
+        self.estimator = BatchPositionEstimator(lanes)
+        self.setpoint_position = np.asarray(setpoint_position, dtype=float)
+        self.setpoint_yaw = np.asarray(setpoint_yaw, dtype=float)
+        self.last_imu = np.full(lanes, np.nan)
+        self.last_compute = np.full(lanes, np.nan)
+        self.alive = np.ones(lanes, dtype=bool)
+        # PositionControlGains / RateControlGains defaults.
+        self.pid_vx = BatchPid(lanes, kp=1.8, ki=0.4, kd=0.2, integral_limit=1.0, output_limit=5.0)
+        self.pid_vy = BatchPid(lanes, kp=1.8, ki=0.4, kd=0.2, integral_limit=1.0, output_limit=5.0)
+        self.pid_vz = BatchPid(lanes, kp=4.0, ki=1.0, kd=0.0, integral_limit=2.0, output_limit=8.0)
+        self.pid_roll = BatchPid(lanes, kp=0.15, ki=0.05, kd=0.003, integral_limit=0.3,
+                                 output_limit=1.0, derivative_filter_tau=0.005)
+        self.pid_pitch = BatchPid(lanes, kp=0.15, ki=0.05, kd=0.003, integral_limit=0.3,
+                                  output_limit=1.0, derivative_filter_tau=0.005)
+        self.pid_yaw = BatchPid(lanes, kp=0.2, ki=0.1, kd=0.0, integral_limit=0.3, output_limit=1.0)
+        self._max_tilt = float(np.deg2rad(30.0))
+
+    def on_imu(self, lanes: np.ndarray, gyro: np.ndarray, accel: np.ndarray, now: np.ndarray) -> None:
+        previous = self.last_imu[lanes]
+        dt = np.where(np.isnan(previous), _IMU_NOMINAL_DT, np.maximum(now - previous, 1e-4))
+        self.last_imu[lanes] = now
+        self.attitude.update(lanes, gyro, accel, dt)
+        self.estimator.predict(lanes, dt)
+
+    def compute(self, lanes: np.ndarray, now: np.ndarray) -> np.ndarray:
+        """One cascade iteration; returns the (unclipped-by-decision) motors."""
+        previous = self.last_compute[lanes]
+        dt = np.where(np.isnan(previous), _IMU_NOMINAL_DT, np.maximum(now - previous, 1e-4))
+        self.last_compute[lanes] = now
+
+        roll, pitch, yaw = self.attitude.euler(lanes)
+        rates = self.attitude.rates[lanes]
+
+        # Attitude setpoint: position cascade when the estimate is valid,
+        # level hover attitude otherwise.
+        count = lanes.shape[0]
+        sp_roll = np.zeros(count)
+        sp_pitch = np.zeros(count)
+        sp_yaw = yaw.copy()
+        sp_thrust = np.full(count, 0.57)
+        valid = self.estimator.has_fix[lanes]
+        if valid.any():
+            sub = lanes[valid]
+            position = self.estimator.pos[sub]
+            velocity = self.estimator.vel[sub]
+            position_error = self.setpoint_position[sub] - position
+            vsp0 = np.minimum(np.maximum(0.95 * position_error[:, 0], -3.0), 3.0)
+            vsp1 = np.minimum(np.maximum(0.95 * position_error[:, 1], -3.0), 3.0)
+            vsp2 = np.minimum(np.maximum(1.0 * position_error[:, 2], -1.5), 1.5)
+            dts = dt[valid]
+            acc0 = self.pid_vx.update(sub, vsp0 - velocity[:, 0], dts)
+            acc1 = self.pid_vy.update(sub, vsp1 - velocity[:, 1], dts)
+            acc2 = self.pid_vz.update(sub, vsp2 - velocity[:, 2], dts)
+            cos_yaw, sin_yaw = np.cos(yaw[valid]), np.sin(yaw[valid])
+            acc_body_x = cos_yaw * acc0 + sin_yaw * acc1
+            acc_body_y = -sin_yaw * acc0 + cos_yaw * acc1
+            sp_pitch[valid] = np.minimum(np.maximum(-acc_body_x / GRAVITY, -self._max_tilt), self._max_tilt)
+            sp_roll[valid] = np.minimum(np.maximum(acc_body_y / GRAVITY, -self._max_tilt), self._max_tilt)
+            sp_thrust[valid] = np.minimum(np.maximum(0.57 * (1.0 - acc2 / GRAVITY), 0.08), 0.95)
+            sp_yaw[valid] = self.setpoint_yaw[sub]
+
+        # AttitudeControlGains defaults.
+        rate_sp0 = np.minimum(np.maximum(6.0 * angle_wrap_batched(sp_roll - roll), -3.5), 3.5)
+        rate_sp1 = np.minimum(np.maximum(6.0 * angle_wrap_batched(sp_pitch - pitch), -3.5), 3.5)
+        rate_sp2 = np.minimum(np.maximum(3.0 * angle_wrap_batched(sp_yaw - yaw), -1.5), 1.5)
+
+        thrust = np.minimum(np.maximum(sp_thrust, 0.0), 1.0)
+        out_roll = self.pid_roll.update(lanes, rate_sp0 - rates[:, 0], dt)
+        out_pitch = self.pid_pitch.update(lanes, rate_sp1 - rates[:, 1], dt)
+        out_yaw = self.pid_yaw.update(lanes, rate_sp2 - rates[:, 2], dt)
+        return allocate_batched(thrust, out_roll, out_pitch, out_yaw)
+
+
+class BatchSafetyStack:
+    """SoA safety controller (fixed conservative gains)."""
+
+    def __init__(self, lanes: int, setpoint_position: np.ndarray, setpoint_yaw: np.ndarray) -> None:
+        self.attitude = BatchComplementaryFilter(lanes)
+        self.estimator = BatchPositionEstimator(lanes)
+        self.setpoint_position = np.asarray(setpoint_position, dtype=float)
+        self.setpoint_yaw = np.asarray(setpoint_yaw, dtype=float)
+        self.last_imu = np.full(lanes, np.nan)
+        self.last_rates = np.zeros((lanes, 3))
+        self._max_tilt = float(np.deg2rad(15.0))
+
+    def on_imu(self, lanes: np.ndarray, gyro: np.ndarray, accel: np.ndarray, now: np.ndarray) -> None:
+        previous = self.last_imu[lanes]
+        dt = np.where(np.isnan(previous), _IMU_NOMINAL_DT, np.maximum(now - previous, 1e-4))
+        self.last_imu[lanes] = now
+        self.attitude.update(lanes, gyro, accel, dt)
+        self.estimator.predict(lanes, dt)
+
+    def compute(self, lanes: np.ndarray) -> np.ndarray:
+        """One safety-controller iteration; returns the motors per lane."""
+        roll, pitch, yaw = self.attitude.euler(lanes)
+        rates = self.attitude.rates[lanes]
+        position = self.estimator.pos[lanes]
+        velocity = self.estimator.vel[lanes]
+
+        position_error = self.setpoint_position[lanes, 0:2] - position[:, 0:2]
+        velocity_sp = np.minimum(np.maximum(0.5 * position_error, -1.0), 1.0)
+        velocity_error = velocity_sp - velocity[:, 0:2]
+        acceleration = 1.2 * velocity_error - 0.15 * velocity[:, 0:2]
+
+        cos_yaw, sin_yaw = np.cos(yaw), np.sin(yaw)
+        acc_body_x = cos_yaw * acceleration[:, 0] + sin_yaw * acceleration[:, 1]
+        acc_body_y = -sin_yaw * acceleration[:, 0] + cos_yaw * acceleration[:, 1]
+        pitch_sp = np.minimum(np.maximum(-acc_body_x / GRAVITY, -self._max_tilt), self._max_tilt)
+        roll_sp = np.minimum(np.maximum(acc_body_y / GRAVITY, -self._max_tilt), self._max_tilt)
+
+        altitude_error = self.setpoint_position[lanes, 2] - position[:, 2]
+        climb_sp = np.minimum(np.maximum(1.0 * altitude_error, -0.8), 0.8)
+        climb_error = climb_sp - velocity[:, 2]
+        thrust = np.minimum(np.maximum(0.58 * (1.0 - 2.5 * climb_error / GRAVITY), 0.1), 0.9)
+
+        rate_sp0 = 5.0 * angle_wrap_batched(roll_sp - roll)
+        rate_sp1 = 5.0 * angle_wrap_batched(pitch_sp - pitch)
+        rate_sp2 = (5.0 * 0.5) * angle_wrap_batched(self.setpoint_yaw[lanes] - yaw)
+        rate_error0 = rate_sp0 - rates[:, 0]
+        rate_error1 = rate_sp1 - rates[:, 1]
+        rate_error2 = rate_sp2 - rates[:, 2]
+        rate_derivative = rates - self.last_rates[lanes]
+        self.last_rates[lanes] = rates
+
+        return allocate_batched(
+            thrust,
+            0.12 * rate_error0 - 0.002 * rate_derivative[:, 0],
+            0.12 * rate_error1 - 0.002 * rate_derivative[:, 1],
+            0.15 * rate_error2,
+        )
+
+
+class BatchDecision:
+    """SoA Simplex decision module plus the monitor/receiver kill state."""
+
+    def __init__(self, lanes: int) -> None:
+        self.switched = np.zeros(lanes, dtype=bool)  # source == SAFETY
+        self.killed = np.zeros(lanes, dtype=bool)  # receiving thread killed
+        self.complex_command = np.zeros((lanes, 4))
+        self.complex_set = np.zeros(lanes, dtype=bool)
+        self.safety_command = np.zeros((lanes, 4))
+        self.safety_set = np.zeros(lanes, dtype=bool)
+        self.last_received = np.full(lanes, np.nan)  # NaN == scalar None
+        self.engaged_at = 0.0
+        self.switch_time = np.full(lanes, np.nan)
+        self.motor_command = np.full((lanes, 4), 0.57)
+
+    def submit_complex(self, lanes: np.ndarray, motors: np.ndarray, now: np.ndarray) -> None:
+        self.last_received[lanes] = now
+        active = ~self.switched[lanes]
+        if active.any():
+            accepted = lanes[active]
+            self.complex_command[accepted] = np.minimum(np.maximum(motors[active], 0.0), 1.0)
+            self.complex_set[accepted] = True
+
+    def submit_safety(self, lanes: np.ndarray, motors: np.ndarray) -> None:
+        self.safety_command[lanes] = np.minimum(np.maximum(motors, 0.0), 1.0)
+        self.safety_set[lanes] = True
+
+    def switch_to_safety(self, lanes: np.ndarray, now: np.ndarray) -> None:
+        self.switched[lanes] = True
+        self.killed[lanes] = True
+        self.switch_time[lanes] = now
+
+    def select(self, lanes: np.ndarray) -> None:
+        """Apply the PWM driver's selection into ``motor_command``."""
+        use_complex = ~self.switched[lanes] & self.complex_set[lanes]
+        use_safety = ~use_complex & self.safety_set[lanes]
+        if use_complex.any():
+            chosen = lanes[use_complex]
+            self.motor_command[chosen] = np.minimum(np.maximum(self.complex_command[chosen], 0.0), 1.0)
+        if use_safety.any():
+            chosen = lanes[use_safety]
+            self.motor_command[chosen] = np.minimum(np.maximum(self.safety_command[chosen], 0.0), 1.0)

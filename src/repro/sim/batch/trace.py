@@ -1,0 +1,252 @@
+"""Timing-trace extraction for the batch core.
+
+Task *timing* — which driver, controller, network or attack task ran when,
+and which messages the network delivered to whom — depends only on the
+scheduler, the container runtime, MemGuard/DRAM contention and the attack
+schedule.  None of those read the plant state or the sensor noise, so every
+scenario in a **timing class** (identical up to the state-only fields: seed,
+setpoint, initial altitude, recording rate, geofence) shares one event
+timeline.
+
+:class:`TraceHarness` subclasses the scalar co-simulation, keeps the entire
+substrate (scheduler, MAVLink connections, docker bridge, iptables, attacks)
+real, and replaces every *state-math* callback with a recorder stub.  Sensor
+hub timestamps are chosen as ``(index + 0.5) / 1000`` so the feeder's
+``int(time * 1000)`` packs the per-sensor sample index into each forwarded
+message's ``time_ms`` — the trace can then tell exactly which sample reached
+the container controller on which compute, without simulating any state.
+
+The resulting event list is cached per timing fingerprint: a 12-variant
+campaign grid over (budget x attack-start x seed) needs only one trace per
+(budget, attack-start) cell.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ...mavlink.messages import (
+    ActuatorOutputs,
+    GpsRawInt,
+    HighresImu,
+    LocalPositionNed,
+    RcChannelsOverride,
+    ScaledPressure,
+)
+from ...sensors.barometer import BarometerReading
+from ...sensors.imu import ImuReading
+from ...sensors.mocap import MocapReading
+from ...sensors.rc import RcChannels
+from ..flight import FlightSimulation
+from ..scenario import FlightScenario
+
+__all__ = ["TraceHarness", "timing_fingerprint", "trace_for", "clear_trace_cache"]
+
+#: Scenario fields that influence only the state mathematics, never the task
+#: timeline.  Scenarios differing only here share one timing trace.
+STATE_ONLY_FIELDS = (
+    "name",
+    "seed",
+    "setpoint",
+    "record_hz",
+    "geofence_radius",
+    "initial_altitude",
+)
+
+_DUMMY_IMU = ImuReading(gyro=np.zeros(3), accel=np.zeros(3))
+_DUMMY_BARO = BarometerReading(pressure_pa=0.0, altitude_m=0.0)
+_DUMMY_RC = RcChannels(roll=1500, pitch=1500, throttle=1500, yaw=1500, mode_switch=2000)
+_DUMMY_MOCAP = MocapReading(position_ned=np.zeros(3), yaw=0.0, valid=True)
+
+#: ``ActuatorOutputs.time_ms`` is packed as uint16, which bounds the number
+#: of complex-controller computes a trace can label (~262 s at 250 Hz).
+MAX_COMPUTES = 0xFFFF
+
+
+def timing_fingerprint(scenario: FlightScenario) -> str:
+    """Canonical JSON identity of a scenario's timing class."""
+    from ...store.keys import canonical
+
+    payload = canonical(scenario)
+    for field in STATE_ONLY_FIELDS:
+        payload.pop(field, None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def _smuggle_time(index: int) -> float:
+    # int(time * 1000) in the feeder recovers exactly `index`.
+    return (index + 0.5) / 1000.0
+
+
+class TraceHarness(FlightSimulation):
+    """Scalar co-simulation with state math stubbed out by event recording.
+
+    Events are flat tuples ``(kind, now, *payload)``; an ``("end", now)``
+    marker closes each scheduler quantum.  Kinds: ``imu``/``baro``/``gps``/
+    ``mocap`` (sensor sample ``index``), ``safety``, ``monitor``, ``act``,
+    ``recv`` (tuple of delivered compute indices), ``cce`` (tuple of
+    ``(sensor_kind, sample_index)`` frames plus the compute index),
+    ``hostctl``, ``kill`` and ``end``.
+    """
+
+    def __init__(self, scenario: FlightScenario) -> None:
+        super().__init__(scenario)
+        self.events: list[tuple] = []
+        self._imu_count = 0
+        self._baro_count = 0
+        self._gps_count = 0
+        self._rc_count = 0
+        self._mocap_count = 0
+        self._compute_count = 0
+
+    # -- sensor drivers: record the activation, smuggle the sample index --------
+
+    def _imu_driver(self, now: float) -> None:
+        index = self._imu_count
+        self._imu_count += 1
+        self._hub.imu = _DUMMY_IMU
+        self._hub.imu_time = _smuggle_time(index)
+        self._hub.imu_fresh = True
+        self.events.append(("imu", now, index))
+
+    def _baro_driver(self, now: float) -> None:
+        index = self._baro_count
+        self._baro_count += 1
+        self._hub.baro = _DUMMY_BARO
+        self._hub.baro_time = _smuggle_time(index)
+        self._hub.baro_fresh = True
+        self.events.append(("baro", now, index))
+
+    def _gps_driver(self, now: float) -> None:
+        index = self._gps_count
+        self._gps_count += 1
+        self._hub.gps_position = np.zeros(3)
+        self._hub.gps_geodetic = (0.0, 0.0, 0.0)
+        self._hub.gps_velocity = np.zeros(3)
+        self._hub.gps_time = _smuggle_time(index)
+        self._hub.gps_fresh = True
+        self.events.append(("gps", now, index))
+
+    def _rc_driver(self, now: float) -> None:
+        # RC is provably state-neutral here: the scripted pilot always selects
+        # POSITION mode, which is also the initial mode, and nothing else
+        # reads the channels.  The activation is still replayed through the
+        # scheduler (it was never removed), but needs no replay op.
+        index = self._rc_count
+        self._rc_count += 1
+        self._hub.rc = _DUMMY_RC
+        self._hub.rc_time = _smuggle_time(index)
+        self._hub.rc_fresh = True
+
+    def _mocap_driver(self, now: float) -> None:
+        index = self._mocap_count
+        self._mocap_count += 1
+        self._hub.mocap = _DUMMY_MOCAP
+        self._hub.mocap_time = _smuggle_time(index)
+        self._hub.mocap_fresh = True
+        self.events.append(("mocap", now, index))
+
+    # -- HCE control-plane tasks -------------------------------------------------
+
+    def _actuator_driver(self, now: float) -> None:
+        self.events.append(("act", now))
+
+    def _safety_controller_step(self, now: float) -> None:
+        self.events.append(("safety", now))
+
+    def _monitor_step(self, now: float) -> None:
+        if self.scenario.config.monitor.enabled:
+            self.events.append(("monitor", now))
+
+    def _receiver_step(self, now: float) -> None:
+        batch = self.scenario.config.communication.receiver_batch_size
+        frames = self.hce_motor_rx.receive(now, max_datagrams=batch)
+        computes = tuple(
+            frame.message.time_ms
+            for frame in frames
+            if isinstance(frame.message, ActuatorOutputs)
+        )
+        if computes:
+            self.events.append(("recv", now, computes))
+
+    def _host_controller_step(self, now: float) -> None:
+        if not self.complex_controller.alive:
+            return
+        self.events.append(("hostctl", now))
+
+    # -- CCE tasks ----------------------------------------------------------------
+
+    def _cce_controller_step(self, now: float) -> None:
+        if not self.complex_controller.alive:
+            return
+        frames = self.cce_sensor_rx.receive(now)
+        dispatched: list[tuple[str, int]] = []
+        for frame in frames:
+            message = frame.message
+            if isinstance(message, HighresImu):
+                dispatched.append(("imu", message.time_ms))
+            elif isinstance(message, ScaledPressure):
+                dispatched.append(("baro", message.time_ms))
+            elif isinstance(message, GpsRawInt):
+                dispatched.append(("gps", message.time_ms))
+            elif isinstance(message, LocalPositionNed):
+                dispatched.append(("mocap", message.time_ms))
+            elif isinstance(message, RcChannelsOverride):
+                # State-neutral, like the RC driver above.
+                continue
+        compute = self._compute_count
+        self._compute_count += 1
+        if compute > MAX_COMPUTES:
+            raise ValueError(
+                f"trace exceeds {MAX_COMPUTES} complex-controller computes; "
+                "the uint16 time_ms labelling cannot address longer flights"
+            )
+        self.events.append(("cce", now, tuple(dispatched), compute))
+        # The dummy outbox has the same wire size as a real command, so the
+        # publisher/bridge/iptables/receiver path behaves identically; the
+        # compute index rides in time_ms.
+        self._cce_outbox = ActuatorOutputs(
+            time_ms=compute, motors=(0.57, 0.57, 0.57, 0.57), sequence=compute & 0xFF
+        )
+
+    # -- events and stepping --------------------------------------------------------
+
+    def _apply_event_attacks(self, now: float) -> None:
+        was_killed = self._controller_killed
+        super()._apply_event_attacks(now)
+        if self._controller_killed and not was_killed:
+            self.events.append(("kill", now))
+
+    def step(self) -> None:
+        dt = self.scenario.physics_dt
+        self.scheduler.advance(dt)
+        now = self.scheduler.time
+        self._apply_event_attacks(now)
+        self.events.append(("end", now))
+
+    def run_trace(self) -> list[tuple]:
+        """Trace the full scenario duration (crashes are a replay concern)."""
+        steps = int(round(self.scenario.duration / self.scenario.physics_dt))
+        for _ in range(steps):
+            self.step()
+        return self.events
+
+
+_TRACE_CACHE: dict[str, list[tuple]] = {}
+
+
+def trace_for(scenario: FlightScenario) -> list[tuple]:
+    """Event trace of the scenario's timing class, computed once and cached."""
+    fingerprint = timing_fingerprint(scenario)
+    events = _TRACE_CACHE.get(fingerprint)
+    if events is None:
+        events = TraceHarness(scenario).run_trace()
+        _TRACE_CACHE[fingerprint] = events
+    return events
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached timing traces (tests and long-lived workers)."""
+    _TRACE_CACHE.clear()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import fields, is_dataclass
 from typing import Any
 
@@ -54,6 +55,14 @@ def canonical(value: Any) -> Any:
     if value is None or isinstance(value, (bool, int, str)):
         return value
     if isinstance(value, float):
+        # NaN breaks the equal-keys-fly-equal-flights guarantee (NaN != NaN)
+        # and, like the infinities, renders as a non-interoperable JSON token
+        # ("NaN"/"Infinity"), so a non-finite ingredient is a caller bug.
+        if not math.isfinite(value):
+            raise TypeError(
+                f"cannot canonicalise non-finite float {value!r} for a "
+                "cache key: scenario ingredients must be finite numbers"
+            )
         # repr() round-trips doubles exactly; json.dumps uses it internally.
         # IEEE negative zero compares equal to 0.0 and flies the same flight,
         # but renders as "-0.0" — normalise it or physically identical
@@ -66,7 +75,7 @@ def canonical(value: Any) -> Any:
     if isinstance(value, (set, frozenset)):
         members = [canonical(item) for item in value]
         return {"__set__": sorted(members, key=lambda item: json.dumps(
-            item, sort_keys=True, separators=(",", ":")))}
+            item, sort_keys=True, separators=(",", ":"), allow_nan=False))}
     if isinstance(value, dict):
         converted: dict[str, Any] = {}
         for key, item in value.items():
@@ -108,7 +117,11 @@ def scenario_fingerprint(scenario: FlightScenario) -> str:
         raise TypeError(f"expected FlightScenario, got {type(scenario).__name__}")
     payload = canonical(scenario)
     del payload["name"]
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    # allow_nan=False is a backstop: canonical() already rejects non-finite
+    # floats, but a regression there must fail here rather than emit a
+    # non-interoperable "NaN"/"Infinity" token into the key pre-image.
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
 
 
 def cache_key(scenario: FlightScenario, salt: str | None = None) -> str:
@@ -122,5 +135,6 @@ def cache_key(scenario: FlightScenario, salt: str | None = None) -> str:
          "scenario": scenario_fingerprint(scenario)},
         sort_keys=True,
         separators=(",", ":"),
+        allow_nan=False,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

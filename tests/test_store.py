@@ -93,6 +93,34 @@ class TestCacheKey:
         minus = tiny_scenario(attacks=(UdpFloodAttack(start_time=-0.0),))
         assert cache_key(plus) == cache_key(minus)
 
+    def test_non_finite_floats_are_rejected(self):
+        # NaN != NaN breaks the equal-keys-fly-equal-flights guarantee, and
+        # json.dumps would emit non-interoperable NaN/Infinity tokens; the
+        # canonical form must refuse instead of silently passing through.
+        from repro.store import canonical
+
+        for bad in (float("nan"), float("inf"), float("-inf"),
+                    np.float64("nan"), np.float64("inf")):
+            with pytest.raises(TypeError, match="non-finite"):
+                canonical(bad)
+        # The error names the offending value.
+        with pytest.raises(TypeError, match="inf"):
+            canonical(float("inf"))
+        with pytest.raises(TypeError, match="nan"):
+            canonical(float("nan"))
+
+    def test_non_finite_floats_rejected_when_nested(self):
+        from repro.store import canonical
+
+        with pytest.raises(TypeError, match="non-finite"):
+            canonical({"x": [1.0, float("nan")]})
+        with pytest.raises(TypeError, match="non-finite"):
+            canonical(np.array([1.0, np.inf]))  # __ndarray__ payload
+        with pytest.raises(TypeError, match="non-finite"):
+            cache_key(
+                tiny_scenario(attacks=(UdpFloodAttack(start_time=float("nan")),))
+            )
+
     def test_fingerprint_is_canonical_json(self):
         payload = json.loads(scenario_fingerprint(tiny_scenario()))
         assert payload["__dataclass__"].endswith("FlightScenario")

@@ -78,6 +78,28 @@ class TestParseHttpUrl:
         with pytest.raises(ValueError, match="http"):
             parse_http_url("example.org:9000")
 
+    def test_query_string_rejected(self):
+        # Per-op paths are appended to the base URL; a query would end up
+        # inside the endpoint ("...?team=a/claim") and every request 404s.
+        with pytest.raises(ValueError, match="query"):
+            parse_http_url("http://lb.example.com/campaign?team=a")
+
+    def test_fragment_rejected(self):
+        with pytest.raises(ValueError, match="fragment"):
+            parse_http_url("http://lb.example.com/campaign#section")
+
+    def test_worker_cli_rejects_query_url_with_exit_2(self, capsys):
+        # The malformed URL must be a clean configuration error (exit 2
+        # plus the ValueError message), not a retry loop against endpoints
+        # that can never resolve.
+        code = worker_main(
+            ["--connect-http", "http://lb.example.com/campaign?team=a"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("worker:")
+        assert "query" in err
+
 
 class TestHttpWorkQueuePrimitives:
     def test_satisfies_the_workqueue_protocol(self, queue):
