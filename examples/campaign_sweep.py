@@ -11,8 +11,9 @@ Usage::
     python examples/campaign_sweep.py [--duration SECONDS] [--seeds N]
         [--budgets B1,B2,...] [--attack-starts T1,T2,...] [--serial]
         [--backend serial|process-pool|distributed] [--workers N]
-        [--transport file|socket|http] [--auth-token TOKEN] [--max-workers N]
-        [--store DIR] [--record-arrays] [--csv PATH] [--json PATH]
+        [--transport file|socket|http] [--port PORT] [--auth-token TOKEN]
+        [--max-workers N] [--store DIR] [--record-arrays] [--csv PATH]
+        [--json PATH]
 """
 
 from __future__ import annotations
@@ -54,6 +55,10 @@ def main() -> None:
                         help="work-queue transport for --backend distributed: "
                              "a shared directory, the coordinator's TCP "
                              "server, or its HTTP server (default: file)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="fixed coordinator port for the socket/http "
+                             "transports (lets an external probe scrape "
+                             "GET /metrics and GET /status mid-campaign)")
     parser.add_argument("--auth-token", default=None,
                         help="shared-secret token for the socket/http "
                              "transports (default: "
@@ -77,6 +82,10 @@ def main() -> None:
         parser.error("--record-arrays requires --store")
     if args.auth_token and args.backend != "distributed":
         parser.error("--auth-token requires --backend distributed")
+    if args.port is not None and (args.backend != "distributed"
+                                  or args.transport == "file"):
+        parser.error("--port requires --backend distributed with a "
+                     "socket or http transport")
 
     base = FlightScenario.figure5(duration=args.duration)
     grid = ScenarioGrid(base, axes={
@@ -93,6 +102,8 @@ def main() -> None:
             options = {"workers": args.workers, "transport": args.transport,
                        "max_workers": args.max_workers,
                        "auth_token": args.auth_token}
+            if args.port is not None:
+                options["port"] = args.port
         backend = get_backend(args.backend, **options)
     mode = "serial" if args.serial else "auto"
     label = args.backend or f"{mode} mode"
@@ -119,6 +130,28 @@ def main() -> None:
     print()
     print(f"Campaign wall time: {result.wall_time:.1f} s "
           f"({result.wall_time / len(result):.1f} s per flight)")
+
+    telemetry = result.telemetry or {}
+    spans = telemetry.get("spans") or {}
+    if spans:
+        print("Phase timings:")
+        for phase, stats in spans.items():
+            print(f"  {phase}: {stats['count']}x, "
+                  f"total {stats['total_s']:.2f} s, "
+                  f"mean {stats['mean_s']:.3f} s")
+    store_stats = telemetry.get("store")
+    if store_stats is not None:
+        print(f"Store: {store_stats['hits']} hits, "
+              f"{store_stats['misses']} misses, "
+              f"{store_stats['writes']} writes, "
+              f"{store_stats['corrupt']} corrupt")
+    queue = telemetry.get("queue")
+    if queue:
+        print(f"Queue: {queue['enqueued']} enqueued, "
+              f"peak depth {queue.get('pending_peak', 0)}, "
+              f"{queue['lease_reissues']} lease re-issue(s), "
+              f"{queue.get('auth_denials', 0)} auth denial(s)")
+
     for outcome in result.failures():
         print(f"FAILED: {outcome.name}\n{outcome.error}")
 

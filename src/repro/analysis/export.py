@@ -202,6 +202,7 @@ def campaign_to_dict(campaign: "CampaignResult") -> dict[str, Any]:
         "cache_misses": campaign.cache_misses,
         "executor_fallback": campaign.fallback_reason,
         "scale_events": [dict(event) for event in campaign.scale_events],
+        "telemetry": dict(campaign.telemetry) if campaign.telemetry else None,
         "rows": campaign_to_rows(campaign),
         "cells": [
             {

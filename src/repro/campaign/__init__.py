@@ -7,7 +7,15 @@ runner.  Execution is delegated to pluggable
 in a :class:`~repro.store.CampaignStore`.  See ``docs/campaigns.md`` for the
 sweep-grid syntax, caching/resume semantics and examples; campaigns are also
 runnable from spec files via ``python -m repro.campaign``.
+
+The package logs under per-module child loggers (``repro.campaign.runner``,
+``repro.campaign.backends``, ``repro.campaign.workqueue``, ...) of the
+``repro.campaign`` hierarchy; the :class:`~logging.NullHandler` below keeps
+a handler-less embedding application from getting "No handlers could be
+found" noise while letting any configured handler see everything.
 """
+
+import logging as _logging
 
 from .backends import (
     BatchBackend,
@@ -23,6 +31,8 @@ from .runner import CampaignRunner, run_campaign, trajectory_arrays
 from .transport import SocketWorkQueue, SocketWorkQueueClient
 from .transport_http import HttpWorkQueue, HttpWorkQueueClient
 from .workqueue import FileWorkQueue, WorkQueue, WorkQueueAuthError
+
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
     "AxisApplier",

@@ -11,6 +11,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs import (
+    EventLog,
+    configure_json_logging,
+    default_registry,
+    emit,
+    set_event_log,
+)
 from .spec import build_grid, build_runner, build_search, load_spec
 
 __all__ = ["main"]
@@ -61,11 +68,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist each flight's trajectory arrays to the store "
         "(requires a store; overrides the spec's runner.record_arrays)",
     )
+    parser.add_argument(
+        "--metrics-jsonl", metavar="PATH", default=None,
+        help="append structured JSONL event records (campaign/variant "
+        "events, final metrics snapshot) to this file",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines on stderr",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.log_json:
+        configure_json_logging()
+    event_log = None
+    if args.metrics_jsonl is not None:
+        event_log = EventLog(args.metrics_jsonl)
+        set_event_log(event_log)
+    try:
+        return _run(args)
+    finally:
+        if event_log is not None:
+            # One closing record carries the process-wide metric state, so
+            # a JSONL file is a self-contained account of the run.
+            emit(
+                "metrics-snapshot", "campaign.cli",
+                metrics=default_registry().snapshot(),
+            )
+            set_event_log(None)
+            event_log.close()
+
+
+def _run(args: argparse.Namespace) -> int:
     try:
         spec = load_spec(args.spec)
         runner = build_runner(

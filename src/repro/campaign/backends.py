@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
 
+from ..obs import default_registry, emit
 from .workqueue import (
     AUTH_TOKEN_ENV,
     FileWorkQueue,
@@ -40,7 +41,7 @@ from .workqueue import (
     resolve_auth_token,
 )
 
-logger = logging.getLogger("repro.campaign")
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ExecutorBackend",
@@ -314,6 +315,10 @@ class DistributedBackend:
     #: ``event`` ("scale-up" / "scale-down"), ``workers`` (alive after),
     #: ``backlog`` and ``elapsed`` [s] since the campaign started.
     scale_events: list = field(default_factory=list, compare=False, repr=False)
+    #: Queue telemetry of the most recent ``map`` call: the transport's
+    #: counter snapshot (claims, completions, lease re-issues, ...) plus
+    #: ``pending_peak``.  Surfaced as ``CampaignResult.telemetry["queue"]``.
+    queue_stats: dict = field(default_factory=dict, compare=False, repr=False)
 
     name = "distributed"
 
@@ -404,6 +409,7 @@ class DistributedBackend:
         if not items:
             return
         del self.scale_events[:]  # events describe the current map call only
+        self.queue_stats.clear()
         # A per-run id namespaces this campaign's tasks and results: a
         # worker of a previous killed run finishing late (on a reused
         # directory or port) answers under the old id and is ignored by
@@ -459,6 +465,7 @@ class DistributedBackend:
         finally:
             queue.request_stop()
             self._reap(processes)
+            self.queue_stats.update(queue.stats_snapshot())
             if owns_dir:
                 shutil.rmtree(root, ignore_errors=True)
 
@@ -504,6 +511,7 @@ class DistributedBackend:
             # stop sentinel over the wire and exit cleanly while it still
             # answers.
             self._reap(processes)
+            self.queue_stats.update(queue.stats_snapshot())
             if self.port != 0:
                 # A fixed port means an external fleet may be attached, and
                 # the server is the only place it can observe the stop
@@ -530,6 +538,11 @@ class DistributedBackend:
             token = resolve_auth_token(self.auth_token)
             if token is not None:
                 env[AUTH_TOKEN_ENV] = token
+        default_registry().counter(
+            "repro_worker_spawns_total",
+            "Worker processes spawned by distributed coordinators.",
+        ).inc()
+        emit("worker-spawn", "campaign.backends", transport=self.transport)
         return subprocess.Popen(
             [
                 sys.executable,
@@ -554,6 +567,12 @@ class DistributedBackend:
             "elapsed": round(elapsed, 3),
         }
         self.scale_events.append(entry)
+        default_registry().gauge(
+            "repro_workers_alive",
+            "Live coordinator-spawned workers after the last scale event.",
+        ).set(workers)
+        emit(event, "campaign.backends",
+             workers=workers, backlog=backlog, elapsed=entry["elapsed"])
         logger.info(
             "distributed autoscaler %s: %d worker(s), backlog %d (t=%.1fs)",
             event, workers, backlog, elapsed,
@@ -604,6 +623,10 @@ class DistributedBackend:
         ready: dict[int, Any] = {}
         next_index = 0
         start = time.monotonic()
+        # Everything is enqueued before the first drain tick, so the depth
+        # here is the true high-water mark; housekeeping re-samples anyway
+        # in case an external fleet re-queues work.
+        self.queue_stats["pending_peak"] = queue.pending_count()
         # Housekeeping (coordinator heartbeat, lease-expiry scan) has
         # lease-timeout granularity; doing it every poll tick would hammer
         # a network filesystem with metadata traffic for nothing.  Only
@@ -629,6 +652,9 @@ class DistributedBackend:
                 # workers exit on their own instead of polling forever.
                 queue.touch_coordinator()
                 queue.reclaim_expired(self.lease_timeout)
+                self.queue_stats["pending_peak"] = max(
+                    self.queue_stats["pending_peak"], queue.pending_count()
+                )
             if self.max_workers is not None and now - last_autoscale >= autoscale_period:
                 last_autoscale = now
                 # Aliveness is sampled *before* the tick: a wave is "the
@@ -650,6 +676,12 @@ class DistributedBackend:
                         dead_waves = 1
                         seen_at_last_wave = len(seen)
                     if dead_waves > 3:
+                        emit(
+                            "crash-loop", "campaign.backends",
+                            waves=dead_waves,
+                            outstanding=total - len(seen),
+                            total=total,
+                        )
                         raise RuntimeError(
                             "distributed autoscaler respawned an all-dead "
                             f"fleet {dead_waves} times without progress "

@@ -137,6 +137,13 @@ class CampaignResult:
     #: backends.  Excluded from summaries — like wall times, fleet sizing is
     #: execution metadata, not a flight outcome.
     scale_events: tuple[dict[str, Any], ...] = ()
+    #: Observability block the runner assembled for this run (``None`` when
+    #: telemetry is disabled): ``schema``, ``backend`` (name or ``None``),
+    #: ``store`` (per-run hit/miss/corrupt/write deltas), ``spans``
+    #: (per-phase timing summaries) and ``queue`` (work-queue counters for
+    #: distributed runs).  Excluded from summaries like every other piece
+    #: of execution metadata — timings and cache state are not outcomes.
+    telemetry: dict[str, Any] | None = None
 
     def __len__(self) -> int:
         return len(self.outcomes)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import functools
 import inspect
+import logging
 import os
 import time
 import traceback
@@ -42,6 +43,7 @@ import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from ..obs import SpanCollector, default_registry, emit, span
 from ..sim.flight import FlightResult, run_scenario
 from ..sim.scenario import FlightScenario
 from .backends import ExecutorBackend, ProcessPoolBackend, SerialBackend
@@ -50,6 +52,8 @@ from .results import CampaignResult, VariantOutcome
 
 if TYPE_CHECKING:
     from ..store import CampaignStore
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["CampaignRunner", "run_campaign", "trajectory_arrays"]
 
@@ -110,7 +114,8 @@ def _execute_variant(
     start = time.perf_counter()
     arrays = None
     try:
-        result = run_scenario(variant.scenario)
+        with span("campaign.variant"):
+            result = run_scenario(variant.scenario)
         summary = _summarise(variant, result)
         if record_arrays:
             arrays = trajectory_arrays(result)
@@ -214,6 +219,11 @@ class CampaignRunner:
         the summary cell (requires ``store``).  A cached summary whose
         arrays are missing or corrupt is re-flown so the warm store always
         serves both.
+    telemetry:
+        Assemble the :attr:`CampaignResult.telemetry` block (store deltas,
+        span summaries, queue counters).  ``False`` leaves it ``None`` —
+        the instrumentation itself stays on; use
+        :func:`repro.obs.set_enabled` to silence that too.
     """
 
     max_workers: int | None = None
@@ -221,6 +231,7 @@ class CampaignRunner:
     backend: ExecutorBackend | None = None
     store: "CampaignStore | None" = None
     record_arrays: bool = False
+    telemetry: bool = True
 
     _MODES = ("auto", "parallel", "serial")
 
@@ -245,18 +256,35 @@ class CampaignRunner:
         """
         variants = _as_variants(campaign)
         start = time.perf_counter()
+        store_before = (
+            self.store.stats.as_dict() if self.store is not None else None
+        )
+        emit("campaign-start", "campaign.runner", variants=len(variants))
+        logger.info("campaign starting: %d variant(s)", len(variants))
 
-        cached: dict[int, VariantOutcome] = {}
-        if self.store is not None:
-            for index, variant in enumerate(variants):
-                hit = self._cached_outcome(variant)
-                if hit is not None:
-                    cached[index] = hit
-        to_run = [
-            variant for index, variant in enumerate(variants) if index not in cached
-        ]
+        # A per-run collector isolates this run's span summaries from other
+        # campaigns in the same process (the default registry's histogram
+        # keeps accumulating across runs, as a process-wide metric should).
+        collector = SpanCollector()
+        with collector:
+            cached: dict[int, VariantOutcome] = {}
+            if self.store is not None:
+                with span("campaign.lookup"):
+                    for index, variant in enumerate(variants):
+                        hit = self._cached_outcome(variant)
+                        if hit is not None:
+                            cached[index] = hit
+            to_run = [
+                variant
+                for index, variant in enumerate(variants)
+                if index not in cached
+            ]
 
-        flown, fallback_reason, scale_events = self._execute(to_run)
+            with span("campaign.execute"):
+                (
+                    flown, fallback_reason, scale_events,
+                    backend_name, queue_stats,
+                ) = self._execute(to_run)
 
         # Merge cache hits and fresh flights back into expansion order.
         merged: list[VariantOutcome] = []
@@ -267,13 +295,59 @@ class CampaignRunner:
         # Count hits from the outcomes, not the pre-dispatch lookup: the
         # serial fallback may serve store cells the failed backend persisted.
         hits = sum(1 for outcome in merged if outcome.cached)
+        variant_counter = default_registry().counter(
+            "repro_campaign_variants_total",
+            "Campaign variants by disposition (cached/flown/failed).",
+        )
+        wall_histogram = default_registry().histogram(
+            "repro_variant_wall_seconds",
+            "Wall time of individual flown variants.",
+        )
+        for outcome in merged:
+            if outcome.cached:
+                variant_counter.inc(status="cached")
+            elif outcome.ok:
+                variant_counter.inc(status="flown")
+                wall_histogram.observe(outcome.wall_time)
+            else:
+                variant_counter.inc(status="failed")
+                wall_histogram.observe(outcome.wall_time)
+
+        wall_time = time.perf_counter() - start
+        telemetry = None
+        if self.telemetry:
+            store_delta = None
+            if store_before is not None:
+                after = self.store.stats.as_dict()
+                store_delta = {
+                    key: after[key] - store_before[key] for key in after
+                }
+            telemetry = {
+                "schema": 1,
+                "backend": backend_name,
+                "store": store_delta,
+                "spans": collector.summaries(),
+                "queue": queue_stats or None,
+            }
+        emit(
+            "campaign-end", "campaign.runner",
+            variants=len(variants),
+            cache_hits=hits,
+            wall_time_s=round(wall_time, 6),
+            fallback=fallback_reason,
+        )
+        logger.info(
+            "campaign finished: %d variant(s), %d cached, %.2fs",
+            len(variants), hits, wall_time,
+        )
         return CampaignResult(
             outcomes=tuple(merged),
-            wall_time=time.perf_counter() - start,
+            wall_time=wall_time,
             cache_hits=hits,
             cache_misses=len(variants) - hits if self.store is not None else 0,
             fallback_reason=fallback_reason,
             scale_events=scale_events,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------ internal --
@@ -327,12 +401,20 @@ class CampaignRunner:
 
     def _execute(
         self, variants: Sequence[GridVariant]
-    ) -> tuple[list[VariantOutcome], str | None, tuple[dict[str, Any], ...]]:
+    ) -> tuple[
+        list[VariantOutcome],
+        str | None,
+        tuple[dict[str, Any], ...],
+        str | None,
+        dict[str, Any],
+    ]:
         """Map the worker over ``variants``; on backend failure keep what
-        completed, finish serially and report why.  The third element is the
-        backend's autoscaling record (empty for fixed-size backends)."""
+        completed, finish serially and report why.  Beyond the outcomes and
+        fallback reason it returns the backend's autoscaling record, its
+        name, and its work-queue counter snapshot (both empty/None when no
+        variant had to fly or the backend records none)."""
         if not variants:
-            return [], None, ()
+            return [], None, (), None, {}
         backend = self.select_backend(variants)
         fn = self._worker_fn()
         outcomes: list[VariantOutcome] = []
@@ -357,6 +439,12 @@ class CampaignRunner:
                 index = len(outcomes) - 1
                 if index not in persisted:
                     self._persist(variants[index], outcome, arrays)
+                emit(
+                    "variant-complete", "campaign.runner",
+                    variant=outcome.name,
+                    ok=outcome.ok,
+                    wall_time_s=round(outcome.wall_time, 6),
+                )
         except Exception as exc:
             # Backend-level failure (fork unavailable, pickling, broken pool,
             # dead distributed workers): keep what already completed, finish
@@ -364,6 +452,17 @@ class CampaignRunner:
             # store is consulted first — completions the backend persisted
             # out of order (or a previous coordinator wrote) are not re-flown.
             reason = repr(exc)
+            emit(
+                "campaign-fallback", "campaign.runner",
+                backend=backend.name,
+                completed=len(outcomes),
+                total=len(variants),
+                reason=reason,
+            )
+            logger.warning(
+                "backend %s failed after %d/%d variants; finishing serially",
+                backend.name, len(outcomes), len(variants),
+            )
             warnings.warn(
                 f"campaign executor backend {backend.name!r} failed after "
                 f"{len(outcomes)}/{len(variants)} variants ({reason}); "
@@ -371,17 +470,24 @@ class CampaignRunner:
                 RuntimeWarning,
                 stacklevel=3,
             )
-            for index in range(len(outcomes), len(variants)):
-                variant = variants[index]
-                outcome = self._cached_outcome(variant)
-                arrays = None
-                if outcome is None:
-                    outcome, arrays = _split_result(fn(variant))
-                outcomes.append(outcome)
-                if index not in persisted:
-                    self._persist(variant, outcome, arrays)
-            return outcomes, reason, self._scale_events(backend)
-        return outcomes, None, self._scale_events(backend)
+            with span("campaign.fallback"):
+                for index in range(len(outcomes), len(variants)):
+                    variant = variants[index]
+                    outcome = self._cached_outcome(variant)
+                    arrays = None
+                    if outcome is None:
+                        outcome, arrays = _split_result(fn(variant))
+                    outcomes.append(outcome)
+                    if index not in persisted:
+                        self._persist(variant, outcome, arrays)
+            return (
+                outcomes, reason, self._scale_events(backend),
+                backend.name, self._queue_stats(backend),
+            )
+        return (
+            outcomes, None, self._scale_events(backend),
+            backend.name, self._queue_stats(backend),
+        )
 
     @staticmethod
     def _scale_events(backend: ExecutorBackend) -> tuple[dict[str, Any], ...]:
@@ -390,6 +496,12 @@ class CampaignRunner:
         return tuple(
             dict(event) for event in getattr(backend, "scale_events", ()) or ()
         )
+
+    @staticmethod
+    def _queue_stats(backend: ExecutorBackend) -> dict[str, Any]:
+        """Work-queue counter snapshot the backend recorded during this run,
+        if it records one (see ``DistributedBackend.queue_stats``)."""
+        return dict(getattr(backend, "queue_stats", {}) or {})
 
     def _persist(
         self,
@@ -424,6 +536,7 @@ def run_campaign(
     backend: ExecutorBackend | None = None,
     store: "CampaignStore | None" = None,
     record_arrays: bool = False,
+    telemetry: bool = True,
 ) -> CampaignResult:
     """Convenience helper: run ``campaign`` with a fresh :class:`CampaignRunner`."""
     return CampaignRunner(
@@ -432,4 +545,5 @@ def run_campaign(
         backend=backend,
         store=store,
         record_arrays=record_arrays,
+        telemetry=telemetry,
     ).run(campaign)

@@ -26,8 +26,9 @@ A spec file makes a campaign runnable without writing a script (see
     or ``{workers = 0, max_workers = 4}``
     (autoscaling) for the distributed backend, see
     ``docs/distributed.md`` — an optional ``store`` directory for cached
-    results (with an optional generation ``salt``), and ``record_arrays``
-    to persist trajectory arrays alongside the summary cells.
+    results (with an optional generation ``salt``), ``record_arrays``
+    to persist trajectory arrays alongside the summary cells, and
+    ``telemetry = false`` to drop the result's telemetry block.
 
 Example (TOML)::
 
@@ -270,6 +271,7 @@ def build_runner(
     arrays = section.pop("record_arrays", False)
     if record_arrays is not None:
         arrays = record_arrays
+    telemetry = bool(section.pop("telemetry", True))
     if arrays and store is None:
         raise ValueError(
             "runner option 'record_arrays' requires a 'store' directory "
@@ -287,4 +289,5 @@ def build_runner(
         backend=chosen_backend,
         store=store,
         record_arrays=bool(arrays),
+        telemetry=telemetry,
     )

@@ -63,6 +63,7 @@ from __future__ import annotations
 import base64
 import hmac
 import json
+import logging
 import pickle
 import socket
 import socketserver
@@ -71,7 +72,10 @@ import time
 import uuid
 from typing import Any, Iterable, NamedTuple
 
+from ..obs import MetricsRegistry
 from .workqueue import _DEFAULT_RUN, WorkQueueAuthError, validate_run_id
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "NetworkWorkQueue",
@@ -185,6 +189,28 @@ class NetworkWorkQueue:
         self._results: dict[int, Any] = {}
         self._stop = False
         self._retire_credits = 0
+        self._started = time.time()
+        # Unlike the directory queue, every operation of every worker flows
+        # through this server, so these counters are authoritative for the
+        # whole run — the HTTP transport serves them at ``GET /metrics``.
+        self.metrics = MetricsRegistry()
+        self._m_enqueued = self.metrics.counter(
+            "repro_queue_enqueued_total", "Tasks enqueued on this coordinator.")
+        self._m_claims = self.metrics.counter(
+            "repro_queue_claims_total", "Task leases issued.")
+        self._m_completions = self.metrics.counter(
+            "repro_queue_completions_total", "Results accepted (any run id).")
+        self._m_heartbeats = self.metrics.counter(
+            "repro_queue_heartbeats_total", "Lease heartbeats received.")
+        self._m_reissues = self.metrics.counter(
+            "repro_queue_lease_reissues_total", "Expired leases re-queued.")
+        self._m_denied = self.metrics.counter(
+            "repro_queue_auth_denials_total",
+            "Wire requests rejected by the shared-secret check.")
+        self._g_pending = self.metrics.gauge(
+            "repro_queue_pending", "Tasks awaiting a claim right now.")
+        self._g_claimed = self.metrics.gauge(
+            "repro_queue_claimed", "Tasks currently under lease.")
         self._server = self._make_server(host, port)
         self._server.work_queue = self
         self._thread = threading.Thread(
@@ -225,6 +251,7 @@ class NetworkWorkQueue:
         blob = pickle.dumps(payload)
         with self._lock:
             self._pending[index] = blob
+        self._m_enqueued.inc()
 
     def reset(self) -> None:
         with self._lock:
@@ -244,6 +271,9 @@ class NetworkWorkQueue:
                 del self._claims[token]
                 self._pending[claim.index] = claim.payload
                 reclaimed.append(claim.index)
+        for index in reclaimed:
+            self._m_reissues.inc()
+            logger.warning("lease on task %d expired; re-queued", index)
         return reclaimed
 
     def collect(self, seen: Iterable[int] = ()) -> dict[int, Any]:
@@ -286,6 +316,7 @@ class NetworkWorkQueue:
             claim = self._claims.get(token)
             if claim is not None:
                 claim.last_beat = time.time()
+        self._m_heartbeats.inc()
 
     def complete(self, index: int, result: Any, lease: Any | None = None) -> None:
         run = lease.run if isinstance(lease, _Lease) else self.run_id
@@ -306,6 +337,65 @@ class NetworkWorkQueue:
                 return True
         return False
 
+    # -- observability -----------------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        """Live queue state, JSON-ready (``GET /status`` on the HTTP
+        transport).  Leases are described — index, worker, heartbeat age —
+        but their tokens are capability handles and never leave the server.
+        """
+        now = time.time()
+        with self._lock:
+            pending = len(self._pending)
+            done = len(self._results)
+            stop = self._stop
+            retire = self._retire_credits
+            claimed = [
+                {
+                    "index": claim.index,
+                    "worker": claim.worker_id,
+                    "lease_age_s": round(max(0.0, now - claim.last_beat), 3),
+                }
+                for claim in self._claims.values()
+            ]
+        claimed.sort(key=lambda entry: entry["index"])
+        return {
+            "run": self.run_id,
+            "uptime_s": round(now - self._started, 3),
+            "auth": self._auth_token is not None,
+            "pending": pending,
+            "claimed": claimed,
+            "done": done,
+            "stop": stop,
+            "retire_credits": retire,
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of this queue's registry (depth
+        gauges are refreshed at render time)."""
+        with self._lock:
+            pending, claimed = len(self._pending), len(self._claims)
+        self._g_pending.set(pending)
+        self._g_claimed.set(claimed)
+        return self.metrics.render_prometheus()
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Flat counter snapshot plus current depths (JSON-ready); same
+        shape as :meth:`FileWorkQueue.stats_snapshot`, with the wire-only
+        ``auth_denials`` extra."""
+        with self._lock:
+            pending, claimed = len(self._pending), len(self._claims)
+        return {
+            "enqueued": int(self._m_enqueued.value()),
+            "claims": int(self._m_claims.value()),
+            "completions": int(self._m_completions.value()),
+            "heartbeats": int(self._m_heartbeats.value()),
+            "lease_reissues": int(self._m_reissues.value()),
+            "auth_denials": int(self._m_denied.value()),
+            "pending": pending,
+            "claimed": claimed,
+        }
+
     # -- internal ----------------------------------------------------------------
 
     def _claim_blob(self, worker_id: str) -> tuple[int, bytes, str] | None:
@@ -316,6 +406,8 @@ class NetworkWorkQueue:
             blob = self._pending.pop(index)
             token = uuid.uuid4().hex
             self._claims[token] = _Claim(index, blob, worker_id)
+        self._m_claims.inc()
+        logger.debug("leased task %d to worker %s", index, worker_id)
         return index, blob, token
 
     def _requeue(self, token: Any) -> None:
@@ -338,6 +430,7 @@ class NetworkWorkQueue:
                 self._claims.pop(token, None)
             if run == self.run_id:
                 self._results[index] = result
+        self._m_completions.inc()
             # else: a late answer from another (killed) run — lease released,
             # result ignored, matching FileWorkQueue.collect's run filter.
 
@@ -354,6 +447,11 @@ class NetworkWorkQueue:
             return None
         supplied = request.get("token")
         if not isinstance(supplied, str):
+            self._m_denied.inc()
+            logger.warning(
+                "denied wire request op=%r: no auth token supplied",
+                request.get("op"),
+            )
             return {
                 "ok": False,
                 "denied": "auth",
@@ -364,6 +462,11 @@ class NetworkWorkQueue:
         if not hmac.compare_digest(
             supplied.encode("utf-8"), self._auth_token.encode("utf-8")
         ):
+            self._m_denied.inc()
+            logger.warning(
+                "denied wire request op=%r: auth token rejected",
+                request.get("op"),
+            )
             return {
                 "ok": False,
                 "denied": "auth",

@@ -24,6 +24,8 @@ instead of an ``"op"`` field::
     POST <base>/retire     {}                          -> 200 {"ok": true, "retire": false}
     POST <base>/ping       {}                          -> 200 {"ok": true}
     GET  <base>/ping                                   -> 200 {"ok": true}
+    GET  <base>/metrics                                -> 200 Prometheus text
+    GET  <base>/status                                 -> 200 {"run": ..., "pending": ...}
 
 Every exchange is a single self-contained request/response — no streaming,
 no connection reuse required, no server push — so any reverse proxy, load
@@ -96,9 +98,18 @@ class _HttpHandler(BaseHTTPRequestHandler):
         a second, and request logs are where secrets go to leak."""
 
     def do_GET(self) -> None:  # pragma: no cover - exercised via the client
-        # Health probe for load balancers; every queue operation is a POST.
-        if self.path.rstrip("/").endswith("/ping") or self.path in ("/", ""):
+        # Read-only observability surfaces.  Like /ping they are served
+        # without authentication: they expose queue *state* (depths, worker
+        # ids, lease ages — never lease tokens or payloads) so dashboards
+        # and CI probes can scrape an authenticated coordinator without a
+        # shared secret, and without bumping the auth-denial counter.
+        path = self.path.rstrip("/")
+        if path.endswith("/ping") or self.path in ("/", ""):
             self._reply(200, {"ok": True})
+        elif path.endswith("/metrics"):
+            self._reply_text(200, self.server.work_queue.metrics_text())
+        elif path.endswith("/status"):
+            self._reply(200, self.server.work_queue.status())
         else:
             self._reply(404, {"ok": False, "error": "POST to /<op>"})
 
@@ -128,10 +139,20 @@ class _HttpHandler(BaseHTTPRequestHandler):
         self._reply(status, response)
 
     def _reply(self, status: int, response: dict[str, Any]) -> None:
-        blob = json.dumps(response).encode("ascii")
+        self._send_blob(
+            status, "application/json", json.dumps(response).encode("ascii")
+        )
+
+    def _reply_text(self, status: int, text: str) -> None:
+        # The content type Prometheus scrapers expect for text exposition.
+        self._send_blob(
+            status, "text/plain; version=0.0.4", text.encode("utf-8")
+        )
+
+    def _send_blob(self, status: int, content_type: str, blob: bytes) -> None:
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(blob)))
             self.send_header("Connection", "close")
             self.end_headers()

@@ -40,6 +40,7 @@ import traceback
 from pathlib import Path
 from typing import Any
 
+from ..obs import EventLog, configure_json_logging, emit, set_event_log
 from .workqueue import (
     FileWorkQueue,
     WorkQueue,
@@ -174,6 +175,7 @@ def run_worker(
             time.sleep(poll_interval)
             continue
         index, payload, lease = claimed
+        emit("task-claim", "campaign.worker", worker=worker_id, index=index)
         with _Heartbeat(queue, lease, lease_timeout / 4.0):
             try:
                 fn, item = payload
@@ -185,6 +187,11 @@ def run_worker(
                 result = ("error", traceback.format_exc())
         queue.complete(index, result, lease)
         completed += 1
+        emit(
+            "task-complete", "campaign.worker",
+            worker=worker_id, index=index, ok=result[0] == "ok",
+        )
+    emit("worker-exit", "campaign.worker", worker=worker_id, completed=completed)
     return completed
 
 
@@ -220,6 +227,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--orphan-timeout", type=float, default=None,
                         help="exit when idle and the coordinator heartbeat "
                         "is older than this [s] (default: 4x lease timeout)")
+    parser.add_argument("--metrics-jsonl", default=None, metavar="PATH",
+                        help="append structured JSONL event records "
+                        "(task claims/completions, worker exit) to PATH")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines on stderr")
     return parser
 
 
@@ -237,6 +249,15 @@ def main(argv: list[str] | None = None) -> int:
             "--auth-token applies to --connect/--connect-http; the file "
             "queue has no authentication"
         )
+    if args.log_json:
+        configure_json_logging()
+    event_log = None
+    if args.metrics_jsonl is not None:
+        event_log = EventLog(
+            args.metrics_jsonl,
+            run_id=args.worker_id or f"w{os.getpid()}",
+        )
+        set_event_log(event_log)
     try:
         run_worker(
             args.queue,
@@ -260,6 +281,10 @@ def main(argv: list[str] | None = None) -> int:
         # any request is made, never retry-loop on a malformed endpoint.
         print(f"worker: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if event_log is not None:
+            set_event_log(None)
+            event_log.close()
     return 0
 
 

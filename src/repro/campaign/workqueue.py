@@ -38,6 +38,7 @@ a token over TCP.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
@@ -45,6 +46,10 @@ import time
 import uuid
 from pathlib import Path
 from typing import Any, Iterable, Protocol, runtime_checkable
+
+from ..obs import MetricsRegistry
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "AUTH_TOKEN_ENV",
@@ -186,6 +191,23 @@ class FileWorkQueue:
             self.tasks_dir, self.claimed_dir, self.results_dir, self.retire_dir
         ):
             directory.mkdir(parents=True, exist_ok=True)
+        # Per-instance counters of what *this process* did to the queue —
+        # unlike the network transports (where every operation flows through
+        # the coordinator's server), a directory queue is driven from many
+        # processes, so a coordinator's instance counts enqueues/re-issues
+        # and a worker's instance counts claims/completions.
+        self.metrics = MetricsRegistry()
+        self._enqueued = self.metrics.counter(
+            "repro_queue_enqueued_total", "Tasks enqueued by this process.")
+        self._claims = self.metrics.counter(
+            "repro_queue_claims_total", "Tasks claimed by this process.")
+        self._completions = self.metrics.counter(
+            "repro_queue_completions_total", "Results published by this process.")
+        self._heartbeats = self.metrics.counter(
+            "repro_queue_heartbeats_total", "Lease heartbeats by this process.")
+        self._reissues = self.metrics.counter(
+            "repro_queue_lease_reissues_total",
+            "Stale leases re-queued by this process.")
 
     # -- coordinator side --------------------------------------------------------
 
@@ -193,6 +215,7 @@ class FileWorkQueue:
         """Publish one pickled work item as ``tasks/<index>.<run>.task``."""
         path = self.tasks_dir / f"{index:08d}.{self.run_id}.task"
         self._write_atomic(path, pickle.dumps(payload))
+        self._enqueued.inc()
         return path
 
     def reset(self) -> None:
@@ -256,6 +279,10 @@ class FileWorkQueue:
             except OSError:
                 continue
             reclaimed.append(index)
+            self._reissues.inc()
+            logger.warning(
+                "lease on task %d expired after %.1fs; re-queued", index, age
+            )
         return reclaimed
 
     def collect(self, seen: Iterable[int] = ()) -> dict[int, Any]:
@@ -323,6 +350,8 @@ class FileWorkQueue:
                 # result rather than crash-looping every worker over it.
                 self.complete(index, ("error", f"unreadable task payload: {exc!r}"), lease)
                 continue
+            self._claims.inc()
+            logger.debug("claimed task %d for worker %s", index, worker_id)
             return index, payload, lease
 
     def heartbeat(self, lease_path: Path) -> None:
@@ -331,6 +360,7 @@ class FileWorkQueue:
             os.utime(lease_path)
         except OSError:
             pass  # lease was reclaimed; the result will still be accepted
+        self._heartbeats.inc()
 
     def complete(self, index: int, result: Any, lease_path: Path | None = None) -> None:
         """Publish the pickled result and release the lease.
@@ -348,9 +378,26 @@ class FileWorkQueue:
                 lease_path.unlink()
             except OSError:
                 pass  # reclaimed while we ran; nothing left to release
+        self._completions.inc()
 
     def stop_requested(self) -> bool:
         return self._stop_path.exists()
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Flat counter snapshot plus current queue depth (JSON-ready).
+
+        Counts reflect this *instance's* operations (see ``__init__``); the
+        depth fields are live directory observations and therefore global.
+        """
+        return {
+            "enqueued": int(self._enqueued.value()),
+            "claims": int(self._claims.value()),
+            "completions": int(self._completions.value()),
+            "heartbeats": int(self._heartbeats.value()),
+            "lease_reissues": int(self._reissues.value()),
+            "pending": self.pending_count(),
+            "claimed": sum(1 for _ in self._entries(self.claimed_dir)),
+        }
 
     def try_retire(self) -> bool:
         """Consume one retire credit, if any: unlink is atomic, so each

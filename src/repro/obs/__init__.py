@@ -1,0 +1,64 @@
+"""Unified observability plane: metrics, timing spans and structured events.
+
+The paper's claims are about *timing*, and the scaling layers (campaign
+runner, result store, work-queue transports, batch compute plane) need to
+answer "where is the fleet, what is slow, what is failing" while a campaign
+is running.  This package is the shared, dependency-free substrate they are
+instrumented with:
+
+* :mod:`.metrics` — a :class:`MetricsRegistry` of labelled counters, gauges
+  and histograms, renderable as Prometheus text exposition (the HTTP
+  coordinator serves it at ``GET /metrics``) or as a plain snapshot dict.
+* :mod:`.spans` — ``with span("phase"):`` monotonic timings feeding the
+  ``repro_span_seconds`` histogram and per-run :class:`SpanCollector`
+  aggregation (surfaced as ``CampaignResult.telemetry["spans"]``).
+* :mod:`.events` — a thread-safe, schema-versioned JSONL event log
+  (``--metrics-jsonl``) plus JSON-lines logging for the ``repro`` logger
+  hierarchy (``--log-json``).
+
+Everything is safe to call from uninstrumented contexts: :func:`emit` is a
+no-op until a sink is installed, and :func:`set_enabled` (False) reduces
+every metric mutation and span to a boolean check — which is how the
+overhead gate in ``benchmarks/test_campaign_throughput.py`` demonstrates
+the cost of the instrumentation itself.
+
+See ``docs/observability.md`` for the metrics catalogue, endpoint examples
+and the JSONL record schema.
+"""
+
+from .events import (
+    EVENT_SCHEMA,
+    EventLog,
+    configure_json_logging,
+    emit,
+    get_event_log,
+    set_event_log,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    enabled,
+    set_enabled,
+)
+from .spans import SpanCollector, span
+
+__all__ = [
+    "Counter",
+    "EVENT_SCHEMA",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanCollector",
+    "configure_json_logging",
+    "default_registry",
+    "emit",
+    "enabled",
+    "get_event_log",
+    "set_enabled",
+    "set_event_log",
+    "span",
+]

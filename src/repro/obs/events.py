@@ -1,0 +1,166 @@
+"""Structured JSONL event log: one writer, thread-safe, schema-versioned.
+
+An :class:`EventLog` appends one JSON object per line to a file (or any
+text stream).  Every record carries the same envelope::
+
+    {"schema": 1, "ts": 1723021847.113, "run": "c3f9a1b2",
+     "component": "campaign.runner", "event": "variant-complete", ...}
+
+``ts`` is wall-clock epoch seconds (events are for correlating across
+processes; durations belong to spans), ``run`` identifies the emitting
+campaign/worker run, ``component`` is the dotted subsystem name, and the
+remaining fields are event-specific.  Values that are not JSON-serialisable
+are stringified rather than raising — an observability write must never
+kill the observed campaign.
+
+Emission is routed through a process-wide sink (:func:`set_event_log` /
+:func:`emit`): instrumented modules call :func:`emit` unconditionally, and
+the call is a cheap no-op until a CLI flag (``--metrics-jsonl``) or a test
+installs a sink.  There is deliberately exactly one writer object per sink
+file — records from coordinator threads, heartbeat threads and the runner
+interleave line-atomically under its lock.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, TextIO
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EventLog",
+    "configure_json_logging",
+    "emit",
+    "get_event_log",
+    "set_event_log",
+]
+
+#: Bump when the record envelope below changes shape.
+EVENT_SCHEMA = 1
+
+
+def _default(value: Any) -> str:
+    return str(value)
+
+
+class EventLog:
+    """Thread-safe JSONL writer with a fixed record envelope."""
+
+    def __init__(
+        self,
+        destination: str | Path | TextIO,
+        run_id: str | None = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self._lock = threading.Lock()
+        if isinstance(destination, (str, Path)):
+            path = Path(destination)
+            if path.parent != Path("."):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: TextIO = open(path, "a")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+
+    def emit(self, event: str, component: str, **fields: Any) -> None:
+        """Append one record; never raises into the caller."""
+        record: dict[str, Any] = {
+            "schema": EVENT_SCHEMA,
+            "ts": round(time.time(), 6),
+            "run": self.run_id,
+            "component": component,
+            "event": event,
+        }
+        for key, value in fields.items():
+            if key not in record:
+                record[key] = value
+        try:
+            line = json.dumps(record, default=_default)
+        except (TypeError, ValueError):
+            return
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass  # a full disk or closed stream must not kill the run
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream:
+                try:
+                    self._stream.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+_sink_lock = threading.Lock()
+_sink: EventLog | None = None
+
+
+def set_event_log(log: EventLog | None) -> EventLog | None:
+    """Install (or clear, with ``None``) the process-wide sink; returns the
+    previous one so callers can restore it."""
+    global _sink
+    with _sink_lock:
+        previous, _sink = _sink, log
+    return previous
+
+
+def get_event_log() -> EventLog | None:
+    """The currently installed sink, if any."""
+    return _sink
+
+
+def emit(event: str, component: str, **fields: Any) -> None:
+    """Emit to the process-wide sink; a no-op when none is installed."""
+    sink = _sink
+    if sink is not None:
+        sink.emit(event, component, **fields)
+
+
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per log record (for ``--log-json``)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=_default)
+
+
+def configure_json_logging(
+    stream: TextIO | None = None,
+    level: int = logging.INFO,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger hierarchy.
+
+    Returns the handler so callers (tests, CLI teardown) can remove it with
+    ``logging.getLogger(logger_name).removeHandler(handler)``.
+    """
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_JsonLogFormatter())
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler

@@ -1,0 +1,329 @@
+"""Dependency-free metrics: counters, gauges and histograms with labels.
+
+A :class:`MetricsRegistry` is a named collection of metrics, each holding
+one or more *series* (one per distinct label set).  The shapes mirror the
+Prometheus data model deliberately — :meth:`MetricsRegistry.render_prometheus`
+emits the text exposition format, so a registry can be scraped straight off
+the HTTP coordinator's ``GET /metrics`` endpoint — but nothing here imports
+anything beyond the standard library, and a registry is equally usable as a
+plain in-process accounting object (:meth:`MetricsRegistry.snapshot`).
+
+Thread safety: every mutation takes the owning metric's registry lock, so
+coordinator handler threads, heartbeat threads and the main campaign loop
+may all write concurrently.
+
+A process-wide kill switch (:func:`set_enabled`) turns every metric
+mutation and :func:`~repro.obs.spans.span` into a no-op — the overhead
+benchmark uses it to demonstrate the instrumentation's cost, and callers in
+hot paths never need their own guard.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "enabled",
+    "set_enabled",
+]
+
+#: Prometheus metric-name rule; label names share it minus the colon.
+_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets [s]: spans range from sub-millisecond store
+#: lookups to multi-minute campaign executions.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+_enabled = True
+
+
+def set_enabled(value: bool) -> None:
+    """Process-wide observability switch (metrics *and* spans)."""
+    global _enabled
+    _enabled = bool(value)
+
+
+def enabled() -> bool:
+    """Whether metric mutations currently record anything."""
+    return _enabled
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    for name in labels:
+        if not _LABEL.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(key: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{name}="{_escape(value)}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Base: one named metric holding per-label-set series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.RLock) -> None:
+        if not _NAME.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._series: dict[tuple[tuple[str, str], ...], Any] = {}
+
+    def _render_header(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {_escape(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not _enabled:
+            return
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+    def _render(self) -> list[str]:
+        with self._lock:
+            series = dict(self._series)
+        lines = self._render_header()
+        if not series:
+            # A counter that never fired still scrapes as an explicit zero —
+            # "auth denials: 0" is a statement, a missing series is not.
+            lines.append(f"{self.name} 0")
+        for key in sorted(series):
+            lines.append(f"{self.name}{_render_labels(key)} {_format(series[key])}")
+        return lines
+
+    def _snapshot(self) -> Any:
+        with self._lock:
+            if not self._series:
+                return 0.0
+            if set(self._series) == {()}:
+                return self._series[()]
+            return {
+                _render_labels(key) or "": value
+                for key, value in self._series.items()
+            }
+
+
+class Gauge(_Metric):
+    """Value that can go up and down (fleet size, queue depth)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not _enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if not _enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._series.get(_label_key(labels), 0.0))
+
+    _render = Counter._render
+    _snapshot = Counter._snapshot
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class Histogram(_Metric):
+    """Distribution of observations over fixed buckets (timings, sizes)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.RLock,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, lock)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if not _enabled:
+            return
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+                    break
+            series.count += 1
+            series.total += value
+            series.min = min(series.min, value)
+            series.max = max(series.max, value)
+
+    def summary(self, **labels: Any) -> dict[str, float] | None:
+        """``count/total/mean/min/max`` of one series, ``None`` if empty."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return None
+            return {
+                "count": series.count,
+                "total_s": series.total,
+                "mean_s": series.total / series.count,
+                "min_s": series.min,
+                "max_s": series.max,
+            }
+
+    def _render(self) -> list[str]:
+        lines = self._render_header()
+        with self._lock:
+            items = [
+                (key, list(series.bucket_counts), series.count, series.total)
+                for key, series in self._series.items()
+            ]
+        for key, bucket_counts, count, total in sorted(items):
+            cumulative = 0
+            for bound, bucket in zip(self.buckets, bucket_counts):
+                cumulative += bucket
+                labels = _render_labels(key, f'le="{_format(bound)}"')
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(key, 'le="+Inf"')
+            lines.append(f"{self.name}_bucket{labels} {count}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {repr(total)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
+        return lines
+
+    def _snapshot(self) -> Any:
+        with self._lock:
+            return {
+                _render_labels(key) or "": {
+                    "count": series.count,
+                    "total_s": series.total,
+                }
+                for key, series in self._series.items()
+            }
+
+
+class MetricsRegistry:
+    """Named collection of metrics; get-or-create accessors are idempotent.
+
+    Re-requesting a metric name returns the existing instance (so modules
+    can call ``registry.counter("x")`` at use sites without coordination);
+    requesting an existing name as a different metric type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs: Any) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, self._lock, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for metric in metrics:
+            lines.extend(metric._render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data rendering of every metric (for JSONL records)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric._snapshot() for name, metric in sorted(metrics.items())}
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry in-process instrumentation records into
+    (per-coordinator registries, e.g. a work queue's, are separate)."""
+    return _DEFAULT

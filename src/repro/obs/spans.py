@@ -1,0 +1,107 @@
+"""Monotonic timing spans feeding histograms and per-run collectors.
+
+``with span("campaign.execute"):`` measures one phase on the monotonic
+clock and records the duration twice: into the default registry's
+``repro_span_seconds`` histogram (labelled ``phase=...``, scrape-able and
+snapshot-able like any metric) and into every active :class:`SpanCollector`
+— the per-run aggregation the campaign runner uses to build the
+``CampaignResult.telemetry`` span summaries without inheriting timings from
+earlier runs in the same process.
+
+Spans are *phase*-grained instrumentation: wrap a cache scan, a backend
+drain, a batch compile — never a per-timestep inner loop.  With
+observability disabled (:func:`repro.obs.metrics.set_enabled`) a span costs
+one boolean check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from . import metrics
+
+__all__ = ["SpanCollector", "span"]
+
+#: Histogram every span duration lands in (label: ``phase``).
+SPAN_METRIC = "repro_span_seconds"
+
+_collector_lock = threading.Lock()
+_collectors: list["SpanCollector"] = []
+
+
+class SpanCollector:
+    """Aggregates the spans closed while it is active (a context manager).
+
+    Collectors nest: an adaptive search's collector sees the spans of every
+    campaign it runs, while each campaign's own collector sees only its own.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: dict[str, dict[str, float]] = {}
+
+    def __enter__(self) -> "SpanCollector":
+        with _collector_lock:
+            _collectors.append(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        with _collector_lock:
+            try:
+                _collectors.remove(self)
+            except ValueError:
+                pass
+
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = self._stats[name] = {
+                    "count": 0, "total_s": 0.0,
+                    "min_s": float("inf"), "max_s": 0.0,
+                }
+            stats["count"] += 1
+            stats["total_s"] += seconds
+            stats["min_s"] = min(stats["min_s"], seconds)
+            stats["max_s"] = max(stats["max_s"], seconds)
+
+    def summaries(self) -> dict[str, dict[str, float]]:
+        """Per-phase ``count/total_s/mean_s/min_s/max_s``, JSON-ready."""
+        with self._lock:
+            return {
+                name: {
+                    "count": int(stats["count"]),
+                    "total_s": round(stats["total_s"], 6),
+                    "mean_s": round(stats["total_s"] / stats["count"], 6),
+                    "min_s": round(stats["min_s"], 6),
+                    "max_s": round(stats["max_s"], 6),
+                }
+                for name, stats in sorted(self._stats.items())
+            }
+
+
+def _report(name: str, seconds: float) -> None:
+    metrics.default_registry().histogram(
+        SPAN_METRIC, help="Duration of instrumented phases by phase label."
+    ).observe(seconds, phase=name)
+    with _collector_lock:
+        active = list(_collectors)
+    for collector in active:
+        collector.record(name, seconds)
+
+
+@contextmanager
+def span(name: str) -> Iterator[None]:
+    """Time one phase; the duration is recorded even when the body raises
+    (a failed phase's cost is still cost)."""
+    if not metrics.enabled():
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _report(name, time.perf_counter() - start)

@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from ...core.security_monitor import Violation
+from ...obs import span
 from ...dynamics.state import angle_wrap_batched
 from ...sensors.barometer import BarometerParameters
 from ...sensors.gps import DEFAULT_ORIGIN, EARTH_RADIUS_M
@@ -96,9 +97,11 @@ class _ReplayGroup:
         self._class_lane_arrays = [
             np.array(members, dtype=np.intp) for members in class_lanes.values()
         ]
-        class_traces = [
-            trace_for(self.scenarios[members[0]]) for members in class_lanes.values()
-        ]
+        with span("batch.trace"):
+            class_traces = [
+                trace_for(self.scenarios[members[0]])
+                for members in class_lanes.values()
+            ]
 
         # -- per-lane scenario constants -----------------------------------------
         self.sp_pos = np.stack(
@@ -180,7 +183,8 @@ class _ReplayGroup:
             self.mocap_yaw_buf = np.zeros((lanes, counts["mocap"]))
         self.cce_motor_buf = np.zeros((lanes, n_computes, 4))
 
-        self._ops = self._compile(class_traces)
+        with span("batch.compile"):
+            self._ops = self._compile(class_traces)
 
     # --------------------------------------------------------------------- compile
 
@@ -627,8 +631,11 @@ class BatchSimulation:
         results: list[FlightResult | None] = [None] * len(self.scenarios)
         for members in groups.values():
             group = _ReplayGroup([self.scenarios[i] for i in members])
-            for index, result in zip(members, group.run()):
-                results[index] = result
+            # Phase-grained only: the replay's per-timestep inner loop is
+            # the hot path and stays uninstrumented.
+            with span("batch.replay"):
+                for index, result in zip(members, group.run()):
+                    results[index] = result
         return results  # type: ignore[return-value]
 
 
