@@ -1,0 +1,181 @@
+"""Campaign-service acceptance: one daemon, two concurrent tenants, for real.
+
+This is the multi-tenant ISSUE's acceptance demo end to end: one
+:class:`~repro.campaign.service.CampaignService` daemon with a shared
+2-worker fleet hosts **two concurrent 12-variant campaigns** submitted by
+separate :class:`~repro.campaign.client.ServiceClient`s, and
+
+* both hosted runs finish ``done`` with zero failed variants,
+* each run's report is **identical** to a serial run of the same spec
+  (multi-tenancy must not leak into results — not across runs, not from
+  the shared fleet),
+* the daemon then accepts a **third** submission without a restart and
+  completes it too,
+* the whole thing beats flying both campaigns serially back to back
+  (informational on small machines; the daemon pipelines two tenants over
+  one fleet, it cannot beat serial on a single busy core).
+
+Flights are short (1.5 s) to keep the benchmark affordable.  Wall times,
+per-tenant completion times and the concurrent throughput land in
+``BENCH_service_throughput.json`` for the CI perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.campaign import CampaignRunner
+from repro.campaign.client import ServiceClient
+from repro.campaign.service import CampaignService
+from repro.campaign.spec import build_grid
+
+FLIGHT_DURATION = 1.5
+
+WORKERS = 2
+
+
+def tenant_spec(name: str, budgets: list[int]) -> dict:
+    """One tenant's 12-variant spec (2 budgets x 2 attack starts x 3 seeds).
+
+    The tenants sweep *different* budget sets so any cross-run contamination
+    would show up as wrong numbers, not silently identical ones.
+    """
+    return {
+        "scenario": {
+            "figure": "figure5",
+            "duration": FLIGHT_DURATION,
+            "name": name,
+        },
+        "axes": {
+            "memguard_budget": budgets,
+            "attack_start": [0.5, 1.0],
+            "seed": [301, 302, 303],
+        },
+    }
+
+
+SPEC_A = tenant_spec("svc-tenant-a", [1500, 3000])
+SPEC_B = tenant_spec("svc-tenant-b", [1000, 2500])
+SPEC_C = tenant_spec("svc-tenant-c", [2000, 4000])
+
+
+@pytest.fixture(scope="module")
+def service_runs():
+    """Serial references first (doubling as warmup), then the daemon."""
+    serial = {}
+    serial_wall = 0.0
+    for key, spec in (("a", SPEC_A), ("b", SPEC_B)):
+        start = time.monotonic()
+        result = CampaignRunner(mode="serial").run(build_grid(spec))
+        serial_wall += time.monotonic() - start
+        serial[key] = json.loads(result.to_json())
+
+    with CampaignService(
+        workers=WORKERS, poll_interval=0.02, lease_timeout=120.0
+    ) as daemon:
+        client_a = ServiceClient(daemon.url)
+        client_b = ServiceClient(daemon.url)
+        start = time.monotonic()
+        run_a = client_a.submit_spec(SPEC_A, label="tenant-a")
+        run_b = client_b.submit_spec(SPEC_B, label="tenant-b")
+        # Watch both tenants while they fly: with round-robin claims both
+        # must show completed flights *while the other is still running* —
+        # the observable signature of true interleaving (a run-A-then-run-B
+        # fleet would finish tenant A before tenant B completes anything).
+        overlapped = False
+        deadline = start + 600.0
+        while time.monotonic() < deadline:
+            status_a = client_a.status(run_a)
+            status_b = client_b.status(run_b)
+            if (status_a["state"] == "running"
+                    and status_b["state"] == "running"
+                    and (status_a.get("queue") or {}).get("done", 0) > 0
+                    and (status_b.get("queue") or {}).get("done", 0) > 0):
+                overlapped = True
+            if (status_a["state"] != "running"
+                    and status_b["state"] != "running"):
+                break
+            time.sleep(0.1)
+        wall_concurrent = time.monotonic() - start
+        hosted = {
+            "a": client_a.results(run_a),
+            "b": client_b.results(run_b),
+        }
+        registry = client_a.list_runs()
+
+        # Third tenant, same daemon, no restart.
+        start = time.monotonic()
+        run_c = client_a.submit_spec(SPEC_C, label="tenant-c")
+        status_c = client_a.wait(run_c, timeout=600.0, poll_interval=0.1)
+        wall_c = time.monotonic() - start
+        hosted["c"] = client_a.results(run_c)
+    serial_c = json.loads(
+        CampaignRunner(mode="serial").run(build_grid(SPEC_C)).to_json()
+    )
+    serial["c"] = serial_c
+    return {
+        "serial": serial,
+        "serial_wall": serial_wall,
+        "hosted": hosted,
+        "statuses": {"a": status_a, "b": status_b, "c": status_c},
+        "walls": {"concurrent": wall_concurrent, "c": wall_c},
+        "overlapped": overlapped,
+        "registry": registry,
+    }
+
+
+def test_two_concurrent_tenants_match_serial(service_runs, report):
+    hosted = service_runs["hosted"]
+    serial = service_runs["serial"]
+    for key in ("a", "b", "c"):
+        assert service_runs["statuses"][key]["state"] == "done"
+        result = hosted[key]["result"]
+        assert result["variants"] == 12
+        assert result["failures"] == 0
+        # Bit-identical to the serial reference: per-variant rows and the
+        # aggregated cells — multi-tenancy leaves no trace in the numbers.
+        assert result["rows"] == serial[key]["rows"]
+        assert result["cells"] == serial[key]["cells"]
+
+    registry = service_runs["registry"]
+    assert [entry["label"] for entry in registry] == ["tenant-a", "tenant-b"]
+    assert all(entry["state"] == "done" for entry in registry)
+
+    walls = service_runs["walls"]
+    serial_wall = service_runs["serial_wall"]
+    throughput = 24.0 / walls["concurrent"] if walls["concurrent"] else 0.0
+    speedup = serial_wall / walls["concurrent"] if walls["concurrent"] else 0.0
+    rows = [
+        ["2x serial back to back", f"{serial_wall:.1f} s", "24"],
+        ["2 concurrent hosted runs", f"{walls['concurrent']:.1f} s", "24"],
+        ["3rd run, same daemon", f"{walls['c']:.1f} s", "12"],
+    ]
+    text = format_table(
+        ["Mode", "Wall time", "Flights"],
+        rows,
+        title=(
+            f"Campaign service: 2 concurrent 12-variant tenants on one "
+            f"{WORKERS}-worker fleet, {throughput:.2f} flights/s, "
+            f"{speedup:.2f}x vs serial"
+        ),
+    )
+    report("service_throughput", text, data={
+        "flights_concurrent": 24,
+        "flight_duration_s": FLIGHT_DURATION,
+        "workers": WORKERS,
+        "serial_wall_s": round(serial_wall, 3),
+        "concurrent_wall_s": round(walls["concurrent"], 3),
+        "third_run_wall_s": round(walls["c"], 3),
+        "throughput_flights_per_s": round(throughput, 3),
+        "speedup_vs_serial": round(speedup, 3),
+    })
+
+
+def test_tenants_really_ran_concurrently(service_runs):
+    """Both tenants were observed with completed flights while the other
+    was still running — interleaved service, not run-a-then-run-b."""
+    assert service_runs["overlapped"]

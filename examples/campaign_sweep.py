@@ -10,10 +10,15 @@ Usage::
 
     python examples/campaign_sweep.py [--duration SECONDS] [--seeds N]
         [--budgets B1,B2,...] [--attack-starts T1,T2,...] [--serial]
-        [--backend serial|process-pool|distributed] [--workers N]
+        [--backend serial|process-pool|distributed|service] [--workers N]
         [--transport file|socket|http] [--port PORT] [--auth-token TOKEN]
-        [--max-workers N] [--store DIR] [--record-arrays] [--csv PATH]
-        [--json PATH]
+        [--connect-http URL] [--max-workers N] [--store DIR]
+        [--record-arrays] [--csv PATH] [--json PATH]
+
+With ``--backend service --connect-http http://host:port`` the flights run
+on an already-running campaign-service daemon's worker fleet instead of
+locally spawned processes (start one with ``python -m
+repro.campaign.service``).
 """
 
 from __future__ import annotations
@@ -43,10 +48,14 @@ def main() -> None:
     policy = parser.add_mutually_exclusive_group()
     policy.add_argument("--serial", action="store_true",
                         help="force serial execution (default: process pool)")
-    policy.add_argument("--backend", choices=("serial", "process-pool", "distributed"),
+    policy.add_argument("--backend",
+                        choices=("serial", "process-pool", "distributed",
+                                 "service"),
                         default=None,
                         help="explicit executor backend (distributed spawns "
-                             "local worker processes over a file work-queue)")
+                             "local worker processes over a file work-queue; "
+                             "service submits to a running campaign-service "
+                             "daemon, see --connect-http)")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker processes for --backend distributed "
                              "(default: 2)")
@@ -61,8 +70,11 @@ def main() -> None:
                              "GET /metrics and GET /status mid-campaign)")
     parser.add_argument("--auth-token", default=None,
                         help="shared-secret token for the socket/http "
-                             "transports (default: "
+                             "transports or the service backend (default: "
                              "$REPRO_CAMPAIGN_AUTH_TOKEN)")
+    parser.add_argument("--connect-http", default=None, metavar="URL",
+                        help="campaign-service base URL for --backend "
+                             "service (e.g. http://127.0.0.1:8765)")
     parser.add_argument("--max-workers", type=int, default=None,
                         help="autoscale ceiling for --backend distributed: "
                              "grow the fleet up to this many workers on "
@@ -80,12 +92,14 @@ def main() -> None:
     args = parser.parse_args()
     if args.record_arrays and not args.store:
         parser.error("--record-arrays requires --store")
-    if args.auth_token and args.backend != "distributed":
-        parser.error("--auth-token requires --backend distributed")
+    if args.auth_token and args.backend not in ("distributed", "service"):
+        parser.error("--auth-token requires --backend distributed or service")
     if args.port is not None and (args.backend != "distributed"
                                   or args.transport == "file"):
         parser.error("--port requires --backend distributed with a "
                      "socket or http transport")
+    if (args.connect_http is None) != (args.backend != "service"):
+        parser.error("--backend service and --connect-http URL go together")
 
     base = FlightScenario.figure5(duration=args.duration)
     grid = ScenarioGrid(base, axes={
@@ -104,6 +118,14 @@ def main() -> None:
                        "auth_token": args.auth_token}
             if args.port is not None:
                 options["port"] = args.port
+        elif args.backend == "service":
+            import os
+
+            options = {"url": args.connect_http,
+                       "auth_token": args.auth_token
+                       or os.environ.get("REPRO_CAMPAIGN_AUTH_TOKEN")
+                       or None,
+                       "label": "campaign-sweep-example"}
         backend = get_backend(args.backend, **options)
     mode = "serial" if args.serial else "auto"
     label = args.backend or f"{mode} mode"

@@ -23,18 +23,28 @@ from .backends import (
     ExecutorBackend,
     ProcessPoolBackend,
     SerialBackend,
+    ServiceBackend,
     get_backend,
+    spawn_worker,
 )
 from .grid import AxisApplier, GridVariant, ScenarioGrid, register_axis, resolve_applier
 from .results import CampaignCell, CampaignResult, VariantOutcome
 from .runner import CampaignRunner, run_campaign, trajectory_arrays
 from .transport import SocketWorkQueue, SocketWorkQueueClient
 from .transport_http import HttpWorkQueue, HttpWorkQueueClient
-from .workqueue import FileWorkQueue, WorkQueue, WorkQueueAuthError
+from .workqueue import (
+    PROTOCOL_VERSION,
+    FileWorkQueue,
+    WorkQueue,
+    WorkQueueAuthError,
+    WorkQueueProtocolError,
+    resolve_auth_tokens,
+)
 
 _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "AxisApplier",
     "BatchBackend",
     "CampaignCell",
@@ -49,14 +59,18 @@ __all__ = [
     "ProcessPoolBackend",
     "ScenarioGrid",
     "SerialBackend",
+    "ServiceBackend",
     "SocketWorkQueue",
     "SocketWorkQueueClient",
     "VariantOutcome",
     "WorkQueue",
     "WorkQueueAuthError",
+    "WorkQueueProtocolError",
     "get_backend",
     "register_axis",
     "resolve_applier",
+    "resolve_auth_tokens",
     "run_campaign",
+    "spawn_worker",
     "trajectory_arrays",
 ]

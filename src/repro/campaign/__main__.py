@@ -55,8 +55,15 @@ def _build_parser() -> argparse.ArgumentParser:
     policy.add_argument(
         "--backend", default=None, metavar="NAME",
         help="executor backend registry name (serial, batch, process-pool, "
-        "distributed); overrides the spec's runner.backend and keeps the "
-        "spec's backend_options only when it names the same backend",
+        "distributed, service); overrides the spec's runner.backend and "
+        "keeps the spec's backend_options only when it names the same "
+        "backend",
+    )
+    parser.add_argument(
+        "--connect-http", default=None, metavar="URL",
+        help="campaign-service base URL; implies --backend service (the "
+        "sweep's tasks run on the daemon's worker fleet; auth via "
+        "$REPRO_CAMPAIGN_AUTH_TOKEN)",
     )
     parser.add_argument(
         "--max-workers", type=int, default=None,
@@ -103,6 +110,26 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    backend = args.backend
+    backend_options = None
+    if args.connect_http is not None:
+        if backend is None:
+            backend = "service"
+        elif backend != "service":
+            print(
+                f"error: --connect-http only applies to the service backend "
+                f"(got --backend {backend})",
+                file=sys.stderr,
+            )
+            return 2
+        from .workqueue import resolve_auth_token
+
+        # The URL from the flag, the secret from the environment: argv is
+        # visible in process listings, so there is no --auth-token here.
+        backend_options = {"url": args.connect_http}
+        token = resolve_auth_token(None)
+        if token is not None:
+            backend_options["auth_token"] = token
     try:
         spec = load_spec(args.spec)
         runner = build_runner(
@@ -110,8 +137,9 @@ def _run(args: argparse.Namespace) -> int:
             store_dir=args.store,
             mode="serial" if args.serial else None,
             max_workers=args.max_workers,
-            backend=args.backend,
+            backend=backend,
             record_arrays=True if args.record_arrays else None,
+            backend_options=backend_options,
         )
         work = build_search(spec) if "adaptive" in spec else build_grid(spec)
     except (OSError, ValueError, KeyError, TypeError) as exc:

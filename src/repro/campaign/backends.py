@@ -49,11 +49,53 @@ __all__ = [
     "BatchBackend",
     "ProcessPoolBackend",
     "DistributedBackend",
+    "ServiceBackend",
     "get_backend",
+    "spawn_worker",
 ]
 
 #: Completion-order callback: ``on_complete(input_index, result)``.
 CompletionCallback = Callable[[int, Any], None]
+
+
+def spawn_worker(
+    worker_args: list[str],
+    transport: str = "file",
+    auth_token: str | None = None,
+    lease_timeout: float = 30.0,
+    poll_interval: float = 0.05,
+) -> subprocess.Popen:
+    """Spawn one ``python -m repro.campaign.worker`` process.
+
+    Shared by the single-campaign :class:`DistributedBackend` and the
+    persistent :class:`~repro.campaign.service.CampaignService` fleet, so
+    the careful parts are written once: whatever is importable here is made
+    importable in the worker (task payloads reference functions by module
+    path), and the shared secret travels via the environment — never argv,
+    which is world-readable in process listings.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(entry for entry in sys.path if entry)
+    if auth_token is not None:
+        env[AUTH_TOKEN_ENV] = auth_token
+    default_registry().counter(
+        "repro_worker_spawns_total",
+        "Worker processes spawned by distributed coordinators.",
+    ).inc()
+    emit("worker-spawn", "campaign.backends", transport=transport)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.campaign.worker",
+            *worker_args,
+            "--lease-timeout",
+            str(lease_timeout),
+            "--poll",
+            str(poll_interval),
+        ],
+        env=env,
+    )
 
 
 @runtime_checkable
@@ -526,35 +568,15 @@ class DistributedBackend:
     # ------------------------------------------------------------------ internal --
 
     def _spawn_worker(self, worker_args: list[str]) -> subprocess.Popen:
-        env = dict(os.environ)
-        # Whatever is importable here must be importable in the worker: the
-        # task payloads reference functions by module path.
-        env["PYTHONPATH"] = os.pathsep.join(
-            entry for entry in sys.path if entry
-        )
+        token = None
         if self.transport in self._NETWORK_TRANSPORTS:
-            # The shared secret travels via the environment, never argv —
-            # command lines are world-readable in process listings.
             token = resolve_auth_token(self.auth_token)
-            if token is not None:
-                env[AUTH_TOKEN_ENV] = token
-        default_registry().counter(
-            "repro_worker_spawns_total",
-            "Worker processes spawned by distributed coordinators.",
-        ).inc()
-        emit("worker-spawn", "campaign.backends", transport=self.transport)
-        return subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.campaign.worker",
-                *worker_args,
-                "--lease-timeout",
-                str(self.lease_timeout),
-                "--poll",
-                str(self.poll_interval),
-            ],
-            env=env,
+        return spawn_worker(
+            worker_args,
+            transport=self.transport,
+            auth_token=token,
+            lease_timeout=self.lease_timeout,
+            poll_interval=self.poll_interval,
         )
 
     def _record_scale(
@@ -735,12 +757,132 @@ class DistributedBackend:
                     proc.wait()
 
 
+@dataclass(frozen=True)
+class ServiceBackend:
+    """Client-mode executor: rent a remote campaign service's worker fleet.
+
+    Where :class:`DistributedBackend` *owns* a coordinator (starts a queue
+    server, spawns workers, tears both down), this backend owns nothing: it
+    submits the campaign's tasks to a persistent
+    :class:`~repro.campaign.service.CampaignService` daemon as one hosted
+    *run* (``POST /runs`` with pickled task payloads), polls that run's
+    results, and deletes the run when done.  The
+    :class:`~repro.campaign.runner.CampaignRunner` — and with it store
+    caching, ordering and fallback policy — stays entirely client-side;
+    only execution is remote.  Select it with
+    ``--backend service --connect-http URL``.
+
+    The task function must be importable on the daemon's workers (the usual
+    work-queue constraint), and the daemon must speak the same protocol
+    version — a mismatch fails fast at submit time with a clear message,
+    as does a daemon that is actually a plain single-campaign coordinator.
+
+    Attributes
+    ----------
+    url:
+        Service base URL (``http[s]://host:port[/prefix]``).
+    auth_token:
+        Shared secret (``None`` falls back to
+        ``$REPRO_CAMPAIGN_AUTH_TOKEN``); excluded from ``repr`` and logs.
+    poll_interval:
+        Result polling period [s].
+    timeout:
+        Per-request HTTP timeout [s].
+    label:
+        Optional run label shown in the daemon's ``GET /runs`` registry.
+    """
+
+    url: str = ""
+    auth_token: str | None = field(default=None, repr=False)
+    poll_interval: float = 0.2
+    timeout: float = 10.0
+    label: str | None = None
+
+    name = "service"
+
+    def __post_init__(self) -> None:
+        if not self.url:
+            raise ValueError(
+                "ServiceBackend needs the service base URL (--connect-http "
+                "URL, or backend_options = {url = \"http://...\"})"
+            )
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.auth_token is not None and not self.auth_token:
+            raise ValueError("auth_token must be a non-empty string")
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        on_complete: CompletionCallback | None = None,
+    ) -> Iterator[Any]:
+        from .client import ServiceClient
+
+        items = list(items)
+        if not items:
+            return
+        client = ServiceClient(
+            self.url,
+            auth_token=resolve_auth_token(self.auth_token),
+            timeout=self.timeout,
+        )
+        run_id = client.submit_tasks(
+            [(fn, item) for item in items],
+            label=self.label or "service-backend",
+        )
+        try:
+            yield from self._drain(client, run_id, len(items), on_complete)
+        finally:
+            # Free the daemon-side queue state whether we finished, failed
+            # over to serial, or were interrupted; the registry record
+            # survives for post-mortem status queries.
+            client.cancel(run_id, missing_ok=True)
+
+    def _drain(
+        self,
+        client: Any,
+        run_id: str,
+        total: int,
+        on_complete: CompletionCallback | None,
+    ) -> Iterator[Any]:
+        seen: set[int] = set()
+        ready: dict[int, Any] = {}
+        next_index = 0
+        while next_index < total:
+            state, results = client.task_results(run_id)
+            if state in ("cancelled", "failed"):
+                raise RuntimeError(
+                    f"service run {run_id} ended as {state} with "
+                    f"{total - len(seen)} of {total} items outstanding"
+                )
+            for index in sorted(results):
+                if index in seen:
+                    continue
+                status, value = results[index]
+                seen.add(index)
+                if status != "ok":
+                    raise RuntimeError(
+                        f"service worker failed on item {index}:\n{value}"
+                    )
+                ready[index] = value
+                if on_complete is not None:
+                    on_complete(index, value)
+            while next_index in ready:
+                yield ready.pop(next_index)
+                next_index += 1
+            if next_index >= total:
+                return
+            time.sleep(self.poll_interval)
+
+
 #: Registry of backend factories selectable by name (CLI / spec files).
 _BACKENDS: dict[str, Callable[..., ExecutorBackend]] = {
     "serial": SerialBackend,
     "batch": BatchBackend,
     "process-pool": ProcessPoolBackend,
     "distributed": DistributedBackend,
+    "service": ServiceBackend,
 }
 
 

@@ -199,6 +199,7 @@ def build_runner(
     max_workers: int | None = None,
     backend: str | None = None,
     record_arrays: bool | None = None,
+    backend_options: Mapping[str, Any] | None = None,
 ) -> CampaignRunner:
     """Build the runner of a spec's ``[runner]`` table.
 
@@ -211,14 +212,20 @@ def build_runner(
     built-in ``mode``/``max_workers`` selection.  A ``backend`` override
     names a registry backend; it keeps the spec's ``backend_options`` only
     when the spec configured the *same* backend (options for a different
-    backend would be meaningless or wrong).
+    backend would be meaningless or wrong).  The ``backend_options``
+    *parameter* carries command-line additions for the override (e.g. the
+    service URL of ``--connect-http``) and wins key-by-key over the spec's.
     """
     section = dict(spec.get("runner") or {})
     spec_backend = section.pop("backend", None)
-    backend_options = dict(section.pop("backend_options", {}) or {})
-    if spec_backend is None and backend_options:
+    spec_backend_options = dict(section.pop("backend_options", {}) or {})
+    if spec_backend is None and spec_backend_options:
         raise ValueError(
             "runner option 'backend_options' requires a 'backend' name"
+        )
+    if backend_options and backend is None:
+        raise ValueError(
+            "backend_options overrides require an explicit backend override"
         )
     chosen_backend = None
     if backend is not None:
@@ -227,16 +234,18 @@ def build_runner(
                 "an explicit backend override cannot be combined with "
                 "--serial/--max-workers; configure it via backend_options"
             )
-        if backend_options and spec_backend != backend:
+        if spec_backend_options and spec_backend != backend:
             warnings.warn(
                 f"--backend {backend!r} discards the spec's backend_options "
                 f"(they configure backend {spec_backend!r})",
                 RuntimeWarning,
                 stacklevel=2,
             )
-        chosen_backend = get_backend(
-            backend, **(backend_options if spec_backend == backend else {})
+        options = dict(
+            spec_backend_options if spec_backend == backend else {}
         )
+        options.update(backend_options or {})
+        chosen_backend = get_backend(backend, **options)
     elif spec_backend is not None:
         if mode is not None or max_workers is not None:
             warnings.warn(
@@ -246,7 +255,7 @@ def build_runner(
                 stacklevel=2,
             )
         else:
-            chosen_backend = get_backend(spec_backend, **backend_options)
+            chosen_backend = get_backend(spec_backend, **spec_backend_options)
 
     # 'salt' and 'store' pop unconditionally: a salt without a store must be
     # a clear error, not an "unknown runner option(s) ['salt']" tail-raise.

@@ -28,7 +28,9 @@ file to).  Operations mirror the queue protocol::
      "lease": "<token>", "result": "<b64>"}      -> {"ok": true}
     {"op": "stop"}                               -> {"ok": true, "stop": false}
     {"op": "retire"}                             -> {"ok": true, "retire": false}
-    {"op": "ping"}                               -> {"ok": true}
+    {"op": "ping"}                               -> {"ok": true, "protocol": 2,
+                                                     "mode": "campaign",
+                                                     "service": false}
 
 **Authentication** — a coordinator constructed with ``auth_token`` requires
 every request to carry a matching ``"token"`` field (compared in constant
@@ -70,10 +72,16 @@ import socketserver
 import threading
 import time
 import uuid
-from typing import Any, Iterable, NamedTuple
+from typing import Any, Iterable, NamedTuple, Sequence
 
 from ..obs import MetricsRegistry
-from .workqueue import _DEFAULT_RUN, WorkQueueAuthError, validate_run_id
+from .workqueue import (
+    _DEFAULT_RUN,
+    PROTOCOL_VERSION,
+    WorkQueueAuthError,
+    WorkQueueProtocolError,
+    validate_run_id,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -116,15 +124,34 @@ class _Lease(NamedTuple):
 
 
 class _Claim:
-    """Server-side record of one leased task."""
+    """Server-side record of one leased task (of one hosted run)."""
 
-    __slots__ = ("index", "payload", "worker_id", "last_beat")
+    __slots__ = ("run", "index", "payload", "worker_id", "last_beat")
 
-    def __init__(self, index: int, payload: bytes, worker_id: str) -> None:
+    def __init__(
+        self, run: str, index: int, payload: bytes, worker_id: str
+    ) -> None:
+        self.run = run
         self.index = index
         self.payload = payload
         self.worker_id = worker_id
         self.last_beat = time.time()
+
+
+class _RunState:
+    """Queue state of one hosted run: the unit a service-mode coordinator
+    multiplies.  A single-campaign coordinator hosts exactly one."""
+
+    __slots__ = ("run_id", "pending", "results", "cancelled", "created",
+                 "enqueued_total")
+
+    def __init__(self, run_id: str) -> None:
+        self.run_id = run_id
+        self.pending: dict[int, bytes] = {}
+        self.results: dict[int, Any] = {}
+        self.cancelled = False
+        self.created = time.time()
+        self.enqueued_total = 0
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -152,41 +179,78 @@ class _Server(socketserver.ThreadingTCPServer):
 class NetworkWorkQueue:
     """In-memory coordinator-side work queue served over a network transport.
 
-    Everything except the wire lives here: the pending/claimed/result state,
-    every :class:`~repro.campaign.workqueue.WorkQueue` method, the request
-    dispatcher (:meth:`_handle`) and the shared-secret check.  Subclasses
-    only provide the server: :meth:`_make_server` returns a started-ready
-    ``socketserver`` instance whose handler feeds requests to
+    Everything except the wire lives here: the per-run pending/claimed/result
+    state, every :class:`~repro.campaign.workqueue.WorkQueue` method, the
+    request dispatcher (:meth:`_handle`) and the shared-secret check.
+    Subclasses only provide the server: :meth:`_make_server` returns a
+    started-ready ``socketserver`` instance whose handler feeds requests to
     :meth:`_handle` (:class:`SocketWorkQueue` speaks JSON lines over raw
     TCP, :class:`~repro.campaign.transport_http.HttpWorkQueue` speaks
     HTTP/JSON).
+
+    **Runs, not campaigns, are the unit of state.**  The queue hosts a
+    registry of :class:`_RunState` — one per run id — and claims hand out
+    tasks of *whichever* non-cancelled run has work (round-robin across
+    runs, lowest index within a run), so one attached worker fleet serves
+    every hosted run and keeps serving when any single run drains.  A
+    single-campaign coordinator (:class:`~repro.campaign.backends.
+    DistributedBackend`) hosts exactly one run — the *default* run bound to
+    the plain :class:`~repro.campaign.workqueue.WorkQueue` protocol methods
+    (``enqueue``/``collect``/``reset``/...), which preserves their
+    one-campaign semantics verbatim — while the campaign service
+    (:mod:`repro.campaign.service`) adds and retires runs on the fly via
+    :meth:`add_run` / :meth:`cancel_run` / :meth:`remove_run`.
+
+    Lifecycle is split accordingly: :meth:`request_stop` raises the
+    *transport-level* sentinel ("this coordinator is going away, workers
+    may exit"), while cancelling or completing a run never touches it — a
+    drained run must not send a shared fleet home while sibling runs still
+    have work.
 
     Task payloads are pickled at :meth:`enqueue` time (like the file
     transport, so an unpicklable payload fails loudly in the coordinator,
     not silently on a worker) and kept in memory; nothing touches disk.
 
-    With ``auth_token`` set, every wire request must carry the matching
+    With ``auth_token`` set — a single token or a small accepted set
+    (primary first, then still-valid previous tokens; see
+    :meth:`rotate_auth_token`) — every wire request must carry a matching
     token; in-process calls (the coordinator's own) bypass the wire and
     need none.
     """
+
+    #: Ping/status self-description: a plain campaign coordinator or a
+    #: persistent multi-run service daemon.
+    _MODES = ("campaign", "service")
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 0,
         run_id: str | None = None,
-        auth_token: str | None = None,
+        auth_token: str | Sequence[str] | None = None,
+        mode: str = "campaign",
     ) -> None:
         if run_id is not None:
             validate_run_id(run_id)
-        if auth_token is not None and not auth_token:
-            raise ValueError("auth_token must be a non-empty string")
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        if isinstance(auth_token, str):
+            auth_token = (auth_token,)
+        elif auth_token is not None:
+            auth_token = tuple(auth_token)
+        if auth_token is not None and (
+            not auth_token or not all(auth_token)
+        ):
+            raise ValueError("auth tokens must be non-empty strings")
         self.run_id = run_id or _DEFAULT_RUN
-        self._auth_token = auth_token
+        self.mode = mode
+        self._auth_tokens = auth_token
         self._lock = threading.Lock()
-        self._pending: dict[int, bytes] = {}
+        self._runs: dict[str, _RunState] = {
+            self.run_id: _RunState(self.run_id)
+        }
         self._claims: dict[str, _Claim] = {}
-        self._results: dict[int, Any] = {}
+        self._rotation = 0
         self._stop = False
         self._retire_credits = 0
         self._started = time.time()
@@ -211,6 +275,15 @@ class NetworkWorkQueue:
             "repro_queue_pending", "Tasks awaiting a claim right now.")
         self._g_claimed = self.metrics.gauge(
             "repro_queue_claimed", "Tasks currently under lease.")
+        # Per-run views of the same flow, labeled by run id: the service
+        # dashboard tells tenants apart while the unlabeled totals above
+        # keep their whole-coordinator meaning (and their scrape names).
+        self._m_run_enqueued = self.metrics.counter(
+            "repro_run_enqueued_total", "Tasks enqueued, by run id.")
+        self._m_run_completions = self.metrics.counter(
+            "repro_run_completions_total", "Results accepted, by run id.")
+        self._g_run_pending = self.metrics.gauge(
+            "repro_run_pending", "Tasks awaiting a claim, by run id.")
         self._server = self._make_server(host, port)
         self._server.work_queue = self
         self._thread = threading.Thread(
@@ -245,19 +318,146 @@ class NetworkWorkQueue:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    # -- coordinator side --------------------------------------------------------
+    # -- run registry (service mode hosts many; campaign mode keeps one) ---------
 
-    def enqueue(self, index: int, payload: Any) -> None:
+    def add_run(self, run_id: str) -> None:
+        """Host a new run alongside the existing ones.
+
+        Raises :class:`ValueError` if the id is invalid or already hosted —
+        two tenants sharing a run id would merge their result sets.
+        """
+        validate_run_id(run_id)
+        with self._lock:
+            if run_id in self._runs:
+                raise ValueError(f"run {run_id!r} is already hosted")
+            self._runs[run_id] = _RunState(run_id)
+
+    def remove_run(self, run_id: str) -> None:
+        """Forget a hosted run entirely: pending tasks, results, and any
+        live leases on it.  The default run cannot be removed — it *is* the
+        identity of a single-campaign coordinator."""
+        with self._lock:
+            if run_id == self.run_id:
+                raise ValueError("cannot remove the coordinator's default run")
+            self._runs.pop(run_id, None)
+            for token, claim in list(self._claims.items()):
+                if claim.run == run_id:
+                    del self._claims[token]
+
+    def cancel_run(self, run_id: str) -> bool:
+        """Stop one hosted run without touching its siblings or the
+        transport: drop its pending tasks, release its leases (late results
+        are then ignored), keep already-collected results readable.
+        Returns ``False`` for an unknown run."""
+        with self._lock:
+            state = self._runs.get(run_id)
+            if state is None:
+                return False
+            state.cancelled = True
+            state.pending.clear()
+            for token, claim in list(self._claims.items()):
+                if claim.run == run_id:
+                    del self._claims[token]
+        logger.info("run %s cancelled", run_id)
+        return True
+
+    def run_ids(self) -> list[str]:
+        """Ids of every hosted run (the default run included), sorted."""
+        with self._lock:
+            return sorted(self._runs)
+
+    def run_cancelled(self, run_id: str) -> bool:
+        """Whether a hosted run was cancelled (or removed entirely)."""
+        with self._lock:
+            state = self._runs.get(run_id)
+            return state is None or state.cancelled
+
+    def enqueue_in(self, run_id: str, index: int, payload: Any) -> None:
+        """Enqueue one task into a specific hosted run (KeyError if the run
+        is unknown, ValueError if it was cancelled)."""
         blob = pickle.dumps(payload)
         with self._lock:
-            self._pending[index] = blob
+            state = self._runs[run_id]
+            if state.cancelled:
+                raise ValueError(f"run {run_id!r} is cancelled")
+            state.pending[index] = blob
+            state.enqueued_total += 1
         self._m_enqueued.inc()
+        self._m_run_enqueued.inc(run=run_id)
+
+    def collect_run(
+        self, run_id: str, seen: Iterable[int] = ()
+    ) -> dict[int, Any]:
+        """Results of one hosted run not in ``seen`` (empty if unknown)."""
+        known = set(seen)
+        with self._lock:
+            state = self._runs.get(run_id)
+            if state is None:
+                return {}
+            return {
+                index: result
+                for index, result in state.results.items()
+                if index not in known
+            }
+
+    def pending_count_in(self, run_id: str) -> int:
+        with self._lock:
+            state = self._runs.get(run_id)
+            return len(state.pending) if state is not None else 0
+
+    def rotate_auth_token(self, new_token: str, keep_previous: int = 1) -> None:
+        """Install ``new_token`` as the primary secret while the most
+        recently accepted ``keep_previous`` old tokens stay valid, so an
+        attached worker fleet re-configures at leisure instead of
+        restarting.  Only valid on a coordinator that already requires
+        auth: rotation must never silently turn an open coordinator into
+        an authenticated one (workers would all start failing) or exist as
+        a path that could do the reverse.
+        """
+        if not new_token:
+            raise ValueError("auth tokens must be non-empty strings")
+        if keep_previous < 0:
+            raise ValueError("keep_previous must be >= 0")
+        with self._lock:
+            if self._auth_tokens is None:
+                raise ValueError(
+                    "cannot rotate tokens on a coordinator without auth"
+                )
+            kept = tuple(
+                token for token in self._auth_tokens if token != new_token
+            )[:keep_previous]
+            self._auth_tokens = (new_token,) + kept
+        logger.info("auth token rotated (%d previous kept)", len(kept))
+
+    def ping_info(self) -> dict[str, Any]:
+        """Structured ping body: protocol schema version and service mode,
+        so clients and workers can fail fast on daemon/client version skew
+        instead of hitting decode errors mid-campaign."""
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "mode": self.mode,
+            "service": self.mode == "service",
+        }
+
+    # -- coordinator side (WorkQueue protocol, bound to the default run) ---------
+
+    def enqueue(self, index: int, payload: Any) -> None:
+        self.enqueue_in(self.run_id, index, payload)
 
     def reset(self) -> None:
+        """Clear the *default* run's queue state plus the coordinator-wide
+        stop/retire flags — exactly the old single-campaign semantics.
+        Other hosted runs are untouched (the service resets a tenant by
+        cancel/remove instead)."""
         with self._lock:
-            self._pending.clear()
-            self._claims.clear()
-            self._results.clear()
+            state = self._runs[self.run_id]
+            state.pending.clear()
+            state.results.clear()
+            state.cancelled = False
+            for token, claim in list(self._claims.items()):
+                if claim.run == self.run_id:
+                    del self._claims[token]
             self._stop = False
             self._retire_credits = 0
 
@@ -269,27 +469,26 @@ class NetworkWorkQueue:
                 if now - claim.last_beat <= lease_timeout:
                     continue
                 del self._claims[token]
-                self._pending[claim.index] = claim.payload
-                reclaimed.append(claim.index)
+                state = self._runs.get(claim.run)
+                if state is not None and not state.cancelled:
+                    state.pending[claim.index] = claim.payload
+                    reclaimed.append(claim.index)
         for index in reclaimed:
             self._m_reissues.inc()
             logger.warning("lease on task %d expired; re-queued", index)
         return reclaimed
 
     def collect(self, seen: Iterable[int] = ()) -> dict[int, Any]:
-        known = set(seen)
-        with self._lock:
-            return {
-                index: result
-                for index, result in self._results.items()
-                if index not in known
-            }
+        return self.collect_run(self.run_id, seen)
 
     def pending_count(self) -> int:
-        with self._lock:
-            return len(self._pending)
+        return self.pending_count_in(self.run_id)
 
     def request_stop(self) -> None:
+        """Raise the *transport-level* shutdown sentinel: this coordinator
+        is going away and attached workers may exit.  A single run draining
+        or being cancelled never calls this — on a service daemon the fleet
+        outlives every individual run."""
         with self._lock:
             self._stop = True
 
@@ -307,8 +506,8 @@ class NetworkWorkQueue:
         claimed = self._claim_blob(worker_id)
         if claimed is None:
             return None
-        index, blob, token = claimed
-        return index, pickle.loads(blob), _Lease(token, self.run_id, index)
+        run, index, blob, token = claimed
+        return index, pickle.loads(blob), _Lease(token, run, index)
 
     def heartbeat(self, lease: Any) -> None:
         token = lease.token if isinstance(lease, _Lease) else lease
@@ -346,45 +545,70 @@ class NetworkWorkQueue:
         """
         now = time.time()
         with self._lock:
-            pending = len(self._pending)
-            done = len(self._results)
+            pending = sum(len(state.pending) for state in self._runs.values())
+            done = sum(len(state.results) for state in self._runs.values())
             stop = self._stop
             retire = self._retire_credits
             claimed = [
                 {
+                    "run": claim.run,
                     "index": claim.index,
                     "worker": claim.worker_id,
                     "lease_age_s": round(max(0.0, now - claim.last_beat), 3),
                 }
                 for claim in self._claims.values()
             ]
-        claimed.sort(key=lambda entry: entry["index"])
+            runs = {
+                state.run_id: {
+                    "pending": len(state.pending),
+                    "claimed": sum(
+                        1 for claim in self._claims.values()
+                        if claim.run == state.run_id
+                    ),
+                    "done": len(state.results),
+                    "enqueued_total": state.enqueued_total,
+                    "cancelled": state.cancelled,
+                    "age_s": round(max(0.0, now - state.created), 3),
+                }
+                for state in self._runs.values()
+            }
+        claimed.sort(key=lambda entry: (entry["run"], entry["index"]))
         return {
             "run": self.run_id,
+            "mode": self.mode,
+            "protocol": PROTOCOL_VERSION,
             "uptime_s": round(now - self._started, 3),
-            "auth": self._auth_token is not None,
+            "auth": self._auth_tokens is not None,
             "pending": pending,
             "claimed": claimed,
             "done": done,
             "stop": stop,
             "retire_credits": retire,
+            "runs": runs,
         }
 
     def metrics_text(self) -> str:
         """Prometheus text exposition of this queue's registry (depth
-        gauges are refreshed at render time)."""
+        gauges — total and per-run — are refreshed at render time)."""
         with self._lock:
-            pending, claimed = len(self._pending), len(self._claims)
-        self._g_pending.set(pending)
+            depths = {
+                state.run_id: len(state.pending)
+                for state in self._runs.values()
+            }
+            claimed = len(self._claims)
+        self._g_pending.set(sum(depths.values()))
         self._g_claimed.set(claimed)
+        for run_id, depth in depths.items():
+            self._g_run_pending.set(depth, run=run_id)
         return self.metrics.render_prometheus()
 
     def stats_snapshot(self) -> dict[str, Any]:
         """Flat counter snapshot plus current depths (JSON-ready); same
         shape as :meth:`FileWorkQueue.stats_snapshot`, with the wire-only
-        ``auth_denials`` extra."""
+        ``auth_denials`` extra.  Depths sum over every hosted run."""
         with self._lock:
-            pending, claimed = len(self._pending), len(self._claims)
+            pending = sum(len(state.pending) for state in self._runs.values())
+            claimed = len(self._claims)
         return {
             "enqueued": int(self._m_enqueued.value()),
             "claims": int(self._m_claims.value()),
@@ -398,41 +622,63 @@ class NetworkWorkQueue:
 
     # -- internal ----------------------------------------------------------------
 
-    def _claim_blob(self, worker_id: str) -> tuple[int, bytes, str] | None:
+    def _claim_blob(self, worker_id: str) -> tuple[str, int, bytes, str] | None:
         with self._lock:
-            if not self._pending:
+            # Round-robin across hosted runs so one worker fleet starves no
+            # tenant, lowest index first within the chosen run.  Sorting by
+            # run id keeps the rotation order stable between claims.
+            active = sorted(
+                (
+                    state for state in self._runs.values()
+                    if state.pending and not state.cancelled
+                ),
+                key=lambda state: state.run_id,
+            )
+            if not active:
                 return None
-            index = min(self._pending)  # lowest pending index first
-            blob = self._pending.pop(index)
+            state = active[self._rotation % len(active)]
+            self._rotation += 1
+            run = state.run_id
+            index = min(state.pending)
+            blob = state.pending.pop(index)
             token = uuid.uuid4().hex
-            self._claims[token] = _Claim(index, blob, worker_id)
+            self._claims[token] = _Claim(run, index, blob, worker_id)
         self._m_claims.inc()
-        logger.debug("leased task %d to worker %s", index, worker_id)
-        return index, blob, token
+        logger.debug("leased task %s/%d to worker %s", run, index, worker_id)
+        return run, index, blob, token
 
     def _requeue(self, token: Any) -> None:
-        """Return a claimed task to the pending set (failed hand-back).
+        """Return a claimed task to its run's pending set (failed hand-back).
 
         A ``None``/unknown token is a no-op: the lease was already
         reclaimed, so the task is pending (or completed by its re-claimer)
-        already.
+        already.  A task of a run cancelled or removed meanwhile is simply
+        dropped with its lease.
         """
         with self._lock:
             claim = self._claims.pop(token, None) if token else None
             if claim is not None:
-                self._pending[claim.index] = claim.payload
+                state = self._runs.get(claim.run)
+                if state is not None and not state.cancelled:
+                    state.pending[claim.index] = claim.payload
 
     def _complete(
         self, index: int, run: str, result: Any, token: str | None
     ) -> None:
+        accepted = False
         with self._lock:
             if token is not None:
                 self._claims.pop(token, None)
-            if run == self.run_id:
-                self._results[index] = result
+            state = self._runs.get(run)
+            if state is not None and not state.cancelled:
+                state.results[index] = result
+                accepted = True
         self._m_completions.inc()
-            # else: a late answer from another (killed) run — lease released,
-            # result ignored, matching FileWorkQueue.collect's run filter.
+        if accepted:
+            self._m_run_completions.inc(run=run)
+        # else: a late answer for an unknown or cancelled run — lease
+        # released, result ignored, matching FileWorkQueue.collect's
+        # run filter.
 
     def _check_auth(self, request: dict[str, Any]) -> dict[str, Any] | None:
         """Denied-response for an unauthenticated request, ``None`` when ok.
@@ -443,7 +689,8 @@ class NetworkWorkQueue:
         :class:`~repro.campaign.workqueue.WorkQueueAuthError` instead of
         the silent degrade every other failure gets.
         """
-        if self._auth_token is None:
+        accepted = self._auth_tokens
+        if accepted is None:
             return None
         supplied = request.get("token")
         if not isinstance(supplied, str):
@@ -459,9 +706,15 @@ class NetworkWorkQueue:
                          "auth token and none was supplied (pass "
                          "--auth-token or set REPRO_CAMPAIGN_AUTH_TOKEN)",
             }
-        if not hmac.compare_digest(
-            supplied.encode("utf-8"), self._auth_token.encode("utf-8")
-        ):
+        supplied_bytes = supplied.encode("utf-8")
+        matched = False
+        for token in accepted:
+            # No early break: every accepted token (primary + rotated-out
+            # previous ones) is compared, so response timing reveals
+            # neither which token matched nor how many are accepted.
+            if hmac.compare_digest(supplied_bytes, token.encode("utf-8")):
+                matched = True
+        if not matched:
             self._m_denied.inc()
             logger.warning(
                 "denied wire request op=%r: auth token rejected",
@@ -489,11 +742,11 @@ class NetworkWorkQueue:
                 # credit may dismiss it.  Answering the retire question
                 # here saves the worker a dedicated round trip per poll.
                 return {"ok": True, "index": None, "retire": self.try_retire()}
-            index, blob, token = claimed
+            run, index, blob, token = claimed
             return {
                 "ok": True,
                 "index": index,
-                "run": self.run_id,
+                "run": run,
                 "payload": base64.b64encode(blob).decode("ascii"),
                 "lease": token,
             }
@@ -523,7 +776,7 @@ class NetworkWorkQueue:
         if op == "retire":
             return {"ok": True, "retire": self.try_retire()}
         if op == "ping":
-            return {"ok": True}
+            return self.ping_info()
         return {"ok": False, "error": f"unknown op {op!r}"}
 
 
@@ -574,6 +827,11 @@ class NetworkWorkQueueClient:
         self._auth_token = auth_token
         self._last_contact = time.time()
         self._retire_answer: bool | None = None
+        #: Failed round trips since the last successful one.  The worker
+        #: loop reads this to back off exponentially while the coordinator
+        #: is unreachable, instead of hammering a restarting daemon with
+        #: fixed-interval ticks from the whole fleet at once.
+        self.consecutive_failures = 0
 
     def _send(self, message: dict[str, Any]) -> dict[str, Any] | None:
         raise NotImplementedError  # pragma: no cover - subclass hook
@@ -643,6 +901,35 @@ class NetworkWorkQueueClient:
         response = self._request({"op": "retire"})
         return bool(response and response.get("retire"))
 
+    def ping(self) -> dict[str, Any] | None:
+        """One reachability round trip; the coordinator's structured ping
+        body on success, ``None`` when unreachable."""
+        return self._request({"op": "ping"})
+
+    def check_protocol(self) -> dict[str, Any] | None:
+        """Fail fast on daemon/client protocol skew.
+
+        Returns the ping body when the versions agree and ``None`` when the
+        coordinator is unreachable (the standard degrade path owns that
+        case).  Raises
+        :class:`~repro.campaign.workqueue.WorkQueueProtocolError` when the
+        coordinator answers with a missing or different protocol version —
+        a version-1 server is recognised by the *absence* of the field in
+        its bare ``{"ok": true}`` ping reply.
+        """
+        response = self.ping()
+        if response is None:
+            return None
+        version = response.get("protocol")
+        if version != PROTOCOL_VERSION:
+            described = "1 (no version field)" if version is None else version
+            raise WorkQueueProtocolError(
+                f"coordinator speaks work-queue protocol {described} but "
+                f"this client requires {PROTOCOL_VERSION}; upgrade the "
+                "older side"
+            )
+        return response
+
     # -- coordinator-side protocol methods (a client is worker-only) -------------
 
     def enqueue(self, index: int, payload: Any) -> None:
@@ -677,7 +964,11 @@ class NetworkWorkQueueClient:
             message = {**message, "token": self._auth_token}
         response = self._send(message)
         if not response:
+            self.consecutive_failures += 1
             return None
+        # Any parsed response — even a denial — proves the coordinator is
+        # reachable, which is all the reconnect backoff cares about.
+        self.consecutive_failures = 0
         if not response.get("ok"):
             if response.get("denied") == "auth":
                 # The one non-degradable failure: retrying cannot fix a

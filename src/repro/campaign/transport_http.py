@@ -22,10 +22,25 @@ instead of an ``"op"`` field::
                             "lease": "...", "result": "<b64>"}
     POST <base>/stop       {}                          -> 200 {"ok": true, "stop": false}
     POST <base>/retire     {}                          -> 200 {"ok": true, "retire": false}
-    POST <base>/ping       {}                          -> 200 {"ok": true}
-    GET  <base>/ping                                   -> 200 {"ok": true}
+    POST <base>/ping       {}                          -> 200 {"ok": true, "protocol": 2, ...}
+    GET  <base>/ping                                   -> 200 {"ok": true, "protocol": 2, ...}
     GET  <base>/metrics                                -> 200 Prometheus text
     GET  <base>/status                                 -> 200 {"run": ..., "pending": ...}
+
+When a :class:`~repro.campaign.service.CampaignService` is attached to the
+server (service mode), the run-registry API is routed here too::
+
+    POST   <base>/runs              {"spec": {...}} or {"tasks": [...]}
+    GET    <base>/runs              registry listing
+    GET    <base>/runs/<id>/status  one run's lifecycle + queue state
+    GET    <base>/runs/<id>/results one run's results (auth required)
+    DELETE <base>/runs/<id>         cancel the run
+    POST   <base>/rotate-token      {"new_token": "..."} (auth required)
+
+The mutating endpoints and ``/results`` require the shared secret when auth
+is enabled — in the JSON body (``"token"``) or the ``X-Auth-Token`` header
+(GET/DELETE have no body).  ``GET /runs`` and per-run status stay
+unauthenticated like the other observability surfaces.
 
 Every exchange is a single self-contained request/response — no streaming,
 no connection reuse required, no server push — so any reverse proxy, load
@@ -97,15 +112,58 @@ class _HttpHandler(BaseHTTPRequestHandler):
         """Silence the per-request stderr log: coordinators poll many times
         a second, and request logs are where secrets go to leak."""
 
+    def _run_segments(self) -> list[str] | None:
+        """``["<id>", ...]`` after a ``/runs`` segment, ``[]`` for ``/runs``
+        itself, ``None`` when the path has no run-registry shape (or no
+        service is attached to answer it)."""
+        if getattr(self.server, "service", None) is None:
+            return None
+        path = urllib.parse.urlsplit(self.path).path
+        segments = [part for part in path.split("/") if part]
+        if "runs" not in segments:
+            return None
+        return segments[segments.index("runs") + 1:]
+
+    def _service_denied(self, request: dict[str, Any]) -> dict[str, Any] | None:
+        """Auth check for service endpoints: the token may arrive in the
+        JSON body or (for bodyless GET/DELETE) the ``X-Auth-Token`` header."""
+        if "token" not in request:
+            header = self.headers.get("X-Auth-Token")
+            if header:
+                request = {**request, "token": header}
+        return self.server.work_queue._check_auth(request)
+
     def do_GET(self) -> None:  # pragma: no cover - exercised via the client
         # Read-only observability surfaces.  Like /ping they are served
         # without authentication: they expose queue *state* (depths, worker
         # ids, lease ages — never lease tokens or payloads) so dashboards
         # and CI probes can scrape an authenticated coordinator without a
         # shared secret, and without bumping the auth-denial counter.
+        # The exception is /runs/<id>/results — results are tenant data.
+        tail = self._run_segments()
+        if tail is not None:
+            service = self.server.service
+            if not tail:
+                status, response = service.list_runs()
+            elif len(tail) == 2 and tail[1] == "status":
+                status, response = service.run_status(tail[0])
+            elif len(tail) == 2 and tail[1] == "results":
+                denied = self._service_denied({})
+                if denied is not None:
+                    self._reply(401, denied)
+                    return
+                status, response = service.run_results(tail[0])
+            else:
+                status, response = 404, {
+                    "ok": False,
+                    "error": "GET /runs, /runs/<id>/status or "
+                             "/runs/<id>/results",
+                }
+            self._reply(status, response)
+            return
         path = self.path.rstrip("/")
         if path.endswith("/ping") or self.path in ("/", ""):
-            self._reply(200, {"ok": True})
+            self._reply(200, self.server.work_queue.ping_info())
         elif path.endswith("/metrics"):
             self._reply_text(200, self.server.work_queue.metrics_text())
         elif path.endswith("/status"):
@@ -121,13 +179,7 @@ class _HttpHandler(BaseHTTPRequestHandler):
             request = json.loads(body) if body else {}
             if not isinstance(request, dict):
                 raise ValueError("request body must be a JSON object")
-            if op not in _OPS:
-                # An unknown endpoint must not dispatch with whatever "op"
-                # the body smuggled in.
-                response = {"ok": False, "error": f"unknown endpoint {op!r}"}
-            else:
-                request["op"] = op
-                response = self.server.work_queue._handle(request)
+            response = self._dispatch_post(op, request)
         except Exception as exc:
             response = {"ok": False, "error": repr(exc)}
         if response.get("ok"):
@@ -135,7 +187,41 @@ class _HttpHandler(BaseHTTPRequestHandler):
         elif response.get("denied") == "auth":
             status = 401  # distinct: proxies/metrics see auth failures as such
         else:
-            status = 400
+            status = getattr(self, "_service_status", 400)
+        self._reply(status, response)
+
+    def _dispatch_post(
+        self, op: str, request: dict[str, Any]
+    ) -> dict[str, Any]:
+        self._service_status = 400
+        service = getattr(self.server, "service", None)
+        if service is not None and op in ("runs", "rotate-token"):
+            denied = self._service_denied(request)
+            if denied is not None:
+                return denied
+            request.pop("token", None)  # never hand the secret downstream
+            if op == "runs":
+                self._service_status, response = service.submit(request)
+            else:
+                self._service_status, response = service.rotate_token(request)
+            return response
+        if op not in _OPS:
+            # An unknown endpoint must not dispatch with whatever "op"
+            # the body smuggled in.
+            return {"ok": False, "error": f"unknown endpoint {op!r}"}
+        request["op"] = op
+        return self.server.work_queue._handle(request)
+
+    def do_DELETE(self) -> None:  # pragma: no cover - exercised via the client
+        tail = self._run_segments()
+        if tail is None or len(tail) != 1:
+            self._reply(404, {"ok": False, "error": "DELETE /runs/<id>"})
+            return
+        denied = self._service_denied({})
+        if denied is not None:
+            self._reply(401, denied)
+            return
+        status, response = self.server.service.cancel(tail[0])
         self._reply(status, response)
 
     def _reply(self, status: int, response: dict[str, Any]) -> None:
@@ -165,6 +251,9 @@ class _HttpHandler(BaseHTTPRequestHandler):
 class _HttpServer(ThreadingHTTPServer):
     daemon_threads = True
     work_queue: NetworkWorkQueue
+    #: A CampaignService routes /runs requests here; None on plain
+    #: single-campaign coordinators (the endpoints then 404).
+    service: Any = None
 
 
 class HttpWorkQueue(NetworkWorkQueue):

@@ -14,7 +14,12 @@ reach the coordinator's TCP port — join the same campaign), and a worker
 killed mid-task loses nothing: its lease expires and the task is re-issued.
 An idle worker also exits when the coordinator grants it a *retire credit*
 (autoscaling scale-down) or when the coordinator has been unreachable/silent
-for the orphan timeout.
+for the orphan timeout.  While the coordinator is unreachable, idle polling
+backs off exponentially with jitter (capped) instead of fixed-interval
+ticks, so a large fleet does not synchronously hammer a restarting daemon;
+a worker whose coordinator speaks a different protocol version exits
+immediately with a clear message (see
+:meth:`~repro.campaign.transport.NetworkWorkQueueClient.check_protocol`).
 
 Task payloads are ``(fn, item)`` pairs; results are ``("ok", fn(item))`` or
 ``("error", traceback_text)``.  ``fn`` must be importable on the worker
@@ -33,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
 import sys
 import threading
 import time
@@ -45,10 +51,33 @@ from .workqueue import (
     FileWorkQueue,
     WorkQueue,
     WorkQueueAuthError,
+    WorkQueueProtocolError,
     resolve_auth_token,
 )
 
 __all__ = ["main", "run_worker"]
+
+
+def _idle_delay(
+    queue: WorkQueue, poll_interval: float, orphan_timeout: float
+) -> float:
+    """Sleep before the next idle poll tick.
+
+    While the coordinator answers, this is the plain ``poll_interval``.
+    While it is *unreachable* (the network clients count
+    ``consecutive_failures``; queues without the attribute never back off),
+    the delay doubles per failed round trip up to a cap, with jitter — so a
+    large fleet behind a restarting daemon spreads its reconnect attempts
+    instead of synchronously hammering it every tick.  The cap stays well
+    under the orphan timeout: backing off must never keep a worker alive
+    past the point it should have given its coordinator up.
+    """
+    failures = getattr(queue, "consecutive_failures", 0)
+    if failures <= 0:
+        return poll_interval
+    cap = max(poll_interval, min(5.0, orphan_timeout / 8.0))
+    delay = min(cap, poll_interval * (2.0 ** min(failures, 16)))
+    return delay * (0.5 + 0.5 * random.random())
 
 
 class _Heartbeat:
@@ -158,6 +187,13 @@ def run_worker(
         worker_id = f"w{os.getpid()}"
     if orphan_timeout is None:
         orphan_timeout = 4.0 * lease_timeout
+    check_protocol = getattr(queue, "check_protocol", None)
+    if check_protocol is not None:
+        # Fail fast on daemon/client version skew with a clear message
+        # (WorkQueueProtocolError) instead of decoding errors mid-campaign.
+        # An unreachable coordinator returns None here and is handled by
+        # the normal degrade/orphan path below.
+        check_protocol()
     completed = 0
     while max_tasks is None or completed < max_tasks:
         # Stop is checked *before* claiming: an aborted campaign's leftover
@@ -172,7 +208,7 @@ def run_worker(
             age = queue.coordinator_age()
             if age is not None and age > orphan_timeout:
                 break  # coordinator died without cleanup; don't poll forever
-            time.sleep(poll_interval)
+            time.sleep(_idle_delay(queue, poll_interval, orphan_timeout))
             continue
         index, payload, lease = claimed
         emit("task-claim", "campaign.worker", worker=worker_id, index=index)
@@ -274,6 +310,11 @@ def main(argv: list[str] | None = None) -> int:
         # A wrong shared secret is a configuration error: exit with a
         # clear message (no token in it), never retry-loop.
         print(f"worker: authentication failed: {exc}", file=sys.stderr)
+        return 2
+    except WorkQueueProtocolError as exc:
+        # So is version skew: retrying cannot make the two sides speak the
+        # same protocol, so exit loudly before claiming anything.
+        print(f"worker: {exc}", file=sys.stderr)
         return 2
     except ValueError as exc:
         # Invalid connection parameters (e.g. a --connect-http URL with a

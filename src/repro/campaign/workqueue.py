@@ -45,7 +45,7 @@ import tempfile
 import time
 import uuid
 from pathlib import Path
-from typing import Any, Iterable, Protocol, runtime_checkable
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
 from ..obs import MetricsRegistry
 
@@ -53,11 +53,15 @@ logger = logging.getLogger(__name__)
 
 __all__ = [
     "AUTH_TOKEN_ENV",
+    "AUTH_TOKEN_PREVIOUS_ENV",
+    "PROTOCOL_VERSION",
     "FileWorkQueue",
     "WorkItem",
     "WorkQueue",
     "WorkQueueAuthError",
+    "WorkQueueProtocolError",
     "resolve_auth_token",
+    "resolve_auth_tokens",
 ]
 
 #: Environment variable both network transports read the shared-secret
@@ -65,6 +69,24 @@ __all__ = [
 #: preferred channel for worker processes: unlike a ``--auth-token``
 #: argument, it never shows up in process listings.
 AUTH_TOKEN_ENV = "REPRO_CAMPAIGN_AUTH_TOKEN"
+
+#: Environment variable a *coordinator* reads additional still-valid tokens
+#: from (comma-separated) — the rotation window: a daemon restarted with the
+#: new secret as :data:`AUTH_TOKEN_ENV` and the old one here accepts workers
+#: that have not been re-keyed yet.  Workers only ever present one token.
+AUTH_TOKEN_PREVIOUS_ENV = "REPRO_CAMPAIGN_AUTH_TOKEN_PREVIOUS"
+
+#: Version of the wire protocol both network transports speak.  Served in
+#: every ``ping`` response so clients and workers can fail fast with a clear
+#: message on a daemon/client mismatch instead of hitting decoding errors
+#: mid-campaign.  Bump whenever a wire message or response changes shape.
+#:
+#: * 2 — multi-run claims (``claim`` answers carry the claimed task's run
+#:   id, which may differ per claim on a service-mode coordinator) and
+#:   structured ``ping`` bodies.  Version 1 servers answered ``ping`` with
+#:   a bare ``{"ok": true}``; the *absence* of a version is how they are
+#:   detected.
+PROTOCOL_VERSION = 2
 
 
 class WorkQueueAuthError(RuntimeError):
@@ -78,6 +100,17 @@ class WorkQueueAuthError(RuntimeError):
     """
 
 
+class WorkQueueProtocolError(RuntimeError):
+    """The coordinator speaks a different wire-protocol version.
+
+    Raised by the network clients' startup check (see
+    ``NetworkWorkQueueClient.check_protocol``) so a version-skewed worker or
+    service client exits with one clear message instead of degrading into
+    decoding errors or silent idle polling mid-campaign.  Like
+    :class:`WorkQueueAuthError`, retrying can never fix it.
+    """
+
+
 def resolve_auth_token(explicit: str | None = None) -> str | None:
     """Auth token to use: the explicit one, else :data:`AUTH_TOKEN_ENV`.
 
@@ -88,6 +121,51 @@ def resolve_auth_token(explicit: str | None = None) -> str | None:
     if explicit is not None:
         return explicit
     return os.environ.get(AUTH_TOKEN_ENV) or None
+
+
+def resolve_auth_tokens(
+    explicit: str | Sequence[str] | None = None,
+    previous: str | Sequence[str] | None = None,
+) -> tuple[str, ...] | None:
+    """Coordinator-side accepted-token set: primary first, then previous.
+
+    ``explicit`` falls back to :data:`AUTH_TOKEN_ENV` and ``previous`` to
+    the comma-separated :data:`AUTH_TOKEN_PREVIOUS_ENV` — the rotation
+    window that lets a daemon accept not-yet-re-keyed workers.  Previous
+    tokens without a primary are a configuration error (there would be no
+    current secret to rotate *to*); no tokens at all returns ``None``
+    (authentication disabled).
+    """
+    def _listed(
+        value: str | Sequence[str] | None, env: str, split: bool
+    ) -> list[str]:
+        if value is None:
+            value = os.environ.get(env) or ""
+        if isinstance(value, str):
+            if split:
+                return [part.strip() for part in value.split(",") if part.strip()]
+            return [value] if value else []
+        return [token for token in value]
+
+    # Only the *previous* set is documented as comma-separated: it is a
+    # list by nature (one entry per not-yet-finished rotation), while the
+    # primary is one opaque secret that may legally contain a comma.
+    primary = _listed(explicit, AUTH_TOKEN_ENV, split=False)
+    older = _listed(previous, AUTH_TOKEN_PREVIOUS_ENV, split=True)
+    if not primary:
+        if older:
+            raise ValueError(
+                "previous auth tokens need a primary token (set "
+                f"${AUTH_TOKEN_ENV} or pass one explicitly)"
+            )
+        return None
+    tokens: list[str] = []
+    for token in (*primary, *older):
+        if not token:
+            raise ValueError("auth tokens must be non-empty strings")
+        if token not in tokens:
+            tokens.append(token)
+    return tuple(tokens)
 
 #: ``(index, payload, lease)`` of one claimed task.  The lease handle is
 #: transport-specific and opaque to the worker loop: it is only ever passed

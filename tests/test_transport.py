@@ -181,7 +181,8 @@ class TestSocketWorkQueuePrimitives:
         # from pickle.loads at claim time; the client must ship the failure
         # back and keep going, not crash-loop over it.
         with queue._lock:
-            queue._pending[0] = b"cdefinitely_missing_module\nboom\n."
+            run = queue._runs[queue.run_id]
+            run.pending[0] = b"cdefinitely_missing_module\nboom\n."
         assert client_for(queue).claim("w1") is None
         status, text = queue.collect()[0]
         assert status == "error"

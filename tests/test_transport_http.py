@@ -35,7 +35,12 @@ from repro.campaign import (
 from repro.campaign.spec import build_runner
 from repro.campaign.transport_http import parse_http_url
 from repro.campaign.worker import main as worker_main, run_worker
-from repro.campaign.workqueue import AUTH_TOKEN_ENV, WorkQueue, resolve_auth_token
+from repro.campaign.workqueue import (
+    AUTH_TOKEN_ENV,
+    PROTOCOL_VERSION,
+    WorkQueue,
+    resolve_auth_token,
+)
 from repro.sim import FlightScenario
 
 
@@ -168,7 +173,8 @@ class TestHttpWorkQueuePrimitives:
 
     def test_unreadable_payload_is_a_poison_pill_not_a_crash(self, queue):
         with queue._lock:
-            queue._pending[0] = b"cdefinitely_missing_module\nboom\n."
+            run = queue._runs[queue.run_id]
+            run.pending[0] = b"cdefinitely_missing_module\nboom\n."
         assert client_for(queue).claim("w1") is None
         status, text = queue.collect()[0]
         assert status == "error"
@@ -201,8 +207,13 @@ class TestHttpWorkQueuePrimitives:
 
     def test_get_ping_serves_as_health_check(self, queue):
         # Load balancers probe with GET; every queue operation is a POST.
+        # The body carries protocol + mode so clients can fail fast on skew.
         with urllib.request.urlopen(f"{queue.url}/ping", timeout=5.0) as reply:
-            assert json.loads(reply.read()) == {"ok": True}
+            body = json.loads(reply.read())
+        assert body["ok"] is True
+        assert body["protocol"] == PROTOCOL_VERSION
+        assert body["mode"] == "campaign"
+        assert body["service"] is False
 
     def test_unknown_endpoint_is_an_error_not_a_dispatch(self, queue):
         # The path names the operation; a body-smuggled "op" must not win.

@@ -112,19 +112,33 @@ def check_spec_block(
 
 
 def _module_flags(module: str) -> set[str] | None:
-    """Option strings of an in-repo argparse CLI, ``None`` if unknown."""
+    """Option strings of an in-repo argparse CLI, ``None`` if unknown.
+
+    Subcommand CLIs (``repro.campaign.client``) contribute their
+    subparsers' flags too: a documented ``submit --wait`` must resolve even
+    though ``--wait`` lives on the subparser, not the root.
+    """
+    import argparse
+
     if module == "repro.campaign":
         from repro.campaign.__main__ import _build_parser
     elif module == "repro.campaign.worker":
         from repro.campaign.worker import _build_parser
+    elif module == "repro.campaign.service":
+        from repro.campaign.service import _build_parser
+    elif module == "repro.campaign.client":
+        from repro.campaign.client import _build_parser
     else:
         return None
-    parser = _build_parser()
-    return {
-        option
-        for action in parser._actions
-        for option in action.option_strings
-    }
+    flags: set[str] = set()
+    parsers = [_build_parser()]
+    while parsers:
+        parser = parsers.pop()
+        for action in parser._actions:
+            flags.update(action.option_strings)
+            if isinstance(action, argparse._SubParsersAction):
+                parsers.extend(action.choices.values())
+    return flags
 
 
 def _script_flags(script: Path) -> set[str]:
